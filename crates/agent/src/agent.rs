@@ -1,0 +1,819 @@
+//! The agent proper: attachment, routing and the forwarding engine.
+//!
+//! One [`Agent`] runs per host. Containers attach and get an
+//! [`AgentHandle`] — a shared-memory duplex channel plus access to the
+//! host's arena (their "virtual NIC cable"). Agents connect to each other
+//! with [`connect_agents`], and the forwarding engine routes
+//! [`RelayMsg`]s by destination overlay IP:
+//!
+//! * local destination → straight into that container's channel (arena
+//!   payload descriptors stay valid — same segment, zero copies);
+//! * remote destination → materialize arena payloads into bytes and send
+//!   over the peer wire; on arrival the remote agent re-stages large
+//!   payloads into *its* arena and hands the descriptor to the target
+//!   container;
+//! * unknown destination → a `Nack` back to the sender, so endpoints see
+//!   failures as failed completions instead of silence.
+//!
+//! Poll-driven ([`Agent::poll`]) with a [`Agent::spawn_pump`] helper for
+//! threaded operation.
+
+use crate::proto::{status, RelayMsg, RelayPayload};
+use crate::wire::PeerWire;
+use bytes::Bytes;
+use freeflow_shmem::{ShmDuplex, ShmFabric, ShmMessage, ShmReceiver, ShmSender};
+use freeflow_types::{Error, HostId, OverlayIp, Result, TransportKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Payloads at or above this size are re-staged into the arena on local
+/// delivery instead of being copied inline through the ring.
+pub const ZERO_COPY_THRESHOLD: usize = 4096;
+
+/// Ring capacity of each container↔agent channel direction.
+const CONTAINER_CHANNEL_CAP: usize = 1 << 21; // 2 MiB
+
+/// Forwarding counters.
+#[derive(Debug, Default)]
+pub struct AgentStats {
+    /// Messages delivered container → container on this host.
+    pub local_delivered: AtomicU64,
+    /// Messages relayed out over a wire.
+    pub relayed_out: AtomicU64,
+    /// Messages received from wires and delivered locally.
+    pub relayed_in: AtomicU64,
+    /// Nacks generated for unroutable messages.
+    pub nacked: AtomicU64,
+    /// Payload bytes moved via arena handoff (zero-copy deliveries).
+    pub zero_copy_bytes: AtomicU64,
+}
+
+struct ContainerLink {
+    tx: ShmSender,
+    rx: ShmReceiver,
+}
+
+struct AgentInner {
+    containers: HashMap<OverlayIp, ContainerLink>,
+    wires: Vec<PeerWire>,
+    /// Overlay IP → wire index, installed from orchestrator routes.
+    routes: HashMap<OverlayIp, usize>,
+}
+
+/// The per-host FreeFlow network agent.
+pub struct Agent {
+    host: HostId,
+    fabric: Arc<ShmFabric>,
+    inner: Mutex<AgentInner>,
+    stats: AgentStats,
+    /// Whether large local deliveries use arena handoff (ablation A3
+    /// toggles this off to measure the copy cost).
+    zero_copy: AtomicBool,
+}
+
+/// What a container holds after attaching: its channel to the agent and
+/// access to the host's shared arena.
+pub struct AgentHandle {
+    /// The container's overlay IP (its identity on this fabric).
+    pub ip: OverlayIp,
+    /// Duplex channel to the agent.
+    pub channel: ShmDuplex,
+    /// The host's shared-memory fabric (arena access for zero-copy
+    /// payloads).
+    pub fabric: Arc<ShmFabric>,
+}
+
+impl Agent {
+    /// Create an agent for `host` with an `arena_size`-byte shared arena.
+    pub fn new(host: HostId, arena_size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            host,
+            fabric: ShmFabric::new(arena_size),
+            inner: Mutex::new(AgentInner {
+                containers: HashMap::new(),
+                wires: Vec::new(),
+                routes: HashMap::new(),
+            }),
+            stats: AgentStats::default(),
+            zero_copy: AtomicBool::new(true),
+        })
+    }
+
+    /// This agent's host.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The host's shm fabric.
+    pub fn fabric(&self) -> &Arc<ShmFabric> {
+        &self.fabric
+    }
+
+    /// Forwarding statistics.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// Toggle zero-copy arena delivery (on by default).
+    pub fn set_zero_copy(&self, on: bool) {
+        self.zero_copy.store(on, Ordering::Relaxed);
+    }
+
+    /// Attach a container at `ip`. Returns the container-side handle.
+    pub fn attach_container(self: &Arc<Self>, ip: OverlayIp) -> Result<AgentHandle> {
+        let mut inner = self.inner.lock();
+        if inner.containers.contains_key(&ip) {
+            return Err(Error::already_exists(format!("container {ip} on {}", self.host)));
+        }
+        let (to_ctr_tx, to_ctr_rx) = freeflow_shmem::channel_pair(CONTAINER_CHANNEL_CAP);
+        let (to_agent_tx, to_agent_rx) = freeflow_shmem::channel_pair(CONTAINER_CHANNEL_CAP);
+        inner.containers.insert(
+            ip,
+            ContainerLink {
+                tx: to_ctr_tx,
+                rx: to_agent_rx,
+            },
+        );
+        Ok(AgentHandle {
+            ip,
+            channel: ShmDuplex {
+                tx: to_agent_tx,
+                rx: to_ctr_rx,
+            },
+            fabric: Arc::clone(&self.fabric),
+        })
+    }
+
+    /// Detach a container (stop / migration away).
+    pub fn detach_container(&self, ip: OverlayIp) {
+        self.inner.lock().containers.remove(&ip);
+    }
+
+    /// Attach a peer wire; returns its index for routing.
+    pub fn attach_wire(&self, wire: PeerWire) -> usize {
+        let mut inner = self.inner.lock();
+        inner.wires.push(wire);
+        inner.wires.len() - 1
+    }
+
+    /// Install/replace the route for one remote container IP.
+    pub fn install_route(&self, ip: OverlayIp, wire_idx: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if wire_idx >= inner.wires.len() {
+            return Err(Error::not_found(format!("wire {wire_idx}")));
+        }
+        inner.routes.insert(ip, wire_idx);
+        Ok(())
+    }
+
+    /// Remove the route for a departed remote container.
+    pub fn remove_route(&self, ip: OverlayIp) {
+        self.inner.lock().routes.remove(&ip);
+    }
+
+    /// Wire index for the peer agent on `host`, if connected.
+    pub fn wire_to(&self, host: HostId) -> Option<usize> {
+        self.inner
+            .lock()
+            .wires
+            .iter()
+            .position(|w| w.peer_host == host)
+    }
+
+    /// The transport kind of wire `idx`.
+    pub fn wire_kind(&self, idx: usize) -> Option<TransportKind> {
+        self.inner.lock().wires.get(idx).map(|w| w.kind)
+    }
+
+    // --- forwarding engine -------------------------------------------------
+
+    /// Drain pending work once. Returns the number of messages processed.
+    pub fn poll(&self) -> usize {
+        let mut work = 0;
+        // Container → agent.
+        let from_containers: Vec<Bytes> = {
+            let inner = self.inner.lock();
+            let mut msgs = Vec::new();
+            for link in inner.containers.values() {
+                while let Ok(m) = link.rx.try_recv() {
+                    if let ShmMessage::Inline(b) = m {
+                        msgs.push(b);
+                    }
+                }
+            }
+            msgs
+        };
+        for raw in from_containers {
+            work += 1;
+            self.route_from_local(raw);
+        }
+        // Wire → agent.
+        let from_wires: Vec<Bytes> = {
+            let inner = self.inner.lock();
+            let mut msgs = Vec::new();
+            for wire in &inner.wires {
+                while let Ok(b) = wire.try_recv() {
+                    msgs.push(b);
+                }
+            }
+            msgs
+        };
+        for raw in from_wires {
+            work += 1;
+            self.stats.relayed_in.fetch_add(1, Ordering::Relaxed);
+            self.deliver_from_wire(raw);
+        }
+        work
+    }
+
+    /// Spawn a pump thread that polls until the returned stop flag is set.
+    pub fn spawn_pump(self: &Arc<Self>) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let agent = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("ff-agent-{}", self.host))
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    if agent.poll() == 0 {
+                        std::thread::park_timeout(std::time::Duration::from_micros(100));
+                    }
+                }
+            })
+            .expect("spawn agent pump");
+        (stop, handle)
+    }
+
+    /// Route a message originating from a local container.
+    fn route_from_local(&self, raw: Bytes) {
+        let msg = match RelayMsg::decode(raw.clone()) {
+            Ok(m) => m,
+            Err(_) => return, // corrupt local message: drop
+        };
+        let dst_ip = msg.dst().ip;
+        // Local destination?
+        if self.deliver_local(dst_ip, raw.clone(), &msg) {
+            return;
+        }
+        // Remote: find a route.
+        let wire_idx = { self.inner.lock().routes.get(&dst_ip).copied() };
+        match wire_idx {
+            Some(idx) => {
+                let nack_src = msg.src();
+                let nack_dst = msg.dst();
+                let outbound = self.materialize_for_wire(msg);
+                let bytes = outbound.encode();
+                // The peer pump drains the wire; retry briefly on a full
+                // queue rather than dropping a reliable-transport message.
+                loop {
+                    let sent = {
+                        let inner = self.inner.lock();
+                        inner.wires[idx].send(bytes.clone())
+                    };
+                    match sent {
+                        Ok(()) => {
+                            self.stats.relayed_out.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(Error::Exhausted(_)) => std::thread::yield_now(),
+                        Err(_) => break, // peer gone
+                    }
+                }
+                let _ = (nack_src, nack_dst);
+                self.nack(&outbound, status::REMOTE_OP);
+            }
+            None => self.nack(&msg, status::REMOTE_OP),
+        }
+    }
+
+    /// Deliver a message whose destination is on this host. Returns false
+    /// if the destination is not local.
+    fn deliver_local(&self, dst_ip: OverlayIp, raw: Bytes, msg: &RelayMsg) -> bool {
+        let inner = self.inner.lock();
+        match inner.containers.get(&dst_ip) {
+            Some(link) => {
+                if link.tx.send(&raw).is_ok() {
+                    self.stats.local_delivered.fetch_add(1, Ordering::Relaxed);
+                    if let RelayMsg::Send {
+                        payload: RelayPayload::Arena { len, .. },
+                        ..
+                    }
+                    | RelayMsg::Write {
+                        payload: RelayPayload::Arena { len, .. },
+                        ..
+                    } = msg
+                    {
+                        self.stats.zero_copy_bytes.fetch_add(*len, Ordering::Relaxed);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Convert arena payloads to inline bytes before a message leaves the
+    /// host (descriptors are meaningless on another machine).
+    fn materialize_for_wire(&self, msg: RelayMsg) -> RelayMsg {
+        let fix = |payload: RelayPayload| -> RelayPayload {
+            match payload {
+                RelayPayload::Arena { offset, len } => {
+                    // Blocks are allocated at 64-byte granularity; the
+                    // descriptor carries the exact data length, so the
+                    // free must use the rounded block length or the
+                    // padding leaks from the allocator.
+                    let handle = freeflow_shmem::ArenaHandle {
+                        offset,
+                        len: len.next_multiple_of(64),
+                    };
+                    let mut buf = vec![0u8; len as usize];
+                    let arena = self.fabric.arena();
+                    if arena.read(handle, 0, &mut buf).is_ok() {
+                        let _ = arena.free(handle);
+                    }
+                    RelayPayload::Inline(Bytes::from(buf))
+                }
+                inline => inline,
+            }
+        };
+        match msg {
+            RelayMsg::Send {
+                src,
+                dst,
+                wr_id,
+                imm,
+                payload,
+            } => RelayMsg::Send {
+                src,
+                dst,
+                wr_id,
+                imm,
+                payload: fix(payload),
+            },
+            RelayMsg::Write {
+                src,
+                dst,
+                wr_id,
+                addr,
+                rkey,
+                imm,
+                payload,
+            } => RelayMsg::Write {
+                src,
+                dst,
+                wr_id,
+                addr,
+                rkey,
+                imm,
+                payload: fix(payload),
+            },
+            RelayMsg::ReadResp {
+                src,
+                dst,
+                req_id,
+                status,
+                payload,
+            } => RelayMsg::ReadResp {
+                src,
+                dst,
+                req_id,
+                status,
+                payload: fix(payload),
+            },
+            other => other,
+        }
+    }
+
+    /// Deliver a wire message to a local container, re-staging big inline
+    /// payloads into the arena when zero-copy is on.
+    fn deliver_from_wire(&self, raw: Bytes) {
+        let msg = match RelayMsg::decode(raw.clone()) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let dst_ip = msg.dst().ip;
+        let use_arena = self.zero_copy.load(Ordering::Relaxed);
+        let (restaged, zero_copied) = if use_arena {
+            self.restage_into_arena(msg.clone())
+        } else {
+            (msg.clone(), 0)
+        };
+        let raw_out = if zero_copied > 0 {
+            restaged.encode()
+        } else {
+            raw
+        };
+        let delivered = {
+            let inner = self.inner.lock();
+            match inner.containers.get(&dst_ip) {
+                Some(link) => link.tx.send(&raw_out).is_ok(),
+                None => false,
+            }
+        };
+        if delivered {
+            if zero_copied > 0 {
+                self.stats
+                    .zero_copy_bytes
+                    .fetch_add(zero_copied, Ordering::Relaxed);
+            }
+        } else {
+            // Undo any staged block, then nack the remote sender.
+            if let RelayMsg::Send {
+                payload: RelayPayload::Arena { offset, len },
+                ..
+            }
+            | RelayMsg::Write {
+                payload: RelayPayload::Arena { offset, len },
+                ..
+            } = restaged
+            {
+                let _ = self.fabric.arena().free(freeflow_shmem::ArenaHandle {
+                    offset,
+                    len: len.next_multiple_of(64),
+                });
+            }
+            self.nack(&msg, status::REMOTE_OP);
+        }
+    }
+
+    /// Stage big inline payloads into the host arena. Returns the possibly
+    /// rewritten message and how many bytes went zero-copy.
+    fn restage_into_arena(&self, msg: RelayMsg) -> (RelayMsg, u64) {
+        let mut staged = 0u64;
+        let mut fix = |payload: RelayPayload| -> RelayPayload {
+            match payload {
+                RelayPayload::Inline(b) if b.len() >= ZERO_COPY_THRESHOLD => {
+                    let arena = self.fabric.arena();
+                    match arena.alloc(b.len() as u64) {
+                        Ok(handle) => {
+                            arena.write(handle, 0, &b).expect("fresh block fits");
+                            staged += b.len() as u64;
+                            RelayPayload::Arena {
+                                offset: handle.offset,
+                                // Keep the *data* length, not the rounded
+                                // block length, so receivers read exactly
+                                // the payload. The block is freed by the
+                                // receiver using arena granularity.
+                                len: b.len() as u64,
+                            }
+                        }
+                        Err(_) => RelayPayload::Inline(b), // arena full: copy path
+                    }
+                }
+                other => other,
+            }
+        };
+        let out = match msg {
+            RelayMsg::Send {
+                src,
+                dst,
+                wr_id,
+                imm,
+                payload,
+            } => RelayMsg::Send {
+                src,
+                dst,
+                wr_id,
+                imm,
+                payload: fix(payload),
+            },
+            RelayMsg::Write {
+                src,
+                dst,
+                wr_id,
+                addr,
+                rkey,
+                imm,
+                payload,
+            } => RelayMsg::Write {
+                src,
+                dst,
+                wr_id,
+                addr,
+                rkey,
+                imm,
+                payload: fix(payload),
+            },
+            RelayMsg::ReadResp {
+                src,
+                dst,
+                req_id,
+                status,
+                payload,
+            } => RelayMsg::ReadResp {
+                src,
+                dst,
+                req_id,
+                status,
+                payload: fix(payload),
+            },
+            other => other,
+        };
+        (out, staged)
+    }
+
+    /// Send a Nack for an unroutable operation back toward its source.
+    fn nack(&self, msg: &RelayMsg, code: u8) {
+        let reply = match msg {
+            RelayMsg::Send { src, dst, wr_id, .. }
+            | RelayMsg::Write { src, dst, wr_id, .. } => RelayMsg::Nack {
+                src: *dst,
+                dst: *src,
+                wr_id: *wr_id,
+                status: code,
+            },
+            RelayMsg::ReadReq {
+                src, dst, req_id, ..
+            } => RelayMsg::ReadResp {
+                src: *dst,
+                dst: *src,
+                req_id: *req_id,
+                status: code,
+                payload: RelayPayload::Inline(Bytes::new()),
+            },
+            // Acks/Nacks/ReadResps are not themselves nacked (no loops).
+            _ => return,
+        };
+        self.stats.nacked.fetch_add(1, Ordering::Relaxed);
+        let raw = reply.encode();
+        let back_ip = reply.dst().ip;
+        // Try local first, then a route.
+        let msg2 = reply;
+        if self.deliver_local(back_ip, raw.clone(), &msg2) {
+            return;
+        }
+        let wire_idx = { self.inner.lock().routes.get(&back_ip).copied() };
+        if let Some(idx) = wire_idx {
+            let inner = self.inner.lock();
+            let _ = inner.wires[idx].send(raw);
+        }
+    }
+}
+
+impl std::fmt::Debug for Agent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Agent")
+            .field("host", &self.host)
+            .field("containers", &inner.containers.len())
+            .field("wires", &inner.wires.len())
+            .field("routes", &inner.routes.len())
+            .finish()
+    }
+}
+
+/// Connect two agents with a wire of the given transport kind. Returns
+/// `(index on a, index on b)`.
+pub fn connect_agents(a: &Agent, b: &Agent, kind: TransportKind) -> (usize, usize) {
+    let (wa, wb) = PeerWire::pair(a.host(), b.host(), kind, 4096);
+    (a.attach_wire(wa), b.attach_wire(wb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> OverlayIp {
+        OverlayIp::from_octets(10, 0, 0, last)
+    }
+
+    fn ep(last: u8, qpn: u32) -> crate::proto::WireEp {
+        crate::proto::WireEp::new(ip(last), qpn)
+    }
+
+    fn send_msg(from: u8, to: u8, wr: u64, payload: &'static [u8]) -> RelayMsg {
+        RelayMsg::Send {
+            src: ep(from, 1),
+            dst: ep(to, 1),
+            wr_id: wr,
+            imm: None,
+            payload: RelayPayload::Inline(Bytes::from_static(payload)),
+        }
+    }
+
+    fn recv_inline(handle: &AgentHandle) -> RelayMsg {
+        match handle
+            .channel
+            .rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap()
+            .expect("message")
+        {
+            ShmMessage::Inline(b) => RelayMsg::decode(b).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_container_to_container_forwarding() {
+        let agent = Agent::new(HostId::new(0), 1 << 20);
+        let a = agent.attach_container(ip(1)).unwrap();
+        let b = agent.attach_container(ip(2)).unwrap();
+        a.channel.tx.send(&send_msg(1, 2, 7, b"hi").encode()).unwrap();
+        assert!(agent.poll() > 0);
+        let got = recv_inline(&b);
+        assert_eq!(got, send_msg(1, 2, 7, b"hi"));
+        assert_eq!(agent.stats().local_delivered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn duplicate_attach_rejected() {
+        let agent = Agent::new(HostId::new(0), 1 << 16);
+        let _a = agent.attach_container(ip(1)).unwrap();
+        assert!(agent.attach_container(ip(1)).is_err());
+    }
+
+    #[test]
+    fn cross_host_relay() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+
+        src.channel
+            .tx
+            .send(&send_msg(1, 2, 9, b"inter-host").encode())
+            .unwrap();
+        a0.poll();
+        a1.poll();
+        let got = recv_inline(&dst);
+        assert_eq!(got, send_msg(1, 2, 9, b"inter-host"));
+        assert_eq!(a0.stats().relayed_out.load(Ordering::Relaxed), 1);
+        assert_eq!(a1.stats().relayed_in.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn arena_payload_materialized_before_wire_and_restaged_after() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+
+        // Sender stages a big payload in host 0's arena (zero-copy hop 1).
+        let data = vec![0xAB; 8192];
+        let arena0 = src.fabric.arena();
+        let block = arena0.alloc(data.len() as u64).unwrap();
+        arena0.write(block, 0, &data).unwrap();
+        let msg = RelayMsg::Send {
+            src: ep(1, 1),
+            dst: ep(2, 1),
+            wr_id: 1,
+            imm: None,
+            payload: RelayPayload::Arena {
+                offset: block.offset,
+                len: data.len() as u64,
+            },
+        };
+        src.channel.tx.send(&msg.encode()).unwrap();
+        a0.poll();
+        // Host 0's block was freed after materialization.
+        assert_eq!(arena0.allocated(), 0);
+        a1.poll();
+        // Delivered as an arena descriptor on host 1 (≥ threshold).
+        match recv_inline(&dst) {
+            RelayMsg::Send {
+                payload: RelayPayload::Arena { offset, len },
+                ..
+            } => {
+                assert_eq!(len, 8192);
+                let mut out = vec![0u8; 8192];
+                let handle = freeflow_shmem::ArenaHandle { offset, len };
+                dst.fabric.arena().read(handle, 0, &mut out).unwrap();
+                assert_eq!(out, data);
+                dst.fabric.arena().free(handle).unwrap();
+            }
+            other => panic!("expected arena delivery, got {other:?}"),
+        }
+        assert!(a1.stats().zero_copy_bytes.load(Ordering::Relaxed) >= 8192);
+    }
+
+    #[test]
+    fn zero_copy_off_delivers_inline() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        a1.set_zero_copy(false);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        let big = Bytes::from(vec![7u8; 8192]);
+        let msg = RelayMsg::Send {
+            src: ep(1, 1),
+            dst: ep(2, 1),
+            wr_id: 1,
+            imm: None,
+            payload: RelayPayload::Inline(big.clone()),
+        };
+        src.channel.tx.send(&msg.encode()).unwrap();
+        a0.poll();
+        a1.poll();
+        match recv_inline(&dst) {
+            RelayMsg::Send {
+                payload: RelayPayload::Inline(b),
+                ..
+            } => assert_eq!(b, big),
+            other => panic!("expected inline delivery, got {other:?}"),
+        }
+        assert_eq!(a1.stats().zero_copy_bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unroutable_destination_gets_nack() {
+        let agent = Agent::new(HostId::new(0), 1 << 16);
+        let a = agent.attach_container(ip(1)).unwrap();
+        a.channel
+            .tx
+            .send(&send_msg(1, 99, 42, b"void").encode())
+            .unwrap();
+        agent.poll();
+        match recv_inline(&a) {
+            RelayMsg::Nack { wr_id, status, .. } => {
+                assert_eq!(wr_id, 42);
+                assert_eq!(status, status::REMOTE_OP);
+            }
+            other => panic!("expected nack, got {other:?}"),
+        }
+        assert_eq!(agent.stats().nacked.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_local_container_on_remote_host_nacks_back_over_wire() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        a1.install_route(ip(1), w1).unwrap(); // return route
+        src.channel
+            .tx
+            .send(&send_msg(1, 2, 5, b"ghost").encode())
+            .unwrap();
+        a0.poll(); // relay out
+        a1.poll(); // dst missing → nack back
+        a0.poll(); // deliver nack to src
+        match recv_inline(&src) {
+            RelayMsg::Nack { wr_id, .. } => assert_eq!(wr_id, 5),
+            other => panic!("expected nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pump_threads_move_traffic() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, _) = connect_agents(&a0, &a1, TransportKind::Dpdk);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        let (stop0, h0) = a0.spawn_pump();
+        let (stop1, h1) = a1.spawn_pump();
+        for i in 0..50u64 {
+            src.channel
+                .tx
+                .send(&send_msg(1, 2, i, b"pumped").encode())
+                .unwrap();
+        }
+        for i in 0..50u64 {
+            match recv_inline(&dst) {
+                RelayMsg::Send { wr_id, .. } => assert_eq!(wr_id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        stop0.store(true, Ordering::Relaxed);
+        stop1.store(true, Ordering::Relaxed);
+        h0.join().unwrap();
+        h1.join().unwrap();
+    }
+
+    #[test]
+    fn detach_makes_destination_unroutable() {
+        let agent = Agent::new(HostId::new(0), 1 << 16);
+        let a = agent.attach_container(ip(1)).unwrap();
+        let b = agent.attach_container(ip(2)).unwrap();
+        agent.detach_container(ip(2));
+        drop(b);
+        a.channel
+            .tx
+            .send(&send_msg(1, 2, 1, b"late").encode())
+            .unwrap();
+        agent.poll();
+        assert!(matches!(recv_inline(&a), RelayMsg::Nack { .. }));
+    }
+
+    #[test]
+    fn wire_kind_is_queryable() {
+        let a0 = Agent::new(HostId::new(0), 1 << 16);
+        let a1 = Agent::new(HostId::new(1), 1 << 16);
+        let (w0, w1) = connect_agents(&a0, &a1, TransportKind::TcpHost);
+        assert_eq!(a0.wire_kind(w0), Some(TransportKind::TcpHost));
+        assert_eq!(a1.wire_kind(w1), Some(TransportKind::TcpHost));
+        assert_eq!(a0.wire_to(HostId::new(1)), Some(w0));
+        assert_eq!(a0.wire_to(HostId::new(9)), None);
+    }
+}

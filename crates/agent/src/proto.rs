@@ -1,0 +1,604 @@
+//! The relay protocol: what flows between containers, agents and peers.
+//!
+//! One binary message format is used on both hops (container ↔ agent over
+//! shared memory, agent ↔ agent over the wire), so the agent can forward
+//! without re-encoding. The format is hand-rolled (no serde data format is
+//! available offline) and length-checked on parse — these bytes cross the
+//! simulated network, so corruption must surface as `Err`, not a panic.
+//!
+//! Payloads come in two shapes: [`RelayPayload::Inline`] bytes, or
+//! [`RelayPayload::Arena`] — an offset/length descriptor into the host's
+//! shared arena, the zero-copy handoff of paper §5 (pass the pointer, not
+//! the data). Arena payloads are only meaningful within one host; agents
+//! materialize them to bytes before a message leaves the machine.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use freeflow_types::{Error, OverlayIp, Result};
+
+/// A fabric-wide queue-pair address: overlay IP + QPN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireEp {
+    /// Overlay IP of the container.
+    pub ip: OverlayIp,
+    /// Queue-pair number within that container's virtual NIC.
+    pub qpn: u32,
+}
+
+impl WireEp {
+    /// Construct an endpoint.
+    pub fn new(ip: OverlayIp, qpn: u32) -> Self {
+        Self { ip, qpn }
+    }
+}
+
+impl std::fmt::Display for WireEp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.ip, self.qpn)
+    }
+}
+
+/// Message payload: inline bytes or a shared-arena descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayPayload {
+    /// Bytes carried in the message itself.
+    Inline(Bytes),
+    /// A block in the host's shared arena (zero-copy handoff). The
+    /// receiver owns the block and must free it.
+    Arena {
+        /// Byte offset in the arena.
+        offset: u64,
+        /// Block length in bytes.
+        len: u64,
+    },
+}
+
+impl RelayPayload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            RelayPayload::Inline(b) => b.len() as u64,
+            RelayPayload::Arena { len, .. } => *len,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Completion status codes carried on the wire (maps onto
+/// `freeflow_verbs::WcStatus` at the endpoints).
+pub mod status {
+    /// Operation succeeded.
+    pub const OK: u8 = 0;
+    /// Remote access error (bad rkey / bounds / permissions).
+    pub const REMOTE_ACCESS: u8 = 1;
+    /// Remote operation error (peer QP missing or broken).
+    pub const REMOTE_OP: u8 = 2;
+    /// Receiver posted too small a buffer.
+    pub const LOCAL_LENGTH: u8 = 3;
+}
+
+/// The relay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayMsg {
+    /// Two-sided SEND (or WRITE_WITH_IMM notification when `imm` is set
+    /// and the payload is empty).
+    Send {
+        /// Sending queue pair.
+        src: WireEp,
+        /// Destination queue pair.
+        dst: WireEp,
+        /// Sender's WR cookie (echoed in Ack/Nack).
+        wr_id: u64,
+        /// Immediate data.
+        imm: Option<u32>,
+        /// Message payload.
+        payload: RelayPayload,
+    },
+    /// One-sided WRITE into the destination container's memory.
+    Write {
+        /// Sending queue pair.
+        src: WireEp,
+        /// Destination queue pair.
+        dst: WireEp,
+        /// Sender's WR cookie.
+        wr_id: u64,
+        /// Remote virtual address.
+        addr: u64,
+        /// Remote key authorizing the write.
+        rkey: u32,
+        /// Immediate data (turns the op into WRITE_WITH_IMM).
+        imm: Option<u32>,
+        /// Data to place.
+        payload: RelayPayload,
+    },
+    /// One-sided READ request.
+    ReadReq {
+        /// Requesting queue pair (reply target).
+        src: WireEp,
+        /// Queue pair whose memory is read.
+        dst: WireEp,
+        /// Correlation id for the response.
+        req_id: u64,
+        /// Remote virtual address to read.
+        addr: u64,
+        /// Remote key authorizing the read.
+        rkey: u32,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Response to a [`RelayMsg::ReadReq`].
+    ReadResp {
+        /// The reader (original `src`), now the destination.
+        src: WireEp,
+        /// Destination = the original requester.
+        dst: WireEp,
+        /// Correlation id.
+        req_id: u64,
+        /// A [`status`] code.
+        status: u8,
+        /// The data read (empty on failure).
+        payload: RelayPayload,
+    },
+    /// Positive completion for a SEND/WRITE.
+    Ack {
+        /// Original sender (destination of this ack).
+        src: WireEp,
+        /// The acknowledged queue pair (original destination).
+        dst: WireEp,
+        /// The acknowledged WR.
+        wr_id: u64,
+        /// Bytes delivered.
+        byte_len: u64,
+    },
+    /// Negative completion for a SEND/WRITE.
+    Nack {
+        /// Original sender (destination of this nack).
+        src: WireEp,
+        /// The nacking queue pair.
+        dst: WireEp,
+        /// The failed WR.
+        wr_id: u64,
+        /// A [`status`] code (never [`status::OK`]).
+        status: u8,
+    },
+}
+
+const TAG_SEND: u8 = 1;
+const TAG_WRITE: u8 = 2;
+const TAG_READ_REQ: u8 = 3;
+const TAG_READ_RESP: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_NACK: u8 = 6;
+
+const PAYLOAD_INLINE: u8 = 0;
+const PAYLOAD_ARENA: u8 = 1;
+
+fn put_ep(buf: &mut BytesMut, ep: WireEp) {
+    buf.put_u32(ep.ip.raw());
+    buf.put_u32(ep.qpn);
+}
+
+fn get_ep(buf: &mut Bytes) -> Result<WireEp> {
+    if buf.len() < 8 {
+        return Err(Error::parse("truncated endpoint"));
+    }
+    Ok(WireEp {
+        ip: OverlayIp(buf.get_u32()),
+        qpn: buf.get_u32(),
+    })
+}
+
+fn put_imm(buf: &mut BytesMut, imm: Option<u32>) {
+    match imm {
+        Some(v) => {
+            buf.put_u8(1);
+            buf.put_u32(v);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_imm(buf: &mut Bytes) -> Result<Option<u32>> {
+    if buf.is_empty() {
+        return Err(Error::parse("truncated imm flag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.len() < 4 {
+                return Err(Error::parse("truncated imm value"));
+            }
+            Ok(Some(buf.get_u32()))
+        }
+        other => Err(Error::parse(format!("bad imm flag {other}"))),
+    }
+}
+
+fn put_payload(buf: &mut BytesMut, p: &RelayPayload) {
+    match p {
+        RelayPayload::Inline(b) => {
+            buf.put_u8(PAYLOAD_INLINE);
+            buf.put_u64(b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+        RelayPayload::Arena { offset, len } => {
+            buf.put_u8(PAYLOAD_ARENA);
+            buf.put_u64(*offset);
+            buf.put_u64(*len);
+        }
+    }
+}
+
+fn get_payload(buf: &mut Bytes) -> Result<RelayPayload> {
+    if buf.is_empty() {
+        return Err(Error::parse("truncated payload kind"));
+    }
+    match buf.get_u8() {
+        PAYLOAD_INLINE => {
+            if buf.len() < 8 {
+                return Err(Error::parse("truncated payload length"));
+            }
+            let len = buf.get_u64() as usize;
+            if buf.len() < len {
+                return Err(Error::parse(format!(
+                    "payload truncated: want {len}, have {}",
+                    buf.len()
+                )));
+            }
+            Ok(RelayPayload::Inline(buf.split_to(len)))
+        }
+        PAYLOAD_ARENA => {
+            if buf.len() < 16 {
+                return Err(Error::parse("truncated arena descriptor"));
+            }
+            Ok(RelayPayload::Arena {
+                offset: buf.get_u64(),
+                len: buf.get_u64(),
+            })
+        }
+        other => Err(Error::parse(format!("bad payload kind {other}"))),
+    }
+}
+
+impl RelayMsg {
+    /// The routing destination of this message.
+    pub fn dst(&self) -> WireEp {
+        match self {
+            RelayMsg::Send { dst, .. }
+            | RelayMsg::Write { dst, .. }
+            | RelayMsg::ReadReq { dst, .. }
+            | RelayMsg::ReadResp { dst, .. }
+            | RelayMsg::Ack { dst, .. }
+            | RelayMsg::Nack { dst, .. } => *dst,
+        }
+    }
+
+    /// The originating endpoint.
+    pub fn src(&self) -> WireEp {
+        match self {
+            RelayMsg::Send { src, .. }
+            | RelayMsg::Write { src, .. }
+            | RelayMsg::ReadReq { src, .. }
+            | RelayMsg::ReadResp { src, .. }
+            | RelayMsg::Ack { src, .. }
+            | RelayMsg::Nack { src, .. } => *src,
+        }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            RelayMsg::Send {
+                src,
+                dst,
+                wr_id,
+                imm,
+                payload,
+            } => {
+                buf.put_u8(TAG_SEND);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*wr_id);
+                put_imm(&mut buf, *imm);
+                put_payload(&mut buf, payload);
+            }
+            RelayMsg::Write {
+                src,
+                dst,
+                wr_id,
+                addr,
+                rkey,
+                imm,
+                payload,
+            } => {
+                buf.put_u8(TAG_WRITE);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*wr_id);
+                buf.put_u64(*addr);
+                buf.put_u32(*rkey);
+                put_imm(&mut buf, *imm);
+                put_payload(&mut buf, payload);
+            }
+            RelayMsg::ReadReq {
+                src,
+                dst,
+                req_id,
+                addr,
+                rkey,
+                len,
+            } => {
+                buf.put_u8(TAG_READ_REQ);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*req_id);
+                buf.put_u64(*addr);
+                buf.put_u32(*rkey);
+                buf.put_u64(*len);
+            }
+            RelayMsg::ReadResp {
+                src,
+                dst,
+                req_id,
+                status,
+                payload,
+            } => {
+                buf.put_u8(TAG_READ_RESP);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*req_id);
+                buf.put_u8(*status);
+                put_payload(&mut buf, payload);
+            }
+            RelayMsg::Ack {
+                src,
+                dst,
+                wr_id,
+                byte_len,
+            } => {
+                buf.put_u8(TAG_ACK);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*wr_id);
+                buf.put_u64(*byte_len);
+            }
+            RelayMsg::Nack {
+                src,
+                dst,
+                wr_id,
+                status,
+            } => {
+                buf.put_u8(TAG_NACK);
+                put_ep(&mut buf, *src);
+                put_ep(&mut buf, *dst);
+                buf.put_u64(*wr_id);
+                buf.put_u8(*status);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self> {
+        if buf.is_empty() {
+            return Err(Error::parse("empty relay message"));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize, what: &str| -> Result<()> {
+            if buf.len() < n {
+                Err(Error::parse(format!("truncated {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_SEND => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 8, "wr_id")?;
+                let wr_id = buf.get_u64();
+                let imm = get_imm(&mut buf)?;
+                let payload = get_payload(&mut buf)?;
+                Ok(RelayMsg::Send {
+                    src,
+                    dst,
+                    wr_id,
+                    imm,
+                    payload,
+                })
+            }
+            TAG_WRITE => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 20, "write header")?;
+                let wr_id = buf.get_u64();
+                let addr = buf.get_u64();
+                let rkey = buf.get_u32();
+                let imm = get_imm(&mut buf)?;
+                let payload = get_payload(&mut buf)?;
+                Ok(RelayMsg::Write {
+                    src,
+                    dst,
+                    wr_id,
+                    addr,
+                    rkey,
+                    imm,
+                    payload,
+                })
+            }
+            TAG_READ_REQ => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 28, "read request")?;
+                Ok(RelayMsg::ReadReq {
+                    src,
+                    dst,
+                    req_id: buf.get_u64(),
+                    addr: buf.get_u64(),
+                    rkey: buf.get_u32(),
+                    len: buf.get_u64(),
+                })
+            }
+            TAG_READ_RESP => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 9, "read response")?;
+                let req_id = buf.get_u64();
+                let status = buf.get_u8();
+                let payload = get_payload(&mut buf)?;
+                Ok(RelayMsg::ReadResp {
+                    src,
+                    dst,
+                    req_id,
+                    status,
+                    payload,
+                })
+            }
+            TAG_ACK => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 16, "ack")?;
+                Ok(RelayMsg::Ack {
+                    src,
+                    dst,
+                    wr_id: buf.get_u64(),
+                    byte_len: buf.get_u64(),
+                })
+            }
+            TAG_NACK => {
+                let src = get_ep(&mut buf)?;
+                let dst = get_ep(&mut buf)?;
+                need(&buf, 9, "nack")?;
+                Ok(RelayMsg::Nack {
+                    src,
+                    dst,
+                    wr_id: buf.get_u64(),
+                    status: buf.get_u8(),
+                })
+            }
+            other => Err(Error::parse(format!("unknown relay tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(last: u8, qpn: u32) -> WireEp {
+        WireEp::new(OverlayIp::from_octets(10, 0, 0, last), qpn)
+    }
+
+    fn all_messages() -> Vec<RelayMsg> {
+        vec![
+            RelayMsg::Send {
+                src: ep(1, 10),
+                dst: ep(2, 20),
+                wr_id: 99,
+                imm: None,
+                payload: RelayPayload::Inline(Bytes::from_static(b"hello")),
+            },
+            RelayMsg::Send {
+                src: ep(1, 10),
+                dst: ep(2, 20),
+                wr_id: 100,
+                imm: Some(0xABCD),
+                payload: RelayPayload::Arena {
+                    offset: 4096,
+                    len: 128,
+                },
+            },
+            RelayMsg::Write {
+                src: ep(3, 1),
+                dst: ep(4, 2),
+                wr_id: 7,
+                addr: 0x10_0040,
+                rkey: 42,
+                imm: Some(1),
+                payload: RelayPayload::Inline(Bytes::from_static(b"data")),
+            },
+            RelayMsg::ReadReq {
+                src: ep(5, 1),
+                dst: ep(6, 2),
+                req_id: 11,
+                addr: 0x20_0000,
+                rkey: 9,
+                len: 4096,
+            },
+            RelayMsg::ReadResp {
+                src: ep(6, 2),
+                dst: ep(5, 1),
+                req_id: 11,
+                status: status::OK,
+                payload: RelayPayload::Inline(Bytes::from_static(b"read data")),
+            },
+            RelayMsg::Ack {
+                src: ep(2, 20),
+                dst: ep(1, 10),
+                wr_id: 99,
+                byte_len: 5,
+            },
+            RelayMsg::Nack {
+                src: ep(2, 20),
+                dst: ep(1, 10),
+                wr_id: 100,
+                status: status::REMOTE_ACCESS,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for msg in all_messages() {
+            let decoded = RelayMsg::decode(msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn dst_and_src_accessors() {
+        for msg in all_messages() {
+            // dst ip drives routing — must never panic.
+            let _ = msg.dst();
+            let _ = msg.src();
+        }
+        let m = &all_messages()[0];
+        assert_eq!(m.dst(), ep(2, 20));
+        assert_eq!(m.src(), ep(1, 10));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error() {
+        for msg in all_messages() {
+            let wire = msg.encode();
+            for cut in 0..wire.len() {
+                let truncated = wire.slice(..cut);
+                assert!(
+                    RelayMsg::decode(truncated).is_err(),
+                    "cut at {cut} of {:?} must fail",
+                    msg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(RelayMsg::decode(Bytes::from_static(&[0xFF, 0, 0])).is_err());
+        assert!(RelayMsg::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn payload_length_accessor() {
+        assert_eq!(
+            RelayPayload::Inline(Bytes::from_static(b"abc")).len(),
+            3
+        );
+        assert_eq!(RelayPayload::Arena { offset: 0, len: 64 }.len(), 64);
+        assert!(RelayPayload::Inline(Bytes::new()).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Inter-agent wire links.
+//!
+//! A [`PeerWire`] is one direction-pair of the "host network" between two
+//! agents, tagged with the [`TransportKind`] the orchestrator chose for it
+//! (RDMA, DPDK or TCP). Functionally every kind moves the same bytes —
+//! the *performance* difference between the kinds is the simulator's
+//! domain (`freeflow-netsim`) — but the tag and per-wire counters let
+//! experiments assert which plane traffic actually used, and the capacity
+//! bound gives inter-host backpressure.
+
+use bytes::Bytes;
+use freeflow_types::{Error, HostId, Result, TransportKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared by both endpoints of a wire.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Messages sent a → b plus b → a.
+    pub msgs: AtomicU64,
+    /// Payload bytes carried.
+    pub bytes: AtomicU64,
+}
+
+/// One agent's endpoint of a peer link.
+pub struct PeerWire {
+    /// The remote agent's host.
+    pub peer_host: HostId,
+    /// Data plane this link models.
+    pub kind: TransportKind,
+    tx: crossbeam::channel::Sender<Bytes>,
+    rx: crossbeam::channel::Receiver<Bytes>,
+    stats: Arc<WireStats>,
+}
+
+impl PeerWire {
+    /// Create a connected pair between `a_host` and `b_host` with
+    /// `depth`-message queues per direction.
+    pub fn pair(
+        a_host: HostId,
+        b_host: HostId,
+        kind: TransportKind,
+        depth: usize,
+    ) -> (PeerWire, PeerWire) {
+        let (a_tx, b_rx) = crossbeam::channel::bounded(depth);
+        let (b_tx, a_rx) = crossbeam::channel::bounded(depth);
+        let stats = Arc::new(WireStats::default());
+        (
+            PeerWire {
+                peer_host: b_host,
+                kind,
+                tx: a_tx,
+                rx: a_rx,
+                stats: Arc::clone(&stats),
+            },
+            PeerWire {
+                peer_host: a_host,
+                kind,
+                tx: b_tx,
+                rx: b_rx,
+                stats,
+            },
+        )
+    }
+
+    /// Send an encoded message to the peer agent.
+    pub fn send(&self, msg: Bytes) -> Result<()> {
+        let len = msg.len() as u64;
+        self.tx.try_send(msg).map_err(|e| match e {
+            crossbeam::channel::TrySendError::Full(_) => {
+                Error::exhausted(format!("wire to {} full", self.peer_host))
+            }
+            crossbeam::channel::TrySendError::Disconnected(_) => {
+                Error::disconnected(format!("peer agent on {} gone", self.peer_host))
+            }
+        })?;
+        self.stats.msgs.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Bytes> {
+        self.rx.try_recv().map_err(|e| match e {
+            crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
+            crossbeam::channel::TryRecvError::Disconnected => {
+                Error::disconnected(format!("peer agent on {} gone", self.peer_host))
+            }
+        })
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &WireStats {
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for PeerWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerWire")
+            .field("peer_host", &self.peer_host)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_cross_connected() {
+        let (a, b) = PeerWire::pair(
+            HostId::new(0),
+            HostId::new(1),
+            TransportKind::Rdma,
+            16,
+        );
+        assert_eq!(a.peer_host, HostId::new(1));
+        assert_eq!(b.peer_host, HostId::new(0));
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(&b.try_recv().unwrap()[..], b"ping");
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(&a.try_recv().unwrap()[..], b"pong");
+    }
+
+    #[test]
+    fn stats_are_shared() {
+        let (a, b) = PeerWire::pair(HostId::new(0), HostId::new(1), TransportKind::Dpdk, 16);
+        a.send(Bytes::from_static(b"12345")).unwrap();
+        b.send(Bytes::from_static(b"123")).unwrap();
+        assert_eq!(a.stats().msgs.load(Ordering::Relaxed), 2);
+        assert_eq!(b.stats().bytes.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn full_wire_backpressures() {
+        let (a, _b) = PeerWire::pair(HostId::new(0), HostId::new(1), TransportKind::TcpHost, 1);
+        a.send(Bytes::from_static(b"x")).unwrap();
+        assert!(matches!(
+            a.send(Bytes::from_static(b"y")),
+            Err(Error::Exhausted(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_peer_is_disconnected() {
+        let (a, b) = PeerWire::pair(HostId::new(0), HostId::new(1), TransportKind::TcpHost, 4);
+        drop(b);
+        assert!(matches!(
+            a.send(Bytes::from_static(b"x")),
+            Err(Error::Disconnected(_))
+        ));
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerate every simulator-driven table/figure from the paper.
+//!
+//! Run: `cargo bench -p freeflow-bench --bench figures`
+//!
+//! Output is deterministic (discrete-event simulation in virtual time);
+//! copy it into EXPERIMENTS.md when calibration changes.
+
+fn main() {
+    println!("FreeFlow (HotNets'16) — regenerated evaluation figures");
+    println!("=======================================================");
+    println!();
+    for table in freeflow_bench::figures::all_sim_figures() {
+        println!("{table}");
+    }
+    println!("(real-data-path figures F8/A1/A2/A3: `cargo bench -p freeflow-bench --bench realpath`)");
+}

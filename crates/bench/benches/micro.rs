@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks of the real data-path primitives: the
+//! shared-memory ring, channels, the verbs engine, and FreeFlow virtual
+//! QPs on both paths.
+//!
+//! Run: `cargo bench -p freeflow-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use freeflow_bench::realpath::bench_pair;
+use freeflow_shmem::{channel_pair, ShmMessage, SpscRing};
+use freeflow_types::OverlayIp;
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
+use freeflow_verbs::VerbsNetwork;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shmem/ring");
+    for size in [64usize, 1024, 16 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("push_pop", size), &size, |b, &size| {
+            let ring = SpscRing::new(1 << 16);
+            let data = vec![7u8; size];
+            let mut out = vec![0u8; size];
+            b.iter(|| {
+                assert!(ring.push(&data));
+                assert_eq!(ring.pop(&mut out), size);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shmem/channel");
+    for size in [64usize, 4096] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("send_recv", size), &size, |b, &size| {
+            let (tx, rx) = channel_pair(1 << 16);
+            let data = vec!(1u8; size);
+            b.iter(|| {
+                tx.send(&data).unwrap();
+                match rx.try_recv().unwrap() {
+                    ShmMessage::Inline(bytes) => assert_eq!(bytes.len(), size),
+                    other => panic!("{other:?}"),
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verbs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verbs");
+    let net = VerbsNetwork::new();
+    let dev_a = net.create_device(OverlayIp::from_octets(10, 0, 0, 1));
+    let dev_b = net.create_device(OverlayIp::from_octets(10, 0, 0, 2));
+    let pd_a = dev_a.alloc_pd();
+    let pd_b = dev_b.alloc_pd();
+    let mr_a = pd_a.register(1 << 20, AccessFlags::all()).unwrap();
+    let mr_b = pd_b.register(1 << 20, AccessFlags::all()).unwrap();
+    let cq_a = dev_a.create_cq(64);
+    let cq_b = dev_b.create_cq(64);
+    let qp_a = pd_a.create_qp(&cq_a, &cq_a, 32, 32).unwrap();
+    let qp_b = pd_b.create_qp(&cq_b, &cq_b, 32, 32).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+
+    for size in [64u32, 4096, 65_536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("write", size), &size, |b, &size| {
+            b.iter(|| {
+                qp_a.post_send(SendWr::write(1, mr_a.sge(0, size), mr_b.addr(), mr_b.rkey()))
+                    .unwrap();
+                assert!(cq_a.poll_one().unwrap().status.is_ok());
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("send_recv", size), &size, |b, &size| {
+            b.iter(|| {
+                qp_b.post_recv(RecvWr::new(1, mr_b.sge(0, size))).unwrap();
+                qp_a.post_send(SendWr::send(2, mr_a.sge(0, size))).unwrap();
+                assert!(cq_b.poll_one().unwrap().status.is_ok());
+                assert!(cq_a.poll_one().unwrap().status.is_ok());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_freeflow_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freeflow/write_64k");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.sample_size(30);
+    for (label, same_host) in [("local_shm", true), ("relay_rdma", false)] {
+        g.bench_function(label, |b| {
+            let p = bench_pair(same_host);
+            p.mr_a.write(0, &vec![7u8; 64 * 1024]).unwrap();
+            b.iter(|| freeflow_bench::realpath::timed_write(&p, 64 * 1024));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring,
+    bench_channel,
+    bench_verbs,
+    bench_freeflow_write
+);
+criterion_main!(benches);

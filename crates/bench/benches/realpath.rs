@@ -1,0 +1,16 @@
+//! Real-data-path measurements: F8 (the §5 WRITE walk-through, measured on
+//! the actual implementation) and the three ablations from DESIGN.md.
+//!
+//! Run: `cargo bench -p freeflow-bench --bench realpath`
+//!
+//! Numbers are wall-clock on the current machine; the *ratios* are the
+//! results (shm vs relay, cache vs no cache, zero-copy vs copy).
+
+fn main() {
+    println!("FreeFlow — real-data-path measurements (this machine)");
+    println!("======================================================");
+    println!();
+    for table in freeflow_bench::realpath::all_realpath_figures() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text result tables, shaped like the paper's figures.
+
+use std::fmt;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id from DESIGN.md (e.g. "F2").
+    pub id: &'static str,
+    /// What the paper calls it.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Cell value parsed as f64 (for assertions in tests).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+    }
+
+    /// Find a row whose first cell equals `key`.
+    pub fn row_by_key(&self, key: &str) -> Option<&Vec<String>> {
+        self.rows.iter().find(|r| r[0] == key)
+    }
+
+    /// f64 value at `col` of the row keyed by `key`.
+    pub fn value(&self, key: &str, col: usize) -> f64 {
+        self.row_by_key(key)
+            .unwrap_or_else(|| panic!("no row {key:?} in {}", self.id))[col]
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("row {key:?} col {col} not numeric"))
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== [{}] {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("F0", "demo", &["mode", "gbps"]);
+        t.row(vec!["shm".into(), "72.5".into()]);
+        t.row(vec!["rdma".into(), "40.0".into()]);
+        t.note("shapes only");
+        let s = t.to_string();
+        assert!(s.contains("[F0] demo"));
+        assert!(s.contains("shm"));
+        assert!(s.contains("note: shapes only"));
+        assert_eq!(t.cell_f64(0, 1), 72.5);
+        assert_eq!(t.value("rdma", 1), 40.0);
+        assert!(t.row_by_key("nope").is_none());
+    }
+}

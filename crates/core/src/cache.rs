@@ -1,0 +1,170 @@
+//! The per-container location cache.
+//!
+//! The paper's library "keeps pulling the newest container location
+//! information from the network orchestrator"; querying the orchestrator
+//! on every message would put a round trip on the data path, so the
+//! library caches `ip → physical host` and invalidates entries from the
+//! orchestrator's event feed. Every entry carries a *generation*: a
+//! connection remembers the generation it resolved its path under, and
+//! re-resolves when the generation moves (the peer migrated).
+//!
+//! The cache can be disabled (`set_enabled(false)`) for the A2 ablation,
+//! which measures what the orchestrator round-trip would cost per
+//! operation.
+
+use freeflow_orchestrator::Orchestrator;
+use freeflow_types::{HostId, OverlayIp, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    host: HostId,
+    generation: u64,
+}
+
+/// Cache statistics for the A2 ablation.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: AtomicU64,
+    /// Lookups that queried the orchestrator.
+    pub misses: AtomicU64,
+}
+
+/// `ip → physical host` cache with per-entry generations.
+#[derive(Debug, Default)]
+pub struct LocationCache {
+    entries: Mutex<HashMap<OverlayIp, Entry>>,
+    next_generation: AtomicU64,
+    enabled: AtomicBool,
+    stats: CacheStats,
+}
+
+impl LocationCache {
+    /// Empty, enabled cache.
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            next_generation: AtomicU64::new(1),
+            enabled: AtomicBool::new(true),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Toggle caching (A2 ablation).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        if !on {
+            self.entries.lock().clear();
+        }
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resolve the physical host of `ip`, consulting the orchestrator on
+    /// miss. Returns `(host, generation)`.
+    pub fn resolve(&self, ip: OverlayIp, orchestrator: &Orchestrator) -> Result<(HostId, u64)> {
+        if self.enabled.load(Ordering::Relaxed) {
+            if let Some(e) = self.entries.lock().get(&ip) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((e.host, e.generation));
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let rec = orchestrator.whois(ip)?;
+        let host = orchestrator.locate(rec.id)?;
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        if self.enabled.load(Ordering::Relaxed) {
+            self.entries.lock().insert(ip, Entry { host, generation });
+        }
+        Ok((host, generation))
+    }
+
+    /// Current generation of an entry, if cached.
+    pub fn generation_of(&self, ip: OverlayIp) -> Option<u64> {
+        self.entries.lock().get(&ip).map(|e| e.generation)
+    }
+
+    /// Invalidate one entry (the peer moved or died). The next resolve
+    /// re-queries and gets a fresh generation.
+    pub fn invalidate(&self, ip: OverlayIp) {
+        self.entries.lock().remove(&ip);
+    }
+
+    /// Whether a connection resolved at `generation` for `ip` is still
+    /// current. A missing entry (invalidated) counts as stale.
+    pub fn is_current(&self, ip: OverlayIp, generation: u64) -> bool {
+        self.generation_of(ip) == Some(generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow_orchestrator::registry::ContainerLocation;
+    use freeflow_orchestrator::IpAssign;
+    use freeflow_types::{ContainerId, HostCaps, TenantId};
+
+    fn orch_with_one() -> (std::sync::Arc<Orchestrator>, OverlayIp) {
+        let orch = Orchestrator::with_defaults();
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        let ip = orch
+            .register_container(
+                ContainerId::new(1),
+                TenantId::new(1),
+                ContainerLocation::BareMetal(HostId::new(0)),
+                IpAssign::Auto,
+            )
+            .unwrap();
+        (orch, ip)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (orch, ip) = orch_with_one();
+        let cache = LocationCache::new();
+        let (h1, g1) = cache.resolve(ip, &orch).unwrap();
+        assert_eq!(h1, HostId::new(0));
+        let (h2, g2) = cache.resolve(ip, &orch).unwrap();
+        assert_eq!((h1, g1), (h2, g2));
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn invalidate_bumps_generation() {
+        let (orch, ip) = orch_with_one();
+        let cache = LocationCache::new();
+        let (_, g1) = cache.resolve(ip, &orch).unwrap();
+        assert!(cache.is_current(ip, g1));
+        cache.invalidate(ip);
+        assert!(!cache.is_current(ip, g1));
+        let (_, g2) = cache.resolve(ip, &orch).unwrap();
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let (orch, ip) = orch_with_one();
+        let cache = LocationCache::new();
+        cache.set_enabled(false);
+        cache.resolve(ip, &orch).unwrap();
+        cache.resolve(ip, &orch).unwrap();
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unknown_ip_is_error() {
+        let (orch, _) = orch_with_one();
+        let cache = LocationCache::new();
+        assert!(cache
+            .resolve("10.0.99.99".parse().unwrap(), &orch)
+            .is_err());
+    }
+}

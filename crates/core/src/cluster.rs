@@ -1,0 +1,289 @@
+//! The cluster facade: hosts, agents, fabrics and the orchestrator,
+//! assembled.
+//!
+//! [`FreeFlowCluster`] is the reproduction's testbed-in-a-box. Adding a
+//! host stands up a per-host agent (with its shm arena and pump thread), a
+//! per-host verbs fabric, and pairwise wires to every existing host whose
+//! transport kind is the best both NICs support — the orchestration the
+//! paper assumes an operator (or Mesos/Kubernetes integration) performs.
+
+use crate::container::Container;
+use crate::library::NetLibrary;
+use freeflow_agent::{connect_agents, Agent};
+use freeflow_orchestrator::registry::ContainerLocation;
+use freeflow_orchestrator::{IpAssign, Orchestrator, PolicyConfig};
+use freeflow_types::{
+    ContainerId, Error, HostCaps, HostId, Result, TenantId, TransportKind, VmId,
+};
+use freeflow_verbs::VerbsNetwork;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Default shared-arena size per host (memory registrations and zero-copy
+/// staging both come out of this segment).
+pub const DEFAULT_ARENA_SIZE: usize = 256 << 20; // 256 MiB
+
+struct HostNode {
+    id: HostId,
+    caps: HostCaps,
+    agent: Arc<Agent>,
+    verbs: Arc<VerbsNetwork>,
+    pump_stop: Arc<AtomicBool>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+struct ClusterInner {
+    hosts: Vec<HostNode>,
+    next_container: u64,
+    next_vm: u64,
+}
+
+/// A FreeFlow deployment: the object experiments build their world on.
+pub struct FreeFlowCluster {
+    orchestrator: Arc<Orchestrator>,
+    inner: Mutex<ClusterInner>,
+    arena_size: usize,
+}
+
+impl FreeFlowCluster {
+    /// Cluster with the given control-plane policy.
+    pub fn new(policy: PolicyConfig) -> Arc<Self> {
+        Arc::new(Self {
+            orchestrator: Orchestrator::new("10.0.0.0/16".parse().expect("static"), policy),
+            inner: Mutex::new(ClusterInner {
+                hosts: Vec::new(),
+                next_container: 0,
+                next_vm: 0,
+            }),
+            arena_size: DEFAULT_ARENA_SIZE,
+        })
+    }
+
+    /// Cluster with the default policy (kernel bypass on, same-tenant
+    /// trust required).
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(PolicyConfig::default())
+    }
+
+    /// The control plane.
+    pub fn orchestrator(&self) -> &Arc<Orchestrator> {
+        &self.orchestrator
+    }
+
+    /// Best transport both hosts' NICs support, for their agent wire.
+    fn wire_kind(a: &HostCaps, b: &HostCaps) -> TransportKind {
+        if a.nic.kind.supports_rdma() && b.nic.kind.supports_rdma() {
+            TransportKind::Rdma
+        } else if a.nic.kind.supports_dpdk() && b.nic.kind.supports_dpdk() {
+            TransportKind::Dpdk
+        } else {
+            TransportKind::TcpHost
+        }
+    }
+
+    /// Add a physical host. Stands up agent + verbs fabric + wires.
+    pub fn add_host(&self, caps: HostCaps) -> HostId {
+        let mut inner = self.inner.lock();
+        let id = HostId::new(inner.hosts.len() as u64);
+        self.orchestrator
+            .add_host(id, caps)
+            .expect("fresh host id");
+        let agent = Agent::new(id, self.arena_size);
+        // Pairwise wires to every existing host.
+        for node in &inner.hosts {
+            let kind = Self::wire_kind(&caps, &node.caps);
+            connect_agents(&agent, &node.agent, kind);
+        }
+        let (pump_stop, pump) = agent.spawn_pump();
+        inner.hosts.push(HostNode {
+            id,
+            caps,
+            agent,
+            verbs: VerbsNetwork::new(),
+            pump_stop,
+            pump: Some(pump),
+        });
+        id
+    }
+
+    /// Register a VM on a host (deployment cases (c)/(d)).
+    pub fn add_vm(&self, host: HostId) -> Result<VmId> {
+        let vm = {
+            let mut inner = self.inner.lock();
+            inner.next_vm += 1;
+            VmId::new(inner.next_vm)
+        };
+        self.orchestrator.add_vm(vm, host)?;
+        Ok(vm)
+    }
+
+    fn with_host<T>(&self, host: HostId, f: impl FnOnce(&HostNode) -> T) -> Result<T> {
+        let inner = self.inner.lock();
+        let node = inner
+            .hosts
+            .iter()
+            .find(|h| h.id == host)
+            .ok_or_else(|| Error::not_found(format!("{host}")))?;
+        Ok(f(node))
+    }
+
+    /// Launch a container on a bare-metal host.
+    pub fn launch(&self, tenant: TenantId, host: HostId) -> Result<Container> {
+        self.launch_at(tenant, ContainerLocation::BareMetal(host))
+    }
+
+    /// Launch a container inside a VM.
+    pub fn launch_in_vm(&self, tenant: TenantId, vm: VmId) -> Result<Container> {
+        self.launch_at(tenant, ContainerLocation::InVm(vm))
+    }
+
+    fn launch_at(&self, tenant: TenantId, location: ContainerLocation) -> Result<Container> {
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_container += 1;
+            ContainerId::new(inner.next_container)
+        };
+        let ip = self
+            .orchestrator
+            .register_container(id, tenant, location, IpAssign::Auto)?;
+        let physical = self.orchestrator.locate(id)?;
+        let lib = self.with_host(physical, |node| {
+            let handle = node.agent.attach_container(ip)?;
+            let device = node.verbs.create_device(ip);
+            Ok::<NetLibrary, Error>(NetLibrary::new(
+                id,
+                tenant,
+                physical,
+                device,
+                handle,
+                Arc::clone(&self.orchestrator),
+            ))
+        });
+        let lib = match lib {
+            Ok(Ok(lib)) => lib,
+            Ok(Err(e)) => {
+                let _ = self.orchestrator.deregister_container(id);
+                return Err(e);
+            }
+            Err(e) => {
+                let _ = self.orchestrator.deregister_container(id);
+                return Err(e);
+            }
+        };
+        self.refresh_routes();
+        Ok(Container::new(id, tenant, lib))
+    }
+
+    /// Re-derive every agent's forwarding table from the orchestrator —
+    /// called after any membership change.
+    pub fn refresh_routes(&self) {
+        let inner = self.inner.lock();
+        for node in &inner.hosts {
+            for (ip, peer_host) in self.orchestrator.routes_for(node.id) {
+                if let Some(wire) = node.agent.wire_to(peer_host) {
+                    let _ = node.agent.install_route(ip, wire);
+                }
+            }
+        }
+    }
+
+    /// Stop a container: release its IP, detach it everywhere.
+    pub fn stop(&self, container: Container) -> Result<()> {
+        let id = container.id();
+        let ip = container.ip();
+        let host = container.host();
+        self.orchestrator.deregister_container(id)?;
+        {
+            let inner = self.inner.lock();
+            for node in &inner.hosts {
+                node.agent.remove_route(ip);
+                if node.id == host {
+                    node.agent.detach_container(ip);
+                    node.verbs.remove_device(ip);
+                }
+            }
+        }
+        drop(container); // joins the library pump
+        Ok(())
+    }
+
+    /// Checkpoint/restore migration: move `container` to `to_host`,
+    /// keeping its identity (id, IP, tenant). Connection state is *not*
+    /// carried — peers observe their cached location go stale and must
+    /// reconnect (see [`crate::migrate`] for the protocol and what the
+    /// paper defers).
+    pub fn migrate(&self, container: Container, to_host: HostId) -> Result<Container> {
+        let id = container.id();
+        let ip = container.ip();
+        let tenant = container.tenant();
+        let from_host = container.host();
+        if from_host == to_host {
+            return Ok(container);
+        }
+        // Verify the target exists before tearing anything down.
+        self.with_host(to_host, |_| ())?;
+        // Detach from the old host.
+        {
+            let inner = self.inner.lock();
+            for node in &inner.hosts {
+                if node.id == from_host {
+                    node.agent.detach_container(ip);
+                    node.verbs.remove_device(ip);
+                }
+            }
+        }
+        drop(container.into_lib()); // stop the old library pump
+        // Move in the control plane (publishes ContainerMoved → peers'
+        // caches invalidate).
+        self.orchestrator
+            .move_container(id, ContainerLocation::BareMetal(to_host))?;
+        // Attach on the new host.
+        let lib = self.with_host(to_host, |node| {
+            let handle = node.agent.attach_container(ip)?;
+            let device = node.verbs.create_device(ip);
+            Ok::<NetLibrary, Error>(NetLibrary::new(
+                id,
+                tenant,
+                to_host,
+                device,
+                handle,
+                Arc::clone(&self.orchestrator),
+            ))
+        })??;
+        self.refresh_routes();
+        Ok(Container::new(id, tenant, lib))
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.lock().hosts.len()
+    }
+
+    /// The agent of a host (tests/diagnostics).
+    pub fn agent_of(&self, host: HostId) -> Result<Arc<Agent>> {
+        self.with_host(host, |n| Arc::clone(&n.agent))
+    }
+}
+
+impl Drop for FreeFlowCluster {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock();
+        for node in &mut inner.hosts {
+            node.pump_stop.store(true, Ordering::Relaxed);
+            if let Some(pump) = node.pump.take() {
+                pump.thread().unpark();
+                let _ = pump.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FreeFlowCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FreeFlowCluster")
+            .field("hosts", &self.host_count())
+            .field("containers", &self.orchestrator.container_count())
+            .finish()
+    }
+}

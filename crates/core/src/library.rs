@@ -1,0 +1,277 @@
+//! The per-container FreeFlow network library.
+//!
+//! Paper §3.2: *"FreeFlow's network library is the core component which
+//! decides which communication paradigm to use. It supports standard
+//! network programming APIs ... and keeps pulling the newest container
+//! location information from the network orchestrator."*
+//!
+//! One [`NetLibrary`] lives inside each container. It owns:
+//!
+//! * the container's **virtual NIC** — a `freeflow-verbs` device bound to
+//!   the container's overlay IP on its host's verbs fabric;
+//! * the channel to the **host agent** (shared memory both ways);
+//! * the **location cache** fed by the orchestrator's event stream;
+//! * the **progress pump** — a thread that dispatches inbound relay
+//!   messages to the right [`FfQp`] and applies cache invalidations.
+//!
+//! Memory registrations are arena-backed when the host segment has room,
+//! so that the intra-host data plane is genuinely zero-copy shared memory.
+
+use crate::cache::LocationCache;
+use crate::qp::FfQp;
+use freeflow_agent::proto::RelayMsg;
+use freeflow_agent::AgentHandle;
+use freeflow_orchestrator::{Orchestrator, OrchestratorEvent};
+use freeflow_shmem::{ShmFabric, ShmMessage, ShmReceiver, ShmSender};
+use freeflow_types::{ContainerId, HostId, OverlayIp, Result, TenantId, TransportKind};
+use freeflow_verbs::wr::AccessFlags;
+use freeflow_verbs::{CompletionQueue, Device, MemoryRegion, ProtectionDomain, VerbsResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// A resolved path to a destination IP.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedPath {
+    /// Whether the destination shares this container's host.
+    pub local: bool,
+    /// The transport the policy engine selected.
+    pub transport: TransportKind,
+    /// Physical host of the destination.
+    pub host: HostId,
+    /// Location-cache generation this resolution is valid under.
+    pub generation: u64,
+}
+
+/// Shared state between the library facade, its QPs and the pump.
+pub(crate) struct LibShared {
+    /// The container this library serves.
+    pub id: ContainerId,
+    /// Its overlay IP.
+    pub ip: OverlayIp,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// The physical host it runs on.
+    pub host: HostId,
+    /// The virtual NIC.
+    pub device: Arc<Device>,
+    /// Channel to the host agent (sender half; the pump owns the receiver).
+    pub agent_tx: Mutex<ShmSender>,
+    /// The host's shm fabric (arena for zero-copy payloads).
+    pub fabric: Arc<ShmFabric>,
+    /// The control plane.
+    pub orchestrator: Arc<Orchestrator>,
+    /// The location cache.
+    pub cache: LocationCache,
+    /// Live QPs by QPN, for inbound dispatch.
+    pub qps: Mutex<HashMap<u32, Weak<FfQp>>>,
+}
+
+impl LibShared {
+    /// Resolve where `dst` lives and which transport to use.
+    pub fn resolve(&self, dst: OverlayIp) -> Result<ResolvedPath> {
+        let (host, generation) = self.cache.resolve(dst, &self.orchestrator)?;
+        let decision = self.orchestrator.decide_path_by_ip(self.ip, dst)?;
+        let transport = freeflow_orchestrator::orchestrator::require_transport(decision)?;
+        Ok(ResolvedPath {
+            local: host == self.host,
+            transport,
+            host,
+            generation,
+        })
+    }
+
+    /// Hand a relay message to the host agent.
+    pub fn send_to_agent(&self, msg: &RelayMsg) {
+        let bytes = msg.encode();
+        // Blocking send: the agent pump drains this channel continuously.
+        let _ = self.agent_tx.lock().send(&bytes);
+    }
+}
+
+/// The FreeFlow network library of one container.
+pub struct NetLibrary {
+    shared: Arc<LibShared>,
+    pd: ProtectionDomain,
+    stop: Arc<AtomicBool>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetLibrary {
+    /// Assemble the library for a freshly attached container.
+    pub(crate) fn new(
+        id: ContainerId,
+        tenant: TenantId,
+        host: HostId,
+        device: Arc<Device>,
+        handle: AgentHandle,
+        orchestrator: Arc<Orchestrator>,
+    ) -> Self {
+        let AgentHandle {
+            ip,
+            channel,
+            fabric,
+        } = handle;
+        let shared = Arc::new(LibShared {
+            id,
+            ip,
+            tenant,
+            host,
+            device: Arc::clone(&device),
+            agent_tx: Mutex::new(channel.tx),
+            fabric,
+            orchestrator: Arc::clone(&orchestrator),
+            cache: LocationCache::new(),
+            qps: Mutex::new(HashMap::new()),
+        });
+        let pd = device.alloc_pd();
+        let stop = Arc::new(AtomicBool::new(false));
+        let pump = Self::spawn_pump(
+            Arc::clone(&shared),
+            channel.rx,
+            orchestrator.subscribe(),
+            Arc::clone(&stop),
+        );
+        Self {
+            shared,
+            pd,
+            stop,
+            pump: Some(pump),
+        }
+    }
+
+    fn spawn_pump(
+        shared: Arc<LibShared>,
+        rx: ShmReceiver,
+        events: crossbeam::channel::Receiver<OrchestratorEvent>,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("ff-lib-{}", shared.ip))
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Inbound relay messages → QPs.
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(Some(ShmMessage::Inline(raw))) => {
+                            if let Ok(msg) = RelayMsg::decode(raw) {
+                                let qpn = msg.dst().qpn;
+                                let qp = shared.qps.lock().get(&qpn).and_then(Weak::upgrade);
+                                if let Some(qp) = qp {
+                                    qp.handle_inbound(msg);
+                                }
+                                // Unknown QPN: drop. The sender times out
+                                // into an error completion via agent nacks
+                                // when the whole container is missing; a
+                                // missing QP on a live container is an
+                                // application teardown race.
+                            }
+                        }
+                        Ok(Some(ShmMessage::Handle(_))) | Ok(None) => {}
+                        Err(_) => break, // agent gone
+                    }
+                    // Control-plane events → cache invalidation.
+                    while let Ok(ev) = events.try_recv() {
+                        match ev {
+                            OrchestratorEvent::ContainerMoved { ip, .. }
+                            | OrchestratorEvent::ContainerDown { ip, .. } => {
+                                shared.cache.invalidate(ip);
+                            }
+                            OrchestratorEvent::ContainerUp { .. } => {}
+                        }
+                    }
+                }
+            })
+            .expect("spawn library pump")
+    }
+
+    /// The container's overlay IP.
+    pub fn ip(&self) -> OverlayIp {
+        self.shared.ip
+    }
+
+    /// The owning tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.shared.tenant
+    }
+
+    /// The physical host (tests/diagnostics; applications should not care).
+    pub fn host(&self) -> HostId {
+        self.shared.host
+    }
+
+    /// The virtual NIC device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.shared.device
+    }
+
+    /// The location cache (ablation/diagnostics).
+    pub fn cache(&self) -> &LocationCache {
+        &self.shared.cache
+    }
+
+    /// Register `len` bytes of memory. Arena-backed (zero-copy capable)
+    /// when the host segment has room, private otherwise.
+    pub fn register(&self, len: u64, access: AccessFlags) -> VerbsResult<Arc<MemoryRegion>> {
+        if let Ok(handle) = self.shared.fabric.arena().alloc(len) {
+            return self
+                .pd
+                .register_arena(Arc::clone(self.shared.fabric.arena()), handle, access);
+        }
+        self.pd.register(len, access)
+    }
+
+    /// Create a completion queue.
+    pub fn create_cq(&self, depth: usize) -> Arc<CompletionQueue> {
+        self.shared.device.create_cq(depth)
+    }
+
+    /// Create a virtual queue pair.
+    pub fn create_qp(
+        &self,
+        send_cq: &Arc<CompletionQueue>,
+        recv_cq: &Arc<CompletionQueue>,
+        sq_depth: usize,
+        rq_depth: usize,
+    ) -> VerbsResult<Arc<FfQp>> {
+        let verbs_qp = self.pd.create_qp(send_cq, recv_cq, sq_depth, rq_depth)?;
+        let qp = FfQp::create(
+            Arc::clone(&self.shared),
+            verbs_qp,
+            Arc::clone(send_cq),
+            Arc::clone(recv_cq),
+            sq_depth,
+            rq_depth,
+        );
+        self.shared
+            .qps
+            .lock()
+            .insert(qp.qp_num(), Arc::downgrade(&qp));
+        Ok(qp)
+    }
+
+    /// Resolve a destination (exposed for the socket/MPI layers).
+    pub fn resolve(&self, dst: OverlayIp) -> Result<ResolvedPath> {
+        self.shared.resolve(dst)
+    }
+}
+
+impl Drop for NetLibrary {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for NetLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetLibrary")
+            .field("container", &self.shared.id)
+            .field("ip", &self.shared.ip)
+            .field("host", &self.shared.host)
+            .finish()
+    }
+}

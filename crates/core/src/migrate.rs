@@ -1,0 +1,73 @@
+//! Live migration support (the paper's Discussion §7).
+//!
+//! The paper: *"FreeFlow could be a key enabler for containers to achieve
+//! both high-performance and capability for live migration. It will
+//! require the network library to interact with the orchestrator more
+//! frequently, and may require maintaining additional per-connection
+//! state within the library. We are currently investigating this
+//! further."*
+//!
+//! This reproduction implements the part FreeFlow's architecture already
+//! enables, and documents the boundary:
+//!
+//! * **Identity migrates** — [`crate::cluster::FreeFlowCluster::migrate`]
+//!   moves a container to another host keeping its id, tenant and overlay
+//!   IP. The orchestrator publishes `ContainerMoved`; every peer library's
+//!   location cache invalidates the entry; agents' routes re-derive.
+//! * **Peers detect staleness** — a connection remembers the cache
+//!   generation it resolved its path under; [`crate::qp::FfQp::path_is_current`]
+//!   turns false the moment the peer moves, and in-flight operations to
+//!   the old placement complete with errors (Nacks) instead of hanging.
+//! * **Connections re-establish** — [`reconnect`] rebuilds a QP pair after
+//!   a move: the application exchanges fresh endpoints (new QPNs on the
+//!   restored container) and reconnects; the new path is re-selected from
+//!   scratch, so a pair that was shared-memory before the move can come
+//!   back as RDMA, and vice versa — transparently to everything above the
+//!   reconnect.
+//!
+//! Carrying *open* connection state (posted receives, unacked sends)
+//! through a move — true live migration — is exactly the per-connection
+//! state the paper says it is still investigating, and is out of scope
+//! here too.
+
+use crate::endpoint::FfEndpoint;
+use crate::qp::FfQp;
+use freeflow_verbs::VerbsResult;
+
+/// Re-establish a connection between two (possibly migrated) QPs.
+///
+/// Both QPs must be freshly created (RESET); the helper performs the
+/// standard three-step transition on each with the other's endpoint.
+pub fn reconnect(a: &FfQp, b: &FfQp) -> VerbsResult<()> {
+    a.connect(b.endpoint())?;
+    b.connect(a.endpoint())
+}
+
+/// A portable description of a migrated container's identity — what a
+/// checkpoint carries between hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerImage {
+    /// The container's stable id.
+    pub id: freeflow_types::ContainerId,
+    /// Its tenant.
+    pub tenant: freeflow_types::TenantId,
+    /// Its overlay IP (unchanged across moves — the portability property).
+    pub ip: freeflow_types::OverlayIp,
+}
+
+impl ContainerImage {
+    /// Snapshot a container's identity.
+    pub fn of(c: &crate::container::Container) -> Self {
+        Self {
+            id: c.id(),
+            tenant: c.tenant(),
+            ip: c.ip(),
+        }
+    }
+}
+
+/// Helper for tests and examples: the endpoint a migrated peer should
+/// redial, given the restored container's fresh QP.
+pub fn redial_target(qp: &FfQp) -> FfEndpoint {
+    qp.endpoint()
+}

@@ -1,0 +1,862 @@
+//! The virtual queue pair: standard Verbs on top, path selection below.
+//!
+//! An [`FfQp`] presents exactly the `freeflow-verbs` surface — the same
+//! state machine, work-request types and completion semantics — but binds
+//! to one of two data planes at connection time (paper §5):
+//!
+//! * **Local** — the peer is on this host: the FfQp delegates to a real
+//!   `freeflow-verbs` queue pair on the host's verbs fabric. Memory
+//!   regions are arena-backed by default, so the resulting `WRITE`s and
+//!   `SEND`s move bytes inside the host's shared segment — the paper's
+//!   intra-host shared-memory flow.
+//! * **Remote** — the peer is elsewhere: operations are encoded as
+//!   [`RelayMsg`]s and handed to the host agent over the shared-memory
+//!   channel (large payloads as arena descriptors, the §5 "pass the
+//!   pointer" step). The agent ships them over the RDMA/DPDK/TCP wire
+//!   the orchestrator chose; the peer's FfQp executes them (receive
+//!   matching, rkey checks) and acks back. Completions carry the same
+//!   verbs `WorkCompletion` type either way.
+//!
+//! The application cannot tell the difference — FreeFlow's transparency
+//! claim, testable here because both paths run under one API.
+
+use crate::endpoint::FfEndpoint;
+use crate::library::LibShared;
+use bytes::Bytes;
+use freeflow_agent::proto::{status as st, RelayMsg, RelayPayload};
+use freeflow_agent::ZERO_COPY_THRESHOLD;
+use freeflow_shmem::ArenaHandle;
+use freeflow_types::TransportKind;
+use freeflow_verbs::wr::{RecvWr, SendWr, Sge, WcOpcode, WorkCompletion, WrOpcode};
+use freeflow_verbs::{CompletionQueue, QpState, QueuePair, VerbsError, VerbsResult, WcStatus};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Which data plane this QP is bound to (after RTR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FfPath {
+    /// Not yet connected.
+    Unbound,
+    /// Peer co-located: direct verbs over the host arena (shared memory).
+    Local {
+        /// The connected peer.
+        peer: FfEndpoint,
+    },
+    /// Peer remote: relayed through agents over the given transport.
+    Remote {
+        /// The connected peer.
+        peer: FfEndpoint,
+        /// The wire transport the orchestrator selected.
+        transport: TransportKind,
+    },
+}
+
+impl FfPath {
+    /// The effective transport (None before connect).
+    pub fn transport(&self) -> Option<TransportKind> {
+        match self {
+            FfPath::Unbound => None,
+            FfPath::Local { .. } => Some(TransportKind::SharedMemory),
+            FfPath::Remote { transport, .. } => Some(*transport),
+        }
+    }
+}
+
+struct PendingSend {
+    wr_id: u64,
+    signaled: bool,
+    opcode: WcOpcode,
+}
+
+struct PendingRead {
+    wr_id: u64,
+    signaled: bool,
+    sge: Vec<Sge>,
+}
+
+struct InboundSend {
+    src: freeflow_agent::proto::WireEp,
+    op_id: u64,
+    payload: Option<Bytes>,
+    byte_len: u64,
+    imm: Option<u32>,
+}
+
+struct QpInner {
+    state: QpState,
+    path: FfPath,
+    /// Generation of the peer-ip cache entry the path was resolved under.
+    generation: u64,
+    /// Remote path: posted receives.
+    rq: VecDeque<RecvWr>,
+    /// Remote path: inbound sends parked for a receive (RNR semantics).
+    inbound_pending: VecDeque<InboundSend>,
+    /// Remote path: sends/writes awaiting Ack/Nack, keyed by wire op id.
+    pending_sends: HashMap<u64, PendingSend>,
+    /// Remote path: READs awaiting their response.
+    pending_reads: HashMap<u64, PendingRead>,
+    next_op_id: u64,
+}
+
+/// A FreeFlow virtual queue pair.
+pub struct FfQp {
+    lib: Arc<LibShared>,
+    verbs_qp: Arc<QueuePair>,
+    send_cq: Arc<CompletionQueue>,
+    recv_cq: Arc<CompletionQueue>,
+    sq_depth: usize,
+    rq_depth: usize,
+    inner: Mutex<QpInner>,
+}
+
+impl FfQp {
+    pub(crate) fn create(
+        lib: Arc<LibShared>,
+        verbs_qp: Arc<QueuePair>,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+        sq_depth: usize,
+        rq_depth: usize,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            lib,
+            verbs_qp,
+            send_cq,
+            recv_cq,
+            sq_depth: sq_depth.max(1),
+            rq_depth: rq_depth.max(1),
+            inner: Mutex::new(QpInner {
+                state: QpState::Reset,
+                path: FfPath::Unbound,
+                generation: 0,
+                rq: VecDeque::new(),
+                inbound_pending: VecDeque::new(),
+                pending_sends: HashMap::new(),
+                pending_reads: HashMap::new(),
+                next_op_id: 1,
+            }),
+        })
+    }
+
+    /// The QP number (stable; shared with the underlying verbs QP).
+    pub fn qp_num(&self) -> u32 {
+        self.verbs_qp.qp_num()
+    }
+
+    /// The endpoint to hand to the peer out of band.
+    pub fn endpoint(&self) -> FfEndpoint {
+        FfEndpoint::new(self.lib.ip, self.qp_num())
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        self.inner.lock().state
+    }
+
+    /// The bound path — lets tests and operators verify which data plane
+    /// the orchestrator picked; applications never need it.
+    pub fn path(&self) -> FfPath {
+        self.inner.lock().path
+    }
+
+    /// The send CQ.
+    pub fn send_cq(&self) -> &Arc<CompletionQueue> {
+        &self.send_cq
+    }
+
+    /// The recv CQ.
+    pub fn recv_cq(&self) -> &Arc<CompletionQueue> {
+        &self.recv_cq
+    }
+
+    // --- state machine ---------------------------------------------------
+
+    /// `RESET → INIT`.
+    pub fn modify_to_init(&self) -> VerbsResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.state != QpState::Reset {
+            return Err(VerbsError::InvalidQpState {
+                actual: inner.state.name(),
+                required: "RESET",
+            });
+        }
+        inner.state = QpState::Init;
+        Ok(())
+    }
+
+    /// `INIT → RTR`: resolve the peer's location through the library's
+    /// cache + the orchestrator, and bind the data plane.
+    pub fn modify_to_rtr(&self, peer: FfEndpoint) -> VerbsResult<()> {
+        let resolved = self.lib.resolve(peer.ip).map_err(|e| {
+            VerbsError::PeerUnreachable {
+                detail: e.to_string(),
+            }
+        })?;
+        let mut inner = self.inner.lock();
+        if inner.state != QpState::Init {
+            return Err(VerbsError::InvalidQpState {
+                actual: inner.state.name(),
+                required: "INIT",
+            });
+        }
+        // The direct (shared-segment) path binds only when the peer is
+        // co-located *and* policy granted a kernel-bypass transport; a
+        // co-located pair under a no-bypass policy rides the relay so the
+        // isolation decision actually holds on the data path.
+        if resolved.local && resolved.transport.kernel_bypass() {
+            self.verbs_qp.modify_to_init()?;
+            self.verbs_qp.modify_to_rtr(peer.verbs())?;
+            inner.path = FfPath::Local { peer };
+        } else {
+            inner.path = FfPath::Remote {
+                peer,
+                transport: resolved.transport,
+            };
+        }
+        inner.generation = resolved.generation;
+        inner.state = QpState::Rtr;
+        Ok(())
+    }
+
+    /// `RTR → RTS`.
+    pub fn modify_to_rts(&self) -> VerbsResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.state != QpState::Rtr {
+            return Err(VerbsError::InvalidQpState {
+                actual: inner.state.name(),
+                required: "RTR",
+            });
+        }
+        if matches!(inner.path, FfPath::Local { .. }) {
+            self.verbs_qp.modify_to_rts()?;
+        }
+        inner.state = QpState::Rts;
+        Ok(())
+    }
+
+    /// Convenience: full `RESET → RTS` connection.
+    pub fn connect(&self, peer: FfEndpoint) -> VerbsResult<()> {
+        self.modify_to_init()?;
+        self.modify_to_rtr(peer)?;
+        self.modify_to_rts()
+    }
+
+    /// Force the error state, flushing receives (both paths).
+    pub fn enter_error(&self) {
+        let flushed: Vec<RecvWr> = {
+            let mut inner = self.inner.lock();
+            if inner.state == QpState::Error {
+                return;
+            }
+            inner.state = QpState::Error;
+            if matches!(inner.path, FfPath::Local { .. }) {
+                self.verbs_qp.enter_error();
+                Vec::new() // verbs QP flushes its own queue
+            } else {
+                inner.rq.drain(..).collect()
+            }
+        };
+        for wr in flushed {
+            self.recv_cq.push(WorkCompletion {
+                wr_id: wr.wr_id,
+                status: WcStatus::WrFlushError,
+                opcode: WcOpcode::Recv,
+                byte_len: 0,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+    }
+
+    /// Whether the peer's location entry is still the one this QP resolved
+    /// its path under. `false` means the peer migrated: the connection is
+    /// stale and should be re-established (see [`crate::migrate`]).
+    pub fn path_is_current(&self) -> bool {
+        let inner = self.inner.lock();
+        let peer_ip = match inner.path {
+            FfPath::Local { peer } | FfPath::Remote { peer, .. } => peer.ip,
+            FfPath::Unbound => return true,
+        };
+        self.lib.cache.is_current(peer_ip, inner.generation)
+    }
+
+    // --- data path ----------------------------------------------------------
+
+    /// Post a receive.
+    pub fn post_recv(&self, wr: RecvWr) -> VerbsResult<()> {
+        let pending = {
+            let mut inner = self.inner.lock();
+            match inner.state {
+                QpState::Init | QpState::Rtr | QpState::Rts => {}
+                s => {
+                    return Err(VerbsError::InvalidQpState {
+                        actual: s.name(),
+                        required: "INIT/RTR/RTS",
+                    })
+                }
+            }
+            match inner.path {
+                // Before RTR the path is unknown: park receives here; they
+                // are replayed into the verbs QP at RTR time for local
+                // paths via the rq (drained below on first use).
+                FfPath::Local { .. } => {
+                    // Delegate (the verbs QP is in lockstep ≥ INIT).
+                    drop(inner);
+                    return self.verbs_qp.post_recv(wr);
+                }
+                FfPath::Unbound | FfPath::Remote { .. } => {
+                    match inner.inbound_pending.pop_front() {
+                        Some(p) => Some((wr, p)),
+                        None => {
+                            if inner.rq.len() >= self.rq_depth {
+                                return Err(VerbsError::QueueFull { which: "recv" });
+                            }
+                            inner.rq.push_back(wr);
+                            None
+                        }
+                    }
+                }
+            }
+        };
+        if let Some((wr, p)) = pending {
+            self.consume_inbound(wr, p);
+        }
+        Ok(())
+    }
+
+    /// Post a send-side work request. Requires RTS.
+    pub fn post_send(&self, wr: SendWr) -> VerbsResult<()> {
+        let (peer, _transport) = {
+            let inner = self.inner.lock();
+            if inner.state != QpState::Rts {
+                return Err(VerbsError::InvalidQpState {
+                    actual: inner.state.name(),
+                    required: "RTS",
+                });
+            }
+            match inner.path {
+                FfPath::Local { .. } => {
+                    drop(inner);
+                    return self.verbs_qp.post_send(wr);
+                }
+                FfPath::Remote { peer, transport } => {
+                    if inner.pending_sends.len() + inner.pending_reads.len() >= self.sq_depth {
+                        return Err(VerbsError::QueueFull { which: "send" });
+                    }
+                    (peer, transport)
+                }
+                FfPath::Unbound => unreachable!("RTS implies a bound path"),
+            }
+        };
+        self.post_send_remote(wr, peer)
+    }
+
+    fn next_op_id(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let id = inner.next_op_id;
+        inner.next_op_id += 1;
+        id
+    }
+
+    /// Gather a send WR's payload from this container's MRs.
+    fn gather(&self, wr: &SendWr) -> VerbsResult<Vec<u8>> {
+        if let Some(inline) = &wr.inline_data {
+            let max = self.lib.device.attr().max_inline;
+            if inline.len() > max {
+                return Err(VerbsError::InlineTooLarge {
+                    len: inline.len(),
+                    max,
+                });
+            }
+            return Ok(inline.clone());
+        }
+        let mut out = Vec::with_capacity(wr.total_len() as usize);
+        for sge in &wr.sge {
+            let mr = self.lib.device.mr_by_lkey(sge.lkey)?;
+            out.extend_from_slice(&mr.dma_read(sge.addr, sge.len as u64)?);
+        }
+        Ok(out)
+    }
+
+    /// Scatter a payload across SGEs through this container's MRs.
+    fn scatter(&self, sge: &[Sge], payload: &[u8]) -> VerbsResult<()> {
+        let mut off = 0usize;
+        for s in sge {
+            if off >= payload.len() {
+                break;
+            }
+            let n = (payload.len() - off).min(s.len as usize);
+            let mr = self.lib.device.mr_by_lkey(s.lkey)?;
+            if !mr.access().local_write {
+                return Err(VerbsError::AccessDenied {
+                    detail: "SGE MR lacks LOCAL_WRITE".into(),
+                });
+            }
+            mr.dma_write(s.addr, &payload[off..off + n])?;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Largest payload the inline (non-arena) relay path accepts. The
+    /// container↔agent ring is 2 MiB per direction; anything bigger must
+    /// ride an arena descriptor, so when the arena is exhausted *and* the
+    /// payload exceeds this bound the post fails loudly instead of being
+    /// silently undeliverable.
+    const MAX_INLINE_RELAY: usize = 1 << 20;
+
+    /// Stage a payload for the relay: big payloads go into the host arena
+    /// (zero-copy to the agent), small ones inline.
+    fn stage_payload(&self, payload: Vec<u8>) -> VerbsResult<RelayPayload> {
+        if payload.len() >= ZERO_COPY_THRESHOLD {
+            let arena = self.lib.fabric.arena();
+            if let Ok(handle) = arena.alloc(payload.len() as u64) {
+                arena.write(handle, 0, &payload).expect("fresh block fits");
+                return Ok(RelayPayload::Arena {
+                    offset: handle.offset,
+                    len: payload.len() as u64,
+                });
+            }
+        }
+        if payload.len() > Self::MAX_INLINE_RELAY {
+            return Err(VerbsError::ResourceLimit {
+                detail: format!(
+                    "payload of {} bytes: host arena exhausted and too large                      for the inline relay channel",
+                    payload.len()
+                ),
+            });
+        }
+        Ok(RelayPayload::Inline(Bytes::from(payload)))
+    }
+
+    fn post_send_remote(&self, wr: SendWr, peer: FfEndpoint) -> VerbsResult<()> {
+        let payload = self.gather(&wr)?;
+        let byte_len = payload.len() as u64;
+        let op_id = self.next_op_id();
+        let me = self.endpoint().wire();
+        let dst = peer.wire();
+
+        let (msg, pending) = match &wr.opcode {
+            WrOpcode::Send => (
+                RelayMsg::Send {
+                    src: me,
+                    dst,
+                    wr_id: op_id,
+                    imm: None,
+                    payload: self.stage_payload(payload)?,
+                },
+                PendingSend {
+                    wr_id: wr.wr_id,
+                    signaled: wr.signaled,
+                    opcode: WcOpcode::Send,
+                },
+            ),
+            WrOpcode::Write { remote_addr, rkey } => (
+                RelayMsg::Write {
+                    src: me,
+                    dst,
+                    wr_id: op_id,
+                    addr: *remote_addr,
+                    rkey: *rkey,
+                    imm: None,
+                    payload: self.stage_payload(payload)?,
+                },
+                PendingSend {
+                    wr_id: wr.wr_id,
+                    signaled: wr.signaled,
+                    opcode: WcOpcode::RdmaWrite,
+                },
+            ),
+            WrOpcode::WriteWithImm {
+                remote_addr,
+                rkey,
+                imm,
+            } => (
+                RelayMsg::Write {
+                    src: me,
+                    dst,
+                    wr_id: op_id,
+                    addr: *remote_addr,
+                    rkey: *rkey,
+                    imm: Some(*imm),
+                    payload: self.stage_payload(payload)?,
+                },
+                PendingSend {
+                    wr_id: wr.wr_id,
+                    signaled: wr.signaled,
+                    opcode: WcOpcode::RdmaWrite,
+                },
+            ),
+            WrOpcode::Read { remote_addr, rkey } => {
+                let msg = RelayMsg::ReadReq {
+                    src: me,
+                    dst,
+                    req_id: op_id,
+                    addr: *remote_addr,
+                    rkey: *rkey,
+                    len: wr.total_len(),
+                };
+                let _ = byte_len;
+                self.inner.lock().pending_reads.insert(
+                    op_id,
+                    PendingRead {
+                        wr_id: wr.wr_id,
+                        signaled: wr.signaled,
+                        sge: wr.sge.clone(),
+                    },
+                );
+                self.lib.send_to_agent(&msg);
+                return Ok(());
+            }
+        };
+        self.inner.lock().pending_sends.insert(op_id, pending);
+        self.lib.send_to_agent(&msg);
+        Ok(())
+    }
+
+    // --- inbound (called from the library pump) ----------------------------
+
+    /// Materialize a relay payload into bytes (reading and freeing arena
+    /// blocks — this is the receive-side copy out of shared memory).
+    fn payload_bytes(&self, p: RelayPayload) -> Bytes {
+        match p {
+            RelayPayload::Inline(b) => b,
+            RelayPayload::Arena { offset, len } => {
+                let arena = self.lib.fabric.arena();
+                let mut buf = vec![0u8; len as usize];
+                // The allocator rounds to 64 B; reconstruct its handle.
+                let handle = ArenaHandle {
+                    offset,
+                    len: len.next_multiple_of(64),
+                };
+                let _ = arena.read(ArenaHandle { offset, len }, 0, &mut buf);
+                let _ = arena.free(handle);
+                Bytes::from(buf)
+            }
+        }
+    }
+
+    /// Handle one inbound relay message addressed to this QP.
+    pub(crate) fn handle_inbound(&self, msg: RelayMsg) {
+        match msg {
+            RelayMsg::Send {
+                src,
+                wr_id: op_id,
+                imm,
+                payload,
+                ..
+            } => {
+                let bytes = self.payload_bytes(payload);
+                self.inbound_send(src, op_id, Some(bytes), imm);
+            }
+            RelayMsg::Write {
+                src,
+                wr_id: op_id,
+                addr,
+                rkey,
+                imm,
+                payload,
+                ..
+            } => {
+                let bytes = self.payload_bytes(payload);
+                self.inbound_write(src, op_id, addr, rkey, imm, bytes);
+            }
+            RelayMsg::ReadReq {
+                src,
+                req_id,
+                addr,
+                rkey,
+                len,
+                ..
+            } => {
+                self.inbound_read_req(src, req_id, addr, rkey, len);
+            }
+            RelayMsg::ReadResp {
+                req_id,
+                status,
+                payload,
+                ..
+            } => {
+                let bytes = self.payload_bytes(payload);
+                self.inbound_read_resp(req_id, status, bytes);
+            }
+            RelayMsg::Ack {
+                wr_id: op_id,
+                byte_len,
+                ..
+            } => self.inbound_ack(op_id, byte_len),
+            RelayMsg::Nack {
+                wr_id: op_id,
+                status,
+                ..
+            } => self.inbound_nack(op_id, status),
+        }
+    }
+
+    fn wire_status_to_wc(status: u8) -> WcStatus {
+        match status {
+            st::OK => WcStatus::Success,
+            st::REMOTE_ACCESS => WcStatus::RemoteAccessError,
+            st::LOCAL_LENGTH => WcStatus::LocalLengthError,
+            _ => WcStatus::RemoteOperationError,
+        }
+    }
+
+    fn inbound_send(
+        &self,
+        src: freeflow_agent::proto::WireEp,
+        op_id: u64,
+        payload: Option<Bytes>,
+        imm: Option<u32>,
+    ) {
+        let byte_len = payload.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+        let inbound = InboundSend {
+            src,
+            op_id,
+            payload,
+            byte_len,
+            imm,
+        };
+        let matched = {
+            let mut inner = self.inner.lock();
+            match inner.state {
+                QpState::Rtr | QpState::Rts => {}
+                _ => {
+                    drop(inner);
+                    self.reply(RelayMsg::Nack {
+                        src: self.endpoint().wire(),
+                        dst: src,
+                        wr_id: op_id,
+                        status: st::REMOTE_OP,
+                    });
+                    return;
+                }
+            }
+            match inner.rq.pop_front() {
+                Some(wr) => Some((wr, inbound)),
+                None => {
+                    inner.inbound_pending.push_back(inbound);
+                    None
+                }
+            }
+        };
+        if let Some((wr, inbound)) = matched {
+            self.consume_inbound(wr, inbound);
+        }
+    }
+
+    /// Match one parked/incoming send against a receive WR: scatter,
+    /// complete locally, ack the sender.
+    fn consume_inbound(&self, wr: RecvWr, p: InboundSend) {
+        let opcode = if p.payload.is_some() || p.imm.is_none() {
+            WcOpcode::Recv
+        } else {
+            WcOpcode::RecvRdmaWithImm
+        };
+        let mut status = WcStatus::Success;
+        if let Some(data) = &p.payload {
+            if wr.capacity() < data.len() as u64 {
+                status = WcStatus::LocalLengthError;
+            } else if self.scatter(&wr.sge, data).is_err() {
+                status = WcStatus::LocalProtectionError;
+            }
+        }
+        self.recv_cq.push(WorkCompletion {
+            wr_id: wr.wr_id,
+            status,
+            opcode,
+            byte_len: p.byte_len,
+            imm: p.imm,
+            qp_num: self.qp_num(),
+        });
+        let reply = if status.is_ok() {
+            RelayMsg::Ack {
+                src: self.endpoint().wire(),
+                dst: p.src,
+                wr_id: p.op_id,
+                byte_len: p.byte_len,
+            }
+        } else {
+            RelayMsg::Nack {
+                src: self.endpoint().wire(),
+                dst: p.src,
+                wr_id: p.op_id,
+                status: st::LOCAL_LENGTH,
+            }
+        };
+        self.reply(reply);
+        if !status.is_ok() {
+            self.enter_error();
+        }
+    }
+
+    fn inbound_write(
+        &self,
+        src: freeflow_agent::proto::WireEp,
+        op_id: u64,
+        addr: u64,
+        rkey: u32,
+        imm: Option<u32>,
+        payload: Bytes,
+    ) {
+        {
+            let inner = self.inner.lock();
+            match inner.state {
+                QpState::Rtr | QpState::Rts => {}
+                _ => {
+                    drop(inner);
+                    self.reply(RelayMsg::Nack {
+                        src: self.endpoint().wire(),
+                        dst: src,
+                        wr_id: op_id,
+                        status: st::REMOTE_OP,
+                    });
+                    return;
+                }
+            }
+        }
+        let write_result = self
+            .lib
+            .device
+            .mr_by_rkey(rkey)
+            .map_err(|_| ())
+            .and_then(|mr| {
+                if !mr.access().remote_write {
+                    return Err(());
+                }
+                mr.dma_write(addr, &payload).map_err(|_| ())
+            });
+        match write_result {
+            Ok(()) => {
+                let byte_len = payload.len() as u64;
+                if imm.is_some() {
+                    // Consume a receive for the notification.
+                    self.inbound_send(src, op_id, None, imm);
+                    // Note: inbound_send replies with Ack/Nack (or parks).
+                    // For the parked case the Ack goes out at match time.
+                    let _ = byte_len;
+                } else {
+                    self.reply(RelayMsg::Ack {
+                        src: self.endpoint().wire(),
+                        dst: src,
+                        wr_id: op_id,
+                        byte_len,
+                    });
+                }
+            }
+            Err(()) => {
+                self.reply(RelayMsg::Nack {
+                    src: self.endpoint().wire(),
+                    dst: src,
+                    wr_id: op_id,
+                    status: st::REMOTE_ACCESS,
+                });
+            }
+        }
+    }
+
+    fn inbound_read_req(
+        &self,
+        src: freeflow_agent::proto::WireEp,
+        req_id: u64,
+        addr: u64,
+        rkey: u32,
+        len: u64,
+    ) {
+        let data = self
+            .lib
+            .device
+            .mr_by_rkey(rkey)
+            .ok()
+            .filter(|mr| mr.access().remote_read)
+            .and_then(|mr| mr.dma_read(addr, len).ok());
+        let reply = match data {
+            Some(bytes) => RelayMsg::ReadResp {
+                src: self.endpoint().wire(),
+                dst: src,
+                req_id,
+                status: st::OK,
+                payload: RelayPayload::Inline(Bytes::from(bytes)),
+            },
+            None => RelayMsg::ReadResp {
+                src: self.endpoint().wire(),
+                dst: src,
+                req_id,
+                status: st::REMOTE_ACCESS,
+                payload: RelayPayload::Inline(Bytes::new()),
+            },
+        };
+        self.reply(reply);
+    }
+
+    fn inbound_read_resp(&self, req_id: u64, status: u8, payload: Bytes) {
+        let pending = self.inner.lock().pending_reads.remove(&req_id);
+        let Some(p) = pending else { return };
+        let wc_status = if status == st::OK {
+            match self.scatter(&p.sge, &payload) {
+                Ok(()) => WcStatus::Success,
+                Err(_) => WcStatus::LocalProtectionError,
+            }
+        } else {
+            Self::wire_status_to_wc(status)
+        };
+        if p.signaled || !wc_status.is_ok() {
+            self.send_cq.push(WorkCompletion {
+                wr_id: p.wr_id,
+                status: wc_status,
+                opcode: WcOpcode::RdmaRead,
+                byte_len: payload.len() as u64,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+        if !wc_status.is_ok() {
+            self.enter_error();
+        }
+    }
+
+    fn inbound_ack(&self, op_id: u64, byte_len: u64) {
+        let pending = self.inner.lock().pending_sends.remove(&op_id);
+        let Some(p) = pending else { return };
+        if p.signaled {
+            self.send_cq.push(WorkCompletion {
+                wr_id: p.wr_id,
+                status: WcStatus::Success,
+                opcode: p.opcode,
+                byte_len,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+    }
+
+    fn inbound_nack(&self, op_id: u64, status: u8) {
+        let pending = self.inner.lock().pending_sends.remove(&op_id);
+        let Some(p) = pending else { return };
+        self.send_cq.push(WorkCompletion {
+            wr_id: p.wr_id,
+            status: Self::wire_status_to_wc(status),
+            opcode: p.opcode,
+            byte_len: 0,
+            imm: None,
+            qp_num: self.qp_num(),
+        });
+        self.enter_error();
+    }
+
+    fn reply(&self, msg: RelayMsg) {
+        self.lib.send_to_agent(&msg);
+    }
+}
+
+impl std::fmt::Debug for FfQp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FfQp")
+            .field("qpn", &self.qp_num())
+            .field("state", &inner.state.name())
+            .field("path", &inner.path)
+            .finish()
+    }
+}

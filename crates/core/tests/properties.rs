@@ -1,0 +1,154 @@
+//! Property-based tests for the FreeFlow core: arbitrary message
+//! sequences over the *relay* path (the hardest path: shm channel → agent
+//! → wire → agent → shm channel) must arrive intact, in order, with
+//! balanced completions.
+
+use freeflow::FreeFlowCluster;
+use freeflow_types::{HostCaps, TenantId};
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(20);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random payload sizes (spanning the inline/arena staging boundary)
+    /// and random recv-first/send-first orderings: every message arrives
+    /// byte-exact and in order across the relay.
+    #[test]
+    fn relay_path_preserves_messages(
+        msgs in prop::collection::vec(
+            (any::<bool>(), 1usize..20_000), 1..12),
+    ) {
+        let cluster = FreeFlowCluster::with_defaults();
+        let h0 = cluster.add_host(HostCaps::paper_testbed());
+        let h1 = cluster.add_host(HostCaps::paper_testbed());
+        let a = cluster.launch(TenantId::new(1), h0).unwrap();
+        let b = cluster.launch(TenantId::new(1), h1).unwrap();
+        let mr_a = a.register(32 << 10, AccessFlags::all()).unwrap();
+        let mr_b = b.register(32 << 10, AccessFlags::all()).unwrap();
+        let cq_a = a.create_cq(64);
+        let cq_b = b.create_cq(64);
+        let qp_a = a.create_qp(&cq_a, &cq_a, 32, 32).unwrap();
+        let qp_b = b.create_qp(&cq_b, &cq_b, 32, 32).unwrap();
+        qp_a.connect(qp_b.endpoint()).unwrap();
+        qp_b.connect(qp_a.endpoint()).unwrap();
+
+        for (i, (recv_first, len)) in msgs.iter().enumerate() {
+            let i = i as u64;
+            let payload: Vec<u8> = (0..*len).map(|k| ((k + *len) % 251) as u8).collect();
+            if *recv_first {
+                qp_b.post_recv(RecvWr::new(i, mr_b.sge(0, 32 << 10))).unwrap();
+            }
+            mr_a.write(0, &payload).unwrap();
+            qp_a.post_send(SendWr::send(i, mr_a.sge(0, *len as u32))).unwrap();
+            if !*recv_first {
+                // RNR: the send parks at the receiver until a recv shows up.
+                qp_b.post_recv(RecvWr::new(i, mr_b.sge(0, 32 << 10))).unwrap();
+            }
+            let rwc = cq_b.wait_one(T).expect("recv completion");
+            prop_assert!(rwc.status.is_ok(), "{:?}", rwc.status);
+            prop_assert_eq!(rwc.wr_id, i);
+            prop_assert_eq!(rwc.byte_len, *len as u64);
+            let swc = cq_a.wait_one(T).expect("send completion");
+            prop_assert!(swc.status.is_ok());
+            prop_assert_eq!(swc.wr_id, i);
+            let mut out = vec![0u8; *len];
+            mr_b.read(0, &mut out).unwrap();
+            prop_assert_eq!(out, payload);
+        }
+        // Balanced: nothing left over.
+        prop_assert!(cq_a.poll_one().is_none());
+        prop_assert!(cq_b.poll_one().is_none());
+    }
+
+    /// One-sided WRITEs of arbitrary sizes/offsets across the relay land
+    /// exactly where addressed, or fail cleanly when out of bounds.
+    #[test]
+    fn relay_write_bounds(
+        offset in 0u64..40_000,
+        len in 1usize..16_000,
+    ) {
+        let cluster = FreeFlowCluster::with_defaults();
+        let h0 = cluster.add_host(HostCaps::paper_testbed());
+        let h1 = cluster.add_host(HostCaps::paper_testbed());
+        let a = cluster.launch(TenantId::new(1), h0).unwrap();
+        let b = cluster.launch(TenantId::new(1), h1).unwrap();
+        let mr_a = a.register(16 << 10, AccessFlags::all()).unwrap();
+        let mr_b = b.register(32 << 10, AccessFlags::all()).unwrap();
+        let cq_a = a.create_cq(16);
+        let cq_b = b.create_cq(16);
+        let qp_a = a.create_qp(&cq_a, &cq_a, 8, 8).unwrap();
+        let qp_b = b.create_qp(&cq_b, &cq_b, 8, 8).unwrap();
+        qp_a.connect(qp_b.endpoint()).unwrap();
+        qp_b.connect(qp_a.endpoint()).unwrap();
+
+        let fits = offset + len as u64 <= 32 << 10;
+        let payload: Vec<u8> = (0..len).map(|k| (k % 249) as u8).collect();
+        mr_a.write(0, &payload).unwrap();
+        qp_a.post_send(SendWr::write(
+            7,
+            mr_a.sge(0, len as u32),
+            mr_b.addr() + offset,
+            mr_b.rkey(),
+        ))
+        .unwrap();
+        let wc = cq_a.wait_one(T).expect("write completion");
+        if fits {
+            prop_assert!(wc.status.is_ok(), "{:?}", wc.status);
+            let mut out = vec![0u8; len];
+            mr_b.read(offset, &mut out).unwrap();
+            prop_assert_eq!(out, payload);
+        } else {
+            prop_assert!(!wc.status.is_ok(), "out-of-bounds write must fail");
+        }
+    }
+}
+
+/// Regression: non-64-byte-aligned payloads staged through the arena must
+/// not leak allocator padding — after many unaligned relays both host
+/// arenas return to their baseline occupancy.
+#[test]
+fn unaligned_arena_staging_does_not_leak() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let a = cluster.launch(TenantId::new(1), h0).unwrap();
+    let b = cluster.launch(TenantId::new(1), h1).unwrap();
+    let mr_a = a.register(16 << 10, AccessFlags::all()).unwrap();
+    let mr_b = b.register(16 << 10, AccessFlags::all()).unwrap();
+    let cq_a = a.create_cq(32);
+    let cq_b = b.create_cq(32);
+    let qp_a = a.create_qp(&cq_a, &cq_a, 16, 16).unwrap();
+    let qp_b = b.create_qp(&cq_b, &cq_b, 16, 16).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+
+    // 5000 is above ZERO_COPY_THRESHOLD and not a multiple of 64.
+    let len = 5000u32;
+    mr_a.write(0, &vec![0xEE; len as usize]).unwrap();
+    let baseline0 = cluster.agent_of(h0).unwrap().fabric().arena().allocated();
+    let baseline1 = cluster.agent_of(h1).unwrap().fabric().arena().allocated();
+    for i in 0..200u64 {
+        qp_a.post_send(SendWr::write(
+            i,
+            mr_a.sge(0, len),
+            mr_b.addr(),
+            mr_b.rkey(),
+        ))
+        .unwrap();
+        assert!(cq_a.wait_one(T).unwrap().status.is_ok());
+    }
+    assert_eq!(
+        cluster.agent_of(h0).unwrap().fabric().arena().allocated(),
+        baseline0,
+        "sender-host arena back to baseline"
+    );
+    assert_eq!(
+        cluster.agent_of(h1).unwrap().fabric().arena().allocated(),
+        baseline1,
+        "receiver-host arena back to baseline"
+    );
+}

@@ -1,0 +1,25 @@
+//! # freeflow-mpi
+//!
+//! The MPI half of FreeFlow's network abstraction (paper §4 lists MPI next
+//! to Socket and Verbs as the APIs the library must carry; the related-work
+//! section notes *"the same concepts described for FreeFlow can also be
+//! applicable for MPI run-time libraries ... by layering the MPI
+//! implementation on top of FreeFlow"* — this crate is that layering).
+//!
+//! A deliberately small but real message-passing interface: ranks with
+//! point-to-point tagged `send`/`recv` and the collectives the paper's
+//! motivating workloads (ML training, analytics) actually lean on —
+//! `barrier`, `broadcast`, `gather`, `reduce`, `allreduce`.
+//!
+//! Every rank is a FreeFlow container; rank↔rank links are
+//! `freeflow-socket` streams, so a 4-rank job spread over two hosts
+//! transparently mixes shared-memory links (co-located ranks) and
+//! RDMA-wire links (cross-host ranks) — the heterogeneity is invisible at
+//! this layer, which is the whole demonstration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod comm;
+
+pub use comm::{Op, Rank, World};

@@ -1,0 +1,191 @@
+//! The discrete-event core: virtual clock and ordered event queue.
+//!
+//! Deliberately tiny and fully deterministic. Events carry a payload enum
+//! (defined by [`crate::sim`]); ties at equal timestamps break on insertion
+//! order, so a scenario replays identically every run.
+
+use freeflow_types::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires. The variants reference simulator
+/// entities by index; the [`crate::sim::NetSim`] loop interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A chunk arrives at a stage of its pipeline (queue at the server).
+    ChunkArrive {
+        /// Index into the simulator's chunk table.
+        chunk: usize,
+    },
+    /// A server completes the chunk at the head of its queue.
+    ServerDone {
+        /// Index into the simulator's server table.
+        server: usize,
+    },
+    /// A chunk has fully exited its pipeline (message-accounting step).
+    ChunkDelivered {
+        /// Index into the simulator's chunk table.
+        chunk: usize,
+    },
+    /// A workload decides to emit its next message.
+    FlowSend {
+        /// Index into the simulator's flow table.
+        flow: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: Nanos,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Virtual clock plus the pending-event heap.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl EventQueue {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: Nanos, event: Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at absolute time `at` (must not be in the past).
+    pub fn schedule_at(&mut self, at: Nanos, event: Event) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), Event::FlowSend { flow: 3 });
+        q.schedule(Nanos::from_nanos(10), Event::FlowSend { flow: 1 });
+        q.schedule(Nanos::from_nanos(20), Event::FlowSend { flow: 2 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let flows: Vec<usize> = order
+            .iter()
+            .map(|(_, e)| match e {
+                Event::FlowSend { flow } => *flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Nanos::ZERO, Event::FlowSend { flow: i });
+        }
+        let flows: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::FlowSend { flow } => flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(5), Event::ServerDone { server: 0 });
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop().unwrap();
+        assert_eq!(q.now(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(5), Event::ServerDone { server: 0 });
+        q.pop().unwrap();
+        q.schedule_at(Nanos::from_micros(1), Event::ServerDone { server: 0 });
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(7), Event::ChunkArrive { chunk: 0 });
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Flows: a (sender, receiver, transport, workload) tuple plus live state.
+//!
+//! The sim decomposes each flow's messages into chunks (`chunk_size`
+//! granularity) that traverse the flow's forward pipeline; ping-pong
+//! responses traverse the reverse pipeline. Message accounting (when is a
+//! message fully delivered, what was its latency) lives here.
+
+use crate::pipeline::{Pipeline, StageCategory};
+use crate::workload::Workload;
+use freeflow_types::{ByteSize, ContainerId, Nanos, TransportKind};
+
+/// Where the two endpoints of a flow run — determines which pipelines the
+/// cost model can build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Sending container.
+    pub src: ContainerId,
+    /// Receiving container.
+    pub dst: ContainerId,
+    /// Host index of the sender (sim-internal index, not `HostId`).
+    pub src_host: usize,
+    /// Host index of the receiver.
+    pub dst_host: usize,
+}
+
+impl Placement {
+    /// Whether both endpoints share a host.
+    pub fn intra_host(&self) -> bool {
+        self.src_host == self.dst_host
+    }
+}
+
+/// Static description of a flow, provided by the experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Endpoints and their hosts.
+    pub placement: Placement,
+    /// The data plane the flow rides on.
+    pub transport: TransportKind,
+    /// The traffic it generates.
+    pub workload: Workload,
+}
+
+/// Which direction a message travels (ping-pong uses both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// src → dst (requests / stream data).
+    Forward,
+    /// dst → src (ping-pong responses).
+    Reverse,
+}
+
+/// Live per-message bookkeeping.
+#[derive(Debug)]
+pub struct MessageState {
+    /// When the message's first chunk entered the pipeline.
+    pub sent_at: Nanos,
+    /// Chunks not yet fully delivered.
+    pub chunks_remaining: u32,
+    /// Which direction this message travels.
+    pub direction: Direction,
+}
+
+/// Live flow state inside the simulator.
+#[derive(Debug)]
+pub struct Flow {
+    /// The experiment-facing spec.
+    pub spec: FlowSpec,
+    /// Forward pipeline (src → dst).
+    pub forward: Pipeline,
+    /// Reverse pipeline (dst → src), used by ping-pong responses.
+    pub reverse: Pipeline,
+    /// Messages queued/in flight: index = message seq.
+    pub messages: Vec<MessageState>,
+    /// Messages fully delivered (either direction).
+    pub delivered_msgs: u64,
+    /// Forward-direction messages delivered.
+    pub delivered_fwd: u64,
+    /// Payload bytes delivered in the forward direction.
+    pub delivered_bytes: ByteSize,
+    /// Messages the workload has emitted so far (forward direction).
+    pub emitted: u64,
+    /// Time of first emission.
+    pub first_send: Option<Nanos>,
+    /// Time of last forward delivery.
+    pub last_delivery: Nanos,
+    /// RTT samples (ping-pong only).
+    pub rtt_samples: Vec<Nanos>,
+    /// Start timestamp of the current round trip (ping-pong).
+    pub rtt_started: Nanos,
+    /// Per-category accumulated time across all chunks (for the stacked
+    /// latency figure); index = `StageCategory::index()`.
+    pub category_ns: [u64; StageCategory::ALL.len()],
+    /// Chunk granularity for this flow.
+    pub chunk_size: ByteSize,
+}
+
+impl Flow {
+    /// Wrap a spec with its two pipelines.
+    pub fn new(spec: FlowSpec, forward: Pipeline, reverse: Pipeline, chunk_size: ByteSize) -> Self {
+        Self {
+            spec,
+            forward,
+            reverse,
+            messages: Vec::new(),
+            delivered_msgs: 0,
+            delivered_fwd: 0,
+            delivered_bytes: ByteSize::ZERO,
+            emitted: 0,
+            first_send: None,
+            last_delivery: Nanos::ZERO,
+            rtt_samples: Vec::new(),
+            rtt_started: Nanos::ZERO,
+            category_ns: [0; StageCategory::ALL.len()],
+            chunk_size,
+        }
+    }
+
+    /// How many chunks a message of `size` splits into.
+    pub fn chunks_for(&self, size: ByteSize) -> u32 {
+        let cs = self.chunk_size.as_bytes().max(1);
+        (size.as_bytes().div_ceil(cs)).max(1) as u32
+    }
+
+    /// Whether the workload has emitted everything it ever will.
+    pub fn emission_done(&self) -> bool {
+        match self.spec.workload {
+            Workload::Stream { messages, .. } => messages != 0 && self.emitted >= messages,
+            Workload::PingPong { iterations, .. } => self.emitted >= iterations,
+        }
+    }
+
+    /// Whether the flow has finished all deliveries it ever will.
+    pub fn finished(&self) -> bool {
+        match self.spec.workload {
+            Workload::Stream { messages, .. } => messages != 0 && self.delivered_fwd >= messages,
+            Workload::PingPong { iterations, .. } => self.rtt_samples.len() as u64 >= iterations,
+        }
+    }
+
+    /// Observed forward throughput over the flow's active interval.
+    pub fn throughput(&self) -> freeflow_types::Bandwidth {
+        match self.first_send {
+            Some(start) if self.last_delivery > start => freeflow_types::Bandwidth::observed(
+                self.delivered_bytes,
+                self.last_delivery - start,
+            ),
+            _ => freeflow_types::Bandwidth::ZERO,
+        }
+    }
+
+    /// Mean RTT over recorded samples.
+    pub fn mean_rtt(&self) -> Option<Nanos> {
+        if self.rtt_samples.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.rtt_samples.iter().map(|n| n.as_nanos()).sum();
+        Some(Nanos::from_nanos(sum / self.rtt_samples.len() as u64))
+    }
+
+    /// RTT percentile (0.0 ..= 1.0) over recorded samples.
+    pub fn rtt_percentile(&self, p: f64) -> Option<Nanos> {
+        if self.rtt_samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.rtt_samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow_types::ContainerId;
+
+    fn spec(workload: Workload) -> FlowSpec {
+        FlowSpec {
+            placement: Placement {
+                src: ContainerId::new(0),
+                dst: ContainerId::new(1),
+                src_host: 0,
+                dst_host: 0,
+            },
+            transport: TransportKind::SharedMemory,
+            workload,
+        }
+    }
+
+    #[test]
+    fn placement_intra_host() {
+        let s = spec(Workload::bulk(1, 1));
+        assert!(s.placement.intra_host());
+        let mut s2 = s;
+        s2.placement.dst_host = 1;
+        assert!(!s2.placement.intra_host());
+    }
+
+    #[test]
+    fn chunking_rounds_up() {
+        let f = Flow::new(
+            spec(Workload::bulk(1, 1)),
+            Pipeline::empty(),
+            Pipeline::empty(),
+            ByteSize::from_kib(64),
+        );
+        assert_eq!(f.chunks_for(ByteSize::from_kib(64)), 1);
+        assert_eq!(f.chunks_for(ByteSize::from_kib(65)), 2);
+        assert_eq!(f.chunks_for(ByteSize::from_mib(1)), 16);
+        assert_eq!(f.chunks_for(ByteSize::from_bytes(1)), 1);
+        assert_eq!(f.chunks_for(ByteSize::ZERO), 1, "empty message is one chunk");
+    }
+
+    #[test]
+    fn stream_finish_accounting() {
+        let mut f = Flow::new(
+            spec(Workload::bulk(1, 3)),
+            Pipeline::empty(),
+            Pipeline::empty(),
+            ByteSize::from_kib(64),
+        );
+        assert!(!f.finished());
+        f.emitted = 3;
+        assert!(f.emission_done());
+        f.delivered_fwd = 3;
+        assert!(f.finished());
+    }
+
+    #[test]
+    fn unbounded_stream_never_finishes() {
+        let mut f = Flow::new(
+            spec(Workload::Stream {
+                msg_size: ByteSize::from_mib(1),
+                window: 4,
+                messages: 0,
+            }),
+            Pipeline::empty(),
+            Pipeline::empty(),
+            ByteSize::from_kib(64),
+        );
+        f.emitted = 1_000_000;
+        f.delivered_fwd = 1_000_000;
+        assert!(!f.emission_done());
+        assert!(!f.finished());
+    }
+
+    #[test]
+    fn rtt_statistics() {
+        let mut f = Flow::new(
+            spec(Workload::rtt(64, 4)),
+            Pipeline::empty(),
+            Pipeline::empty(),
+            ByteSize::from_kib(64),
+        );
+        assert_eq!(f.mean_rtt(), None);
+        for us in [10u64, 20, 30, 40] {
+            f.rtt_samples.push(Nanos::from_micros(us));
+        }
+        assert_eq!(f.mean_rtt(), Some(Nanos::from_micros(25)));
+        assert_eq!(f.rtt_percentile(0.0), Some(Nanos::from_micros(10)));
+        assert_eq!(f.rtt_percentile(1.0), Some(Nanos::from_micros(40)));
+        assert_eq!(f.rtt_percentile(0.5), Some(Nanos::from_micros(30)));
+        assert!(f.finished());
+    }
+
+    #[test]
+    fn throughput_requires_progress() {
+        let mut f = Flow::new(
+            spec(Workload::bulk(1, 1)),
+            Pipeline::empty(),
+            Pipeline::empty(),
+            ByteSize::from_kib(64),
+        );
+        assert_eq!(f.throughput(), freeflow_types::Bandwidth::ZERO);
+        f.first_send = Some(Nanos::ZERO);
+        f.delivered_bytes = ByteSize::from_mib(1);
+        f.last_delivery = Nanos::from_millis(1);
+        // 1 MiB in 1 ms ≈ 8.39 Gb/s.
+        let g = f.throughput().as_gbps_f64();
+        assert!((g - 8.39).abs() < 0.01, "{g}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Reports extracted from a finished (or paused) simulation.
+//!
+//! Everything the figures need: per-flow throughput and latency (with the
+//! per-component breakdown for the stacked bars) and per-host CPU/NIC/bus
+//! utilization. Reports are plain serializable data so the bench harness
+//! can print tables or dump them for offline plotting.
+
+use freeflow_types::{Bandwidth, ByteSize, Nanos, TransportKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Flow index within the simulation.
+    pub flow: usize,
+    /// The transport the flow rode on.
+    pub transport: TransportKind,
+    /// Forward payload bytes delivered.
+    pub delivered_bytes: ByteSize,
+    /// Forward messages delivered.
+    pub delivered_msgs: u64,
+    /// Observed forward throughput.
+    pub throughput: Bandwidth,
+    /// Mean round-trip time (ping-pong flows only).
+    pub mean_rtt: Option<Nanos>,
+    /// Median round-trip time.
+    pub p50_rtt: Option<Nanos>,
+    /// 99th-percentile round-trip time.
+    pub p99_rtt: Option<Nanos>,
+    /// Average per-message time spent in each stage category
+    /// `(category name, avg ns)` — the stacked latency bars. For ping-pong
+    /// flows this is per round trip (both directions).
+    pub latency_breakdown: Vec<(String, Nanos)>,
+}
+
+impl FlowReport {
+    /// Sum of the latency breakdown (≈ mean one-way or round-trip latency
+    /// including queueing).
+    pub fn breakdown_total(&self) -> Nanos {
+        self.latency_breakdown
+            .iter()
+            .fold(Nanos::ZERO, |acc, (_, ns)| acc + *ns)
+    }
+}
+
+/// Per-host resource utilization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostCpuReport {
+    /// Host index within the simulation.
+    pub host: usize,
+    /// Total CPU percentage (sum over cores + router + active poll cores;
+    /// 100 = one core fully busy, like `top`).
+    pub cpu_percent: f64,
+    /// Share of `cpu_percent` burned by application cores.
+    pub core_percent: f64,
+    /// Share burned by the overlay software router.
+    pub router_percent: f64,
+    /// Share burned by DPDK poll cores (100 each whenever active).
+    pub poll_percent: f64,
+    /// Per-core utilizations (0..=1), for the multi-pair figure.
+    pub core_utils: Vec<f64>,
+    /// NIC TX utilization (0..=1).
+    pub nic_tx_util: f64,
+    /// NIC RX utilization (0..=1).
+    pub nic_rx_util: f64,
+    /// Memory-bus utilization (0..=1).
+    pub membus_util: f64,
+}
+
+/// The whole simulation's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual time the simulation covered.
+    pub elapsed: Nanos,
+    /// Per-flow results, in flow-creation order.
+    pub flows: Vec<FlowReport>,
+    /// Per-host utilization, in host-creation order.
+    pub hosts: Vec<HostCpuReport>,
+}
+
+impl SimReport {
+    /// Sum of all flows' forward throughput — the aggregate the multi-pair
+    /// scaling figure plots.
+    pub fn aggregate_throughput(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.flows.iter().map(|f| f.throughput.as_bps()).sum())
+    }
+
+    /// Total CPU percentage across hosts.
+    pub fn total_cpu_percent(&self) -> f64 {
+        self.hosts.iter().map(|h| h.cpu_percent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_helpers() {
+        let report = SimReport {
+            elapsed: Nanos::from_millis(10),
+            flows: vec![
+                FlowReport {
+                    flow: 0,
+                    transport: TransportKind::SharedMemory,
+                    delivered_bytes: ByteSize::from_mib(10),
+                    delivered_msgs: 10,
+                    throughput: Bandwidth::from_gbps(30),
+                    mean_rtt: None,
+                    p50_rtt: None,
+                    p99_rtt: None,
+                    latency_breakdown: vec![
+                        ("copy".into(), Nanos::from_micros(3)),
+                        ("wakeup".into(), Nanos::from_micros(2)),
+                    ],
+                },
+                FlowReport {
+                    flow: 1,
+                    transport: TransportKind::Rdma,
+                    delivered_bytes: ByteSize::from_mib(10),
+                    delivered_msgs: 10,
+                    throughput: Bandwidth::from_gbps(10),
+                    mean_rtt: None,
+                    p50_rtt: None,
+                    p99_rtt: None,
+                    latency_breakdown: vec![],
+                },
+            ],
+            hosts: vec![HostCpuReport {
+                host: 0,
+                cpu_percent: 150.0,
+                core_percent: 150.0,
+                router_percent: 0.0,
+                poll_percent: 0.0,
+                core_utils: vec![1.0, 0.5, 0.0, 0.0],
+                nic_tx_util: 0.2,
+                nic_rx_util: 0.0,
+                membus_util: 0.4,
+            }],
+        };
+        assert_eq!(report.aggregate_throughput(), Bandwidth::from_gbps(40));
+        assert_eq!(report.total_cpu_percent(), 150.0);
+        assert_eq!(
+            report.flows[0].breakdown_total(),
+            Nanos::from_micros(5)
+        );
+    }
+}

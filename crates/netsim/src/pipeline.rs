@@ -1,0 +1,194 @@
+//! Pipelines: the per-transport path a chunk takes through the resources.
+//!
+//! A pipeline is an ordered list of [`Stage`]s. Each stage carries its own
+//! [`ServiceLaw`] — cost is a property of *what is being done* (stack
+//! traversal, memcpy, WR posting), while the server is *where* it contends
+//! (a core, the NIC, the memory bus). Two stages of different transports
+//! can therefore share one core server with different costs, which is how
+//! a host running both a TCP flow and a shared-memory flow arbitrates its
+//! cores.
+//!
+//! A stage with no server is a pure delay (wire propagation, PCIe hairpin,
+//! scheduler wakeup): chunks experience the law's service time without
+//! queueing against each other.
+//!
+//! Each stage also names a [`StageCategory`] so the latency figures can
+//! stack per-component bars exactly like the paper's draft "stacked bar
+//! chart showing the total latency of TCP/IP, RDMA, shared memory and
+//! their components".
+
+use crate::server::ServiceLaw;
+
+/// Which latency bucket a stage's time is accounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageCategory {
+    /// System-call entry/exit overhead.
+    Syscall,
+    /// Kernel TCP/IP stack processing.
+    Stack,
+    /// Software bridge hop (veth + bridge forwarding).
+    Bridge,
+    /// Overlay software-router hairpin (encap/decap + forwarding).
+    Router,
+    /// Copy into/out of buffers (shared-memory memcpy, socket copies).
+    Copy,
+    /// Memory-bus occupancy of a shared-memory transfer.
+    MemBus,
+    /// Posting/completing work requests on a (virtual) NIC.
+    NicDrive,
+    /// NIC serialization at line rate.
+    NicSerialize,
+    /// Wire / switch propagation.
+    Wire,
+    /// Scheduler wakeup of the blocked receiver.
+    Wakeup,
+}
+
+impl StageCategory {
+    /// All categories, in the order the stacked-bar figures print them.
+    pub const ALL: [StageCategory; 10] = [
+        StageCategory::Syscall,
+        StageCategory::Stack,
+        StageCategory::Bridge,
+        StageCategory::Router,
+        StageCategory::Copy,
+        StageCategory::MemBus,
+        StageCategory::NicDrive,
+        StageCategory::NicSerialize,
+        StageCategory::Wire,
+        StageCategory::Wakeup,
+    ];
+
+    /// Stable lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageCategory::Syscall => "syscall",
+            StageCategory::Stack => "stack",
+            StageCategory::Bridge => "bridge",
+            StageCategory::Router => "router",
+            StageCategory::Copy => "copy",
+            StageCategory::MemBus => "membus",
+            StageCategory::NicDrive => "nic-drive",
+            StageCategory::NicSerialize => "nic-serialize",
+            StageCategory::Wire => "wire",
+            StageCategory::Wakeup => "wakeup",
+        }
+    }
+
+    /// Index into per-category accumulation arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+}
+
+/// One hop of a pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage {
+    /// The contended resource this stage queues at; `None` for pure delays.
+    pub server: Option<usize>,
+    /// Service-time law applied to each chunk.
+    pub law: ServiceLaw,
+    /// Latency bucket for this stage's queueing + service time.
+    pub category: StageCategory,
+}
+
+impl Stage {
+    /// A queued stage at `server`.
+    pub fn queued(server: usize, law: ServiceLaw, category: StageCategory) -> Self {
+        Self {
+            server: Some(server),
+            law,
+            category,
+        }
+    }
+
+    /// A pure-delay stage (no contention).
+    pub fn delay(law: ServiceLaw, category: StageCategory) -> Self {
+        Self {
+            server: None,
+            law,
+            category,
+        }
+    }
+}
+
+/// An ordered sequence of stages a chunk traverses, sender to receiver.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// The stages in traversal order.
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Empty pipeline (chunks deliver instantly — only used in tests).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from stages.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Sum of raw service times for a chunk of `len` bytes with zero
+    /// queueing — the unloaded one-way latency of this pipeline.
+    pub fn unloaded_latency(&self, len: freeflow_types::ByteSize) -> freeflow_types::Nanos {
+        self.stages
+            .iter()
+            .fold(freeflow_types::Nanos::ZERO, |acc, s| {
+                acc + s.law.service_time(len)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow_types::{ByteSize, Nanos};
+
+    #[test]
+    fn category_indices_are_dense_and_unique() {
+        for (i, c) in StageCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn category_names_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = StageCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), StageCategory::ALL.len());
+    }
+
+    #[test]
+    fn pipeline_builders_and_unloaded_latency() {
+        let p = Pipeline::new(vec![
+            Stage::queued(
+                0,
+                ServiceLaw::fixed(Nanos::from_nanos(100)),
+                StageCategory::Stack,
+            ),
+            Stage::delay(
+                ServiceLaw::fixed(Nanos::from_nanos(500)),
+                StageCategory::Wire,
+            ),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.unloaded_latency(ByteSize::from_bytes(1)),
+            Nanos::from_nanos(600)
+        );
+        assert!(Pipeline::empty().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! FIFO servers: the resources of the queueing network.
+//!
+//! A server models one contended resource — a CPU core, a NIC port, the
+//! memory bus, a software router process. Service time for a chunk follows
+//! `fixed + per_byte × len + per_pkt × ceil(len / mtu)`; utilization is the
+//! fraction of virtual time the server spent busy, which is exactly what
+//! the paper's CPU-usage figures plot (e.g. "TCP via bridge burns ≈ 200 %
+//! of a core" = two stack servers at utilization ≈ 1.0).
+
+use freeflow_types::{ByteSize, Nanos};
+use std::collections::VecDeque;
+
+/// What kind of resource a server models — used to aggregate utilization
+/// into the paper's CPU / NIC columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// A host CPU core executing kernel-stack / memcpy / app work.
+    CpuCore,
+    /// A software-router process (overlay data plane). Burns a host core;
+    /// reported separately so the router's share is visible.
+    RouterCpu,
+    /// A DPDK poll-mode driver core: pinned at 100 % busy by definition.
+    PollCore,
+    /// NIC serialization (TX or RX) at line rate.
+    Nic,
+    /// The host memory bus, shared by all shared-memory copies.
+    MemBus,
+    /// Pure delay elements (wire, PCIe hairpin) — infinite capacity, so
+    /// modelled per-chunk without queueing; kind exists for bookkeeping.
+    Wire,
+}
+
+impl ServerKind {
+    /// Whether this server's busy time counts as host CPU usage.
+    pub fn counts_as_cpu(self) -> bool {
+        matches!(
+            self,
+            ServerKind::CpuCore | ServerKind::RouterCpu | ServerKind::PollCore
+        )
+    }
+}
+
+/// The service-time law of a server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceLaw {
+    /// Cost charged to every chunk regardless of size.
+    pub fixed: Nanos,
+    /// Cost per payload byte, in nanoseconds (fractional).
+    pub per_byte_ns: f64,
+    /// Cost per packet of `mtu` bytes (TCP segmentation, per-WR overhead).
+    pub per_pkt: Nanos,
+    /// Packetization unit for the `per_pkt` term; 0 disables it.
+    pub mtu: u32,
+}
+
+impl ServiceLaw {
+    /// A pure-rate law: `bytes / bandwidth` with no fixed part.
+    pub fn rate(bandwidth_bps: u64) -> Self {
+        Self {
+            fixed: Nanos::ZERO,
+            per_byte_ns: 8e9 / bandwidth_bps as f64,
+            per_pkt: Nanos::ZERO,
+            mtu: 0,
+        }
+    }
+
+    /// A pure fixed-cost law.
+    pub fn fixed(cost: Nanos) -> Self {
+        Self {
+            fixed: cost,
+            per_byte_ns: 0.0,
+            per_pkt: Nanos::ZERO,
+            mtu: 0,
+        }
+    }
+
+    /// Service time for a chunk of `len` bytes.
+    pub fn service_time(&self, len: ByteSize) -> Nanos {
+        let bytes = len.as_bytes();
+        let mut ns = self.fixed.as_nanos() as f64 + self.per_byte_ns * bytes as f64;
+        if self.mtu > 0 && self.per_pkt > Nanos::ZERO {
+            let pkts = bytes.div_ceil(self.mtu as u64).max(1);
+            ns += (self.per_pkt.as_nanos() * pkts) as f64;
+        }
+        Nanos::from_nanos(ns.round() as u64)
+    }
+}
+
+/// One FIFO resource in the queueing network.
+///
+/// Servers carry no cost law of their own — the cost of an operation is a
+/// property of the [`crate::pipeline::Stage`] that queues here, so stages
+/// of different transports can share one resource with different costs.
+#[derive(Debug)]
+pub struct Server {
+    /// Human-readable name, e.g. `host-0/core-1` (appears in reports).
+    pub name: String,
+    /// Resource class.
+    pub kind: ServerKind,
+    /// Chunks waiting (indices into the sim's chunk table), head in service.
+    queue: VecDeque<usize>,
+    /// Whether the head of `queue` is currently in service.
+    in_service: bool,
+    /// Accumulated busy time.
+    busy: Nanos,
+}
+
+impl Server {
+    /// Create a server.
+    pub fn new(name: impl Into<String>, kind: ServerKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            queue: VecDeque::new(),
+            in_service: false,
+            busy: Nanos::ZERO,
+        }
+    }
+
+    /// Enqueue a chunk. Returns `true` if the server was idle and service
+    /// should start immediately (caller schedules the completion event).
+    pub fn enqueue(&mut self, chunk: usize) -> bool {
+        self.queue.push_back(chunk);
+        if self.in_service {
+            false
+        } else {
+            self.in_service = true;
+            true
+        }
+    }
+
+    /// The chunk currently in service.
+    pub fn head(&self) -> Option<usize> {
+        if self.in_service {
+            self.queue.front().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Complete the chunk in service; returns it plus the next chunk to
+    /// start serving (if any).
+    pub fn complete(&mut self) -> (usize, Option<usize>) {
+        debug_assert!(self.in_service, "complete on idle server {}", self.name);
+        let done = self.queue.pop_front().expect("in-service head");
+        let next = self.queue.front().copied();
+        self.in_service = next.is_some();
+        (done, next)
+    }
+
+    /// Charge `dur` of busy time.
+    pub fn charge(&mut self, dur: Nanos) {
+        self.busy += dur;
+    }
+
+    /// Accumulated busy time.
+    pub fn busy(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Queue length including the chunk in service.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Utilization over an observation window. [`ServerKind::PollCore`]
+    /// reports 1.0 regardless — a poll-mode core spins even when idle.
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        if self.kind == ServerKind::PollCore {
+            return 1.0;
+        }
+        if elapsed == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_law_rate_matches_bandwidth() {
+        // 40 Gb/s: 1 MiB should take 1 MiB * 8 / 40e9 s ≈ 209.7 µs.
+        let law = ServiceLaw::rate(40_000_000_000);
+        let t = law.service_time(ByteSize::from_mib(1));
+        assert!((t.as_micros_f64() - 209.7).abs() < 0.5, "{t}");
+    }
+
+    #[test]
+    fn service_law_with_packets() {
+        let law = ServiceLaw {
+            fixed: Nanos::from_nanos(100),
+            per_byte_ns: 0.0,
+            per_pkt: Nanos::from_nanos(50),
+            mtu: 1500,
+        };
+        // 3000 bytes = 2 packets → 100 + 2*50 = 200 ns.
+        assert_eq!(
+            law.service_time(ByteSize::from_bytes(3000)),
+            Nanos::from_nanos(200)
+        );
+        // 1 byte still counts as 1 packet.
+        assert_eq!(
+            law.service_time(ByteSize::from_bytes(1)),
+            Nanos::from_nanos(150)
+        );
+    }
+
+    #[test]
+    fn fifo_order_and_idle_detection() {
+        let mut s = Server::new("core", ServerKind::CpuCore);
+        assert!(s.enqueue(1), "idle server starts immediately");
+        assert!(!s.enqueue(2), "busy server queues");
+        assert_eq!(s.head(), Some(1));
+        let (done, next) = s.complete();
+        assert_eq!((done, next), (1, Some(2)));
+        let (done, next) = s.complete();
+        assert_eq!((done, next), (2, None));
+        assert!(s.enqueue(3), "idle again");
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut s = Server::new("core", ServerKind::CpuCore);
+        s.charge(Nanos::from_micros(30));
+        assert!((s.utilization(Nanos::from_micros(100)) - 0.3).abs() < 1e-9);
+        assert_eq!(s.utilization(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn poll_core_is_always_hot() {
+        let s = Server::new("pmd", ServerKind::PollCore);
+        assert_eq!(s.utilization(Nanos::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn cpu_classification() {
+        assert!(ServerKind::CpuCore.counts_as_cpu());
+        assert!(ServerKind::RouterCpu.counts_as_cpu());
+        assert!(ServerKind::PollCore.counts_as_cpu());
+        assert!(!ServerKind::Nic.counts_as_cpu());
+        assert!(!ServerKind::MemBus.counts_as_cpu());
+        assert!(!ServerKind::Wire.counts_as_cpu());
+    }
+}

@@ -1,0 +1,723 @@
+//! The simulator facade: build a cluster, add flows, run, report.
+//!
+//! [`NetSim`] owns the event queue, the server (resource) table, hosts,
+//! containers, flows and in-flight chunks, and interprets the events
+//! defined in [`crate::engine`]. See the crate docs for the model.
+
+use crate::costmodel::{build_pipeline, CostParams, HostResources};
+use crate::engine::{Event, EventQueue};
+use crate::flow::{Direction, Flow, FlowSpec, MessageState, Placement};
+use crate::metrics::{FlowReport, HostCpuReport, SimReport};
+use crate::pipeline::StageCategory;
+use crate::server::{Server, ServerKind};
+use crate::workload::Workload;
+use freeflow_types::{ByteSize, ContainerId, HostCaps, Nanos, TransportKind};
+
+/// An in-flight chunk of a message.
+#[derive(Debug)]
+struct Chunk {
+    flow: usize,
+    msg: usize,
+    bytes: ByteSize,
+    stage: usize,
+    direction: Direction,
+    /// When the chunk entered its current stage's queue.
+    enqueued_at: Nanos,
+    /// Slot is live (false = recyclable).
+    active: bool,
+}
+
+/// The discrete-event cluster simulator.
+pub struct NetSim {
+    params: CostParams,
+    queue: EventQueue,
+    servers: Vec<Server>,
+    hosts: Vec<HostResources>,
+    /// host index per container (indexed by `ContainerId::raw()`).
+    container_hosts: Vec<usize>,
+    flows: Vec<Flow>,
+    chunks: Vec<Chunk>,
+    free_chunks: Vec<usize>,
+    started: bool,
+}
+
+impl NetSim {
+    /// New simulator with the given cost calibration.
+    pub fn new(params: CostParams) -> Self {
+        Self {
+            params,
+            queue: EventQueue::new(),
+            servers: Vec::new(),
+            hosts: Vec::new(),
+            container_hosts: Vec::new(),
+            flows: Vec::new(),
+            chunks: Vec::new(),
+            free_chunks: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// New simulator with the paper-testbed calibration.
+    pub fn testbed() -> Self {
+        Self::new(CostParams::paper_testbed())
+    }
+
+    /// The active cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    fn add_server(&mut self, name: String, kind: ServerKind) -> usize {
+        self.servers.push(Server::new(name, kind));
+        self.servers.len() - 1
+    }
+
+    /// Add a host with the given hardware; returns its index.
+    pub fn add_host(&mut self, caps: HostCaps) -> usize {
+        let h = self.hosts.len();
+        let cores = (0..caps.cores)
+            .map(|c| self.add_server(format!("host-{h}/core-{c}"), ServerKind::CpuCore))
+            .collect();
+        let nic_tx = self.add_server(format!("host-{h}/nic-tx"), ServerKind::Nic);
+        let nic_rx = self.add_server(format!("host-{h}/nic-rx"), ServerKind::Nic);
+        let membus = self.add_server(format!("host-{h}/membus"), ServerKind::MemBus);
+        let router = self.add_server(format!("host-{h}/router"), ServerKind::RouterCpu);
+        let poll_core = self.add_server(format!("host-{h}/pmd"), ServerKind::PollCore);
+        self.hosts.push(HostResources {
+            cores,
+            nic_tx,
+            nic_rx,
+            membus,
+            router,
+            poll_core,
+            nic_bps: caps.nic.line_rate.as_bps(),
+            nic_rdma: caps.nic.kind.supports_rdma(),
+            nic_dpdk: caps.nic.kind.supports_dpdk(),
+        });
+        h
+    }
+
+    /// Place a new container on `host`; returns its id.
+    pub fn add_container(&mut self, host: usize) -> ContainerId {
+        assert!(host < self.hosts.len(), "unknown host {host}");
+        let id = ContainerId::new(self.container_hosts.len() as u64);
+        self.container_hosts.push(host);
+        id
+    }
+
+    /// Host index a container runs on.
+    pub fn host_of(&self, c: ContainerId) -> usize {
+        self.container_hosts[c.raw() as usize]
+    }
+
+    /// Add a flow between two containers; returns its index.
+    ///
+    /// Panics (via the cost model) if the transport is impossible for the
+    /// placement — run the orchestrator's policy first.
+    pub fn add_flow(
+        &mut self,
+        src: ContainerId,
+        dst: ContainerId,
+        transport: TransportKind,
+        workload: Workload,
+    ) -> usize {
+        assert!(!self.started, "add flows before starting the sim");
+        let placement = Placement {
+            src,
+            dst,
+            src_host: self.host_of(src),
+            dst_host: self.host_of(dst),
+        };
+        let spec = FlowSpec {
+            placement,
+            transport,
+            workload,
+        };
+        let sh = self.hosts[placement.src_host].clone();
+        let dh = self.hosts[placement.dst_host].clone();
+        let forward = build_pipeline(&self.params, transport, &sh, &dh, src.raw(), dst.raw());
+        let reverse = build_pipeline(&self.params, transport, &dh, &sh, dst.raw(), src.raw());
+        self.flows
+            .push(Flow::new(spec, forward, reverse, self.params.chunk_size));
+        self.flows.len() - 1
+    }
+
+    /// Schedule the initial workload emissions.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for f in 0..self.flows.len() {
+            let n = match self.flows[f].spec.workload {
+                Workload::Stream {
+                    window, messages, ..
+                } => {
+                    let w = window.max(1) as u64;
+                    if messages == 0 {
+                        w
+                    } else {
+                        w.min(messages)
+                    }
+                }
+                Workload::PingPong { .. } => 1,
+            };
+            for _ in 0..n {
+                self.queue.schedule(Nanos::ZERO, Event::FlowSend { flow: f });
+            }
+        }
+    }
+
+    /// Run until `deadline` (virtual) or until no events remain.
+    /// Returns the report at the stopping point.
+    pub fn run_until(&mut self, deadline: Nanos) -> SimReport {
+        self.start();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.report()
+    }
+
+    /// Run until every flow with a bounded workload finishes (or `cap`
+    /// virtual time passes, a safety net against mis-specified scenarios).
+    pub fn run_to_completion(&mut self, cap: Nanos) -> SimReport {
+        self.start();
+        while let Some(t) = self.queue.peek_time() {
+            if t > cap {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.report()
+    }
+
+    fn alloc_chunk(&mut self, chunk: Chunk) -> usize {
+        if let Some(slot) = self.free_chunks.pop() {
+            self.chunks[slot] = chunk;
+            slot
+        } else {
+            self.chunks.push(chunk);
+            self.chunks.len() - 1
+        }
+    }
+
+    fn handle(&mut self, now: Nanos, ev: Event) {
+        match ev {
+            Event::FlowSend { flow } => self.on_flow_send(now, flow),
+            Event::ChunkArrive { chunk } => self.on_chunk_arrive(now, chunk),
+            Event::ServerDone { server } => self.on_server_done(now, server),
+            Event::ChunkDelivered { chunk } => self.on_chunk_delivered(now, chunk),
+        }
+    }
+
+    /// Emit one message on a flow in the given direction.
+    fn emit_message(&mut self, now: Nanos, flow: usize, direction: Direction) {
+        let (msg_size, msg_idx, nchunks) = {
+            let f = &mut self.flows[flow];
+            let msg_size = f.spec.workload.msg_size();
+            let nchunks = f.chunks_for(msg_size);
+            f.messages.push(MessageState {
+                sent_at: now,
+                chunks_remaining: nchunks,
+                direction,
+            });
+            (msg_size, f.messages.len() - 1, nchunks)
+        };
+        // Split into chunks; the last chunk carries the remainder.
+        let cs = self.params.chunk_size.as_bytes().max(1);
+        let total = msg_size.as_bytes();
+        for i in 0..nchunks as u64 {
+            let bytes = if i == nchunks as u64 - 1 {
+                ByteSize::from_bytes(total - cs * (nchunks as u64 - 1).min(total / cs))
+            } else {
+                ByteSize::from_bytes(cs)
+            };
+            // A zero-byte message still moves one zero-length chunk.
+            let idx = self.alloc_chunk(Chunk {
+                flow,
+                msg: msg_idx,
+                bytes,
+                stage: 0,
+                direction,
+                enqueued_at: now,
+                active: true,
+            });
+            self.queue.schedule(Nanos::ZERO, Event::ChunkArrive { chunk: idx });
+        }
+    }
+
+    fn on_flow_send(&mut self, now: Nanos, flow: usize) {
+        if self.flows[flow].emission_done() {
+            return;
+        }
+        {
+            let f = &mut self.flows[flow];
+            f.emitted += 1;
+            f.first_send.get_or_insert(now);
+            if f.spec.workload.is_latency() {
+                f.rtt_started = now;
+            }
+        }
+        self.emit_message(now, flow, Direction::Forward);
+    }
+
+    fn pipeline_stage(&self, chunk: &Chunk) -> crate::pipeline::Stage {
+        let f = &self.flows[chunk.flow];
+        let pl = match chunk.direction {
+            Direction::Forward => &f.forward,
+            Direction::Reverse => &f.reverse,
+        };
+        pl.stages[chunk.stage]
+    }
+
+    fn pipeline_len(&self, chunk: &Chunk) -> usize {
+        let f = &self.flows[chunk.flow];
+        match chunk.direction {
+            Direction::Forward => f.forward.len(),
+            Direction::Reverse => f.reverse.len(),
+        }
+    }
+
+    fn on_chunk_arrive(&mut self, now: Nanos, chunk: usize) {
+        debug_assert!(self.chunks[chunk].active);
+        let plen = self.pipeline_len(&self.chunks[chunk]);
+        if self.chunks[chunk].stage >= plen {
+            // Pipeline exhausted (or empty): delivered.
+            self.queue
+                .schedule(Nanos::ZERO, Event::ChunkDelivered { chunk });
+            return;
+        }
+        let stage = self.pipeline_stage(&self.chunks[chunk]);
+        match stage.server {
+            None => {
+                // Pure delay: account and move on.
+                let d = stage.law.service_time(self.chunks[chunk].bytes);
+                self.flows[self.chunks[chunk].flow].category_ns[stage.category.index()] +=
+                    d.as_nanos();
+                let c = &mut self.chunks[chunk];
+                c.stage += 1;
+                let plen = self.pipeline_len(&self.chunks[chunk]);
+                let ev = if self.chunks[chunk].stage >= plen {
+                    Event::ChunkDelivered { chunk }
+                } else {
+                    Event::ChunkArrive { chunk }
+                };
+                self.queue.schedule(d, ev);
+            }
+            Some(srv) => {
+                self.chunks[chunk].enqueued_at = now;
+                if self.servers[srv].enqueue(chunk) {
+                    let service = stage.law.service_time(self.chunks[chunk].bytes);
+                    self.queue.schedule(service, Event::ServerDone { server: srv });
+                }
+            }
+        }
+    }
+
+    fn on_server_done(&mut self, now: Nanos, server: usize) {
+        let (done, next) = self.servers[server].complete();
+        // Charge busy time for the completed chunk.
+        let done_stage = self.pipeline_stage(&self.chunks[done]);
+        debug_assert_eq!(done_stage.server, Some(server));
+        let service = done_stage.law.service_time(self.chunks[done].bytes);
+        self.servers[server].charge(service);
+        // Account queueing + service to the stage's latency bucket.
+        let waited = now - self.chunks[done].enqueued_at;
+        self.flows[self.chunks[done].flow].category_ns[done_stage.category.index()] +=
+            waited.as_nanos();
+        // Start the next queued chunk, if any.
+        if let Some(nc) = next {
+            let next_stage = self.pipeline_stage(&self.chunks[nc]);
+            debug_assert_eq!(next_stage.server, Some(server));
+            let next_service = next_stage.law.service_time(self.chunks[nc].bytes);
+            self.queue
+                .schedule(next_service, Event::ServerDone { server });
+        }
+        // Advance the completed chunk.
+        let plen = self.pipeline_len(&self.chunks[done]);
+        self.chunks[done].stage += 1;
+        let ev = if self.chunks[done].stage >= plen {
+            Event::ChunkDelivered { chunk: done }
+        } else {
+            Event::ChunkArrive { chunk: done }
+        };
+        self.queue.schedule(Nanos::ZERO, ev);
+    }
+
+    fn on_chunk_delivered(&mut self, now: Nanos, chunk: usize) {
+        let (flow, msg, direction) = {
+            let c = &mut self.chunks[chunk];
+            debug_assert!(c.active);
+            c.active = false;
+            (c.flow, c.msg, c.direction)
+        };
+        self.free_chunks.push(chunk);
+
+        let whole_message_done = {
+            let f = &mut self.flows[flow];
+            let m = &mut f.messages[msg];
+            debug_assert!(m.chunks_remaining > 0);
+            m.chunks_remaining -= 1;
+            m.chunks_remaining == 0
+        };
+        if !whole_message_done {
+            return;
+        }
+
+        let workload = self.flows[flow].spec.workload;
+        match (workload, direction) {
+            (Workload::Stream { msg_size, .. }, Direction::Forward) => {
+                let emission_done = {
+                    let f = &mut self.flows[flow];
+                    f.delivered_msgs += 1;
+                    f.delivered_fwd += 1;
+                    f.delivered_bytes += msg_size;
+                    f.last_delivery = now;
+                    f.emission_done()
+                };
+                if !emission_done {
+                    self.queue.schedule(Nanos::ZERO, Event::FlowSend { flow });
+                }
+            }
+            (Workload::Stream { .. }, Direction::Reverse) => {
+                unreachable!("stream flows have no reverse traffic")
+            }
+            (Workload::PingPong { msg_size, .. }, Direction::Forward) => {
+                {
+                    let f = &mut self.flows[flow];
+                    f.delivered_msgs += 1;
+                    f.delivered_fwd += 1;
+                    f.delivered_bytes += msg_size;
+                    f.last_delivery = now;
+                }
+                // Bounce the response.
+                self.emit_message(now, flow, Direction::Reverse);
+            }
+            (Workload::PingPong { iterations, .. }, Direction::Reverse) => {
+                let more = {
+                    let f = &mut self.flows[flow];
+                    f.delivered_msgs += 1;
+                    let rtt = now - f.rtt_started;
+                    f.rtt_samples.push(rtt);
+                    (f.rtt_samples.len() as u64) < iterations
+                };
+                if more {
+                    self.queue.schedule(Nanos::ZERO, Event::FlowSend { flow });
+                }
+            }
+        }
+    }
+
+    /// Whether every flow with a bounded workload has finished.
+    pub fn all_finished(&self) -> bool {
+        self.flows.iter().all(|f| f.finished())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.queue.now()
+    }
+
+    /// Build the report at the current point.
+    pub fn report(&self) -> SimReport {
+        let elapsed = self.queue.now();
+        let flows = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                // Normalize the per-category accumulation per delivered
+                // message (per round trip for ping-pong).
+                let denom = if f.spec.workload.is_latency() {
+                    f.rtt_samples.len() as u64
+                } else {
+                    f.delivered_fwd
+                }
+                .max(1);
+                let latency_breakdown = StageCategory::ALL
+                    .iter()
+                    .filter_map(|c| {
+                        let ns = f.category_ns[c.index()] / denom;
+                        (ns > 0).then(|| (c.name().to_string(), Nanos::from_nanos(ns)))
+                    })
+                    .collect();
+                FlowReport {
+                    flow: i,
+                    transport: f.spec.transport,
+                    delivered_bytes: f.delivered_bytes,
+                    delivered_msgs: f.delivered_fwd,
+                    throughput: f.throughput(),
+                    mean_rtt: f.mean_rtt(),
+                    p50_rtt: f.rtt_percentile(0.50),
+                    p99_rtt: f.rtt_percentile(0.99),
+                    latency_breakdown,
+                }
+            })
+            .collect();
+        let hosts = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let core_utils: Vec<f64> = h
+                    .cores
+                    .iter()
+                    .map(|&s| self.servers[s].utilization(elapsed))
+                    .collect();
+                let core_percent: f64 = core_utils.iter().sum::<f64>() * 100.0;
+                let router_percent = self.servers[h.router].utilization(elapsed) * 100.0;
+                // A poll core is pinned at 100 % — but only if DPDK is
+                // actually in use on this host.
+                let poll_percent = if self.servers[h.poll_core].busy() > Nanos::ZERO {
+                    self.servers[h.poll_core].utilization(elapsed) * 100.0
+                } else {
+                    0.0
+                };
+                HostCpuReport {
+                    host: i,
+                    cpu_percent: core_percent + router_percent + poll_percent,
+                    core_percent,
+                    router_percent,
+                    poll_percent,
+                    core_utils,
+                    nic_tx_util: self.servers[h.nic_tx].utilization(elapsed),
+                    nic_rx_util: self.servers[h.nic_rx].utilization(elapsed),
+                    membus_util: self.servers[h.membus].utilization(elapsed),
+                }
+            })
+            .collect();
+        SimReport {
+            elapsed,
+            flows,
+            hosts,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetSim")
+            .field("now", &self.queue.now())
+            .field("hosts", &self.hosts.len())
+            .field("containers", &self.container_hosts.len())
+            .field("flows", &self.flows.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow_types::HostCaps;
+
+    fn one_host_pair(transport: TransportKind, workload: Workload) -> SimReport {
+        let mut sim = NetSim::testbed();
+        let h = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h);
+        let b = sim.add_container(h);
+        sim.add_flow(a, b, transport, workload);
+        sim.run_to_completion(Nanos::from_secs(10))
+    }
+
+    #[test]
+    fn stream_delivers_all_messages() {
+        let r = one_host_pair(TransportKind::TcpHost, Workload::bulk(1, 20));
+        assert_eq!(r.flows[0].delivered_msgs, 20);
+        assert_eq!(r.flows[0].delivered_bytes, ByteSize::from_mib(20));
+        assert!(r.flows[0].throughput.as_gbps_f64() > 1.0);
+    }
+
+    #[test]
+    fn host_mode_tcp_hits_38gbps_anchor() {
+        let r = one_host_pair(TransportKind::TcpHost, Workload::bulk(1, 200));
+        let g = r.flows[0].throughput.as_gbps_f64();
+        assert!((g - 38.0).abs() < 2.0, "host-mode TCP: {g} Gb/s");
+    }
+
+    #[test]
+    fn overlay_tcp_is_slower_than_host_mode() {
+        let host = one_host_pair(TransportKind::TcpHost, Workload::bulk(1, 100));
+        let overlay = one_host_pair(TransportKind::TcpOverlay, Workload::bulk(1, 100));
+        let h = host.flows[0].throughput.as_gbps_f64();
+        let o = overlay.flows[0].throughput.as_gbps_f64();
+        assert!(o < h, "overlay {o} must be slower than host {h}");
+        assert!((15.0..20.0).contains(&o), "overlay anchor: {o} Gb/s");
+    }
+
+    #[test]
+    fn rdma_intra_host_is_line_rate() {
+        let r = one_host_pair(TransportKind::Rdma, Workload::bulk(1, 200));
+        let g = r.flows[0].throughput.as_gbps_f64();
+        assert!((g - 40.0).abs() < 1.5, "RDMA: {g} Gb/s");
+    }
+
+    #[test]
+    fn shm_beats_everything_intra_host() {
+        let r = one_host_pair(TransportKind::SharedMemory, Workload::bulk(1, 200));
+        let g = r.flows[0].throughput.as_gbps_f64();
+        assert!(g > 60.0, "shm: {g} Gb/s");
+    }
+
+    #[test]
+    fn tcp_burns_two_cores_rdma_does_not() {
+        let tcp = one_host_pair(TransportKind::TcpHost, Workload::bulk(1, 200));
+        let rdma = one_host_pair(TransportKind::Rdma, Workload::bulk(1, 200));
+        let tcp_cpu = tcp.hosts[0].cpu_percent;
+        let rdma_cpu = rdma.hosts[0].cpu_percent;
+        assert!(tcp_cpu > 170.0, "TCP CPU: {tcp_cpu}%");
+        assert!(rdma_cpu < 30.0, "RDMA CPU: {rdma_cpu}%");
+    }
+
+    #[test]
+    fn pingpong_latency_ordering() {
+        let lat = |t| {
+            one_host_pair(t, Workload::rtt(4096, 50)).flows[0]
+                .mean_rtt
+                .unwrap()
+        };
+        let shm = lat(TransportKind::SharedMemory);
+        let rdma = lat(TransportKind::Rdma);
+        let tcp = lat(TransportKind::TcpHost);
+        let overlay = lat(TransportKind::TcpOverlay);
+        assert!(shm < rdma, "shm {shm} !< rdma {rdma}");
+        assert!(rdma < tcp, "rdma {rdma} !< tcp {tcp}");
+        assert!(tcp < overlay, "tcp {tcp} !< overlay {overlay}");
+    }
+
+    #[test]
+    fn pingpong_records_requested_iterations() {
+        let r = one_host_pair(TransportKind::SharedMemory, Workload::rtt(64, 37));
+        assert_eq!(r.flows[0].delivered_msgs, 37);
+        assert!(r.flows[0].p50_rtt.is_some());
+        assert!(r.flows[0].p99_rtt >= r.flows[0].p50_rtt);
+    }
+
+    #[test]
+    fn latency_breakdown_sums_close_to_rtt() {
+        let r = one_host_pair(TransportKind::TcpHost, Workload::rtt(4096, 50));
+        let total = r.flows[0].breakdown_total();
+        let rtt = r.flows[0].mean_rtt.unwrap();
+        let err =
+            (total.as_nanos() as f64 - rtt.as_nanos() as f64).abs() / rtt.as_nanos() as f64;
+        assert!(err < 0.05, "breakdown {total} vs rtt {rtt}");
+    }
+
+    #[test]
+    fn determinism_same_scenario_same_report() {
+        let a = one_host_pair(TransportKind::TcpOverlay, Workload::bulk(1, 50));
+        let b = one_host_pair(TransportKind::TcpOverlay, Workload::bulk(1, 50));
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(
+            a.flows[0].throughput.as_bps(),
+            b.flows[0].throughput.as_bps()
+        );
+    }
+
+    #[test]
+    fn inter_host_rdma_line_rate_and_low_cpu() {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 200));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        let g = r.flows[0].throughput.as_gbps_f64();
+        assert!((g - 40.0).abs() < 1.5, "inter-host RDMA: {g} Gb/s");
+        assert!(r.hosts[0].cpu_percent < 30.0);
+    }
+
+    #[test]
+    fn dpdk_inter_host_line_rate_but_pinned_cores() {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Dpdk, Workload::bulk(1, 200));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        let g = r.flows[0].throughput.as_gbps_f64();
+        assert!((g - 40.0).abs() < 2.0, "DPDK: {g} Gb/s");
+        // Each host's PMD core is pinned.
+        assert!((r.hosts[0].poll_percent - 100.0).abs() < 1.0);
+        assert!((r.hosts[1].poll_percent - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multipair_tcp_saturates_cores() {
+        // 4 pairs of bridge-TCP on a 4-core host: aggregate must plateau
+        // well below 4 × single-pair (CPU-bound).
+        let single = {
+            let mut sim = NetSim::testbed();
+            let h = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h);
+            let b = sim.add_container(h);
+            sim.add_flow(a, b, TransportKind::TcpOverlay, Workload::bulk(1, 100));
+            sim.run_to_completion(Nanos::from_secs(10))
+                .aggregate_throughput()
+                .as_gbps_f64()
+        };
+        let quad = {
+            let mut sim = NetSim::testbed();
+            let h = sim.add_host(HostCaps::paper_testbed());
+            let mut flows = Vec::new();
+            for _ in 0..4 {
+                let a = sim.add_container(h);
+                let b = sim.add_container(h);
+                flows.push(sim.add_flow(a, b, TransportKind::TcpOverlay, Workload::bulk(1, 100)));
+            }
+            sim.run_to_completion(Nanos::from_secs(10))
+                .aggregate_throughput()
+                .as_gbps_f64()
+        };
+        assert!(
+            quad < single * 3.0,
+            "4 pairs ({quad}) must not scale linearly from 1 pair ({single})"
+        );
+    }
+
+    #[test]
+    fn empty_pipeline_delivers_instantly() {
+        // A flow whose transport builds a pipeline is normal; here we fake
+        // an empty one by exercising chunk delivery directly via a
+        // zero-stage flow: shared memory on one host with zero-size msgs
+        // still has stages, so instead verify zero-byte messages flow.
+        let r = one_host_pair(
+            TransportKind::SharedMemory,
+            Workload::Stream {
+                msg_size: ByteSize::ZERO,
+                window: 1,
+                messages: 5,
+            },
+        );
+        assert_eq!(r.flows[0].delivered_msgs, 5);
+    }
+
+    #[test]
+    fn unbounded_stream_stops_at_deadline() {
+        let mut sim = NetSim::testbed();
+        let h = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h);
+        let b = sim.add_container(h);
+        sim.add_flow(
+            a,
+            b,
+            TransportKind::TcpHost,
+            Workload::Stream {
+                msg_size: ByteSize::from_mib(1),
+                window: 4,
+                messages: 0,
+            },
+        );
+        let r = sim.run_until(Nanos::from_millis(20));
+        assert!(r.elapsed <= Nanos::from_millis(20));
+        assert!(r.flows[0].delivered_msgs > 10);
+        assert!(!sim.all_finished());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulator: conservation laws and
+//! determinism over arbitrary scenarios.
+
+use freeflow_netsim::workload::Workload;
+use freeflow_netsim::NetSim;
+use freeflow_types::{ByteSize, HostCaps, Nanos, TransportKind};
+use proptest::prelude::*;
+
+fn transport_for(intra: bool, pick: u8) -> TransportKind {
+    if intra {
+        match pick % 4 {
+            0 => TransportKind::SharedMemory,
+            1 => TransportKind::Rdma,
+            2 => TransportKind::TcpBridge,
+            _ => TransportKind::TcpOverlay,
+        }
+    } else {
+        match pick % 4 {
+            0 => TransportKind::Rdma,
+            1 => TransportKind::Dpdk,
+            2 => TransportKind::TcpHost,
+            _ => TransportKind::TcpOverlay,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any mix of flows: every bounded flow delivers exactly its
+    /// message count, byte accounting matches, utilizations stay in
+    /// [0, 1], and the report is deterministic.
+    #[test]
+    fn conservation_and_determinism(
+        flows in prop::collection::vec(
+            (any::<bool>(), 0u8..4, 1u64..6, 1u64..20), 1..6),
+    ) {
+        let build = || {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            for (intra, pick, mib, msgs) in &flows {
+                let (ha, hb) = if *intra { (h0, h0) } else { (h0, h1) };
+                let a = sim.add_container(ha);
+                let b = sim.add_container(hb);
+                sim.add_flow(
+                    a,
+                    b,
+                    transport_for(*intra, *pick),
+                    Workload::Stream {
+                        msg_size: ByteSize::from_mib(*mib),
+                        window: 4,
+                        messages: *msgs,
+                    },
+                );
+            }
+            sim.run_to_completion(Nanos::from_secs(120))
+        };
+        let r1 = build();
+        let r2 = build();
+
+        for (i, (_, _, mib, msgs)) in flows.iter().enumerate() {
+            prop_assert_eq!(r1.flows[i].delivered_msgs, *msgs, "flow {} incomplete", i);
+            prop_assert_eq!(
+                r1.flows[i].delivered_bytes,
+                ByteSize::from_mib(mib * msgs)
+            );
+            prop_assert!(r1.flows[i].throughput.as_bps() > 0);
+        }
+        for h in &r1.hosts {
+            for u in &h.core_utils {
+                prop_assert!((0.0..=1.0).contains(u));
+            }
+            prop_assert!((0.0..=1.0).contains(&h.nic_tx_util));
+            prop_assert!((0.0..=1.0).contains(&h.membus_util));
+            prop_assert!(h.cpu_percent >= 0.0);
+        }
+        // Determinism: identical scenario, identical numbers.
+        prop_assert_eq!(r1.elapsed, r2.elapsed);
+        for (f1, f2) in r1.flows.iter().zip(&r2.flows) {
+            prop_assert_eq!(f1.throughput.as_bps(), f2.throughput.as_bps());
+        }
+    }
+
+    /// Ping-pong flows record exactly the requested iterations and
+    /// positive RTTs whose mean lies between min and max samples.
+    #[test]
+    fn pingpong_rtt_sanity(
+        intra in any::<bool>(),
+        pick in 0u8..4,
+        bytes in 1u64..65_536,
+        iters in 1u64..50,
+    ) {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let (ha, hb) = if intra { (h0, h0) } else { (h0, h1) };
+        let a = sim.add_container(ha);
+        let b = sim.add_container(hb);
+        sim.add_flow(a, b, transport_for(intra, pick), Workload::rtt(bytes, iters));
+        let r = sim.run_to_completion(Nanos::from_secs(120));
+        prop_assert_eq!(r.flows[0].delivered_msgs, iters);
+        let mean = r.flows[0].mean_rtt.unwrap();
+        let p50 = r.flows[0].p50_rtt.unwrap();
+        let p99 = r.flows[0].p99_rtt.unwrap();
+        prop_assert!(mean > Nanos::ZERO);
+        prop_assert!(p50 <= p99);
+    }
+}

@@ -1,0 +1,128 @@
+//! The control-plane update feed.
+//!
+//! The paper's network library "keeps pulling the newest container
+//! location information from the network orchestrator"; a push feed is
+//! the efficient realization. Subscribers (per-container libraries, agents)
+//! receive [`OrchestratorEvent`]s over a bounded channel; a subscriber that
+//! stops draining is dropped rather than allowed to wedge the control
+//! plane.
+
+use crate::registry::ContainerLocation;
+use freeflow_types::{ContainerId, HostId, OverlayIp};
+use parking_lot::Mutex;
+
+/// What changed in the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrchestratorEvent {
+    /// A container joined and got an IP.
+    ContainerUp {
+        /// The new container.
+        id: ContainerId,
+        /// Its assigned overlay IP.
+        ip: OverlayIp,
+        /// Where it runs.
+        location: ContainerLocation,
+        /// The physical machine that resolves to.
+        physical_host: HostId,
+    },
+    /// A container moved (migration / reschedule). Peers must re-run path
+    /// selection: a former shm peer may now need RDMA, and vice versa.
+    ContainerMoved {
+        /// The container that moved.
+        id: ContainerId,
+        /// Its (unchanged) overlay IP — the key peers' caches invalidate.
+        ip: OverlayIp,
+        /// New placement.
+        location: ContainerLocation,
+        /// New physical machine.
+        physical_host: HostId,
+    },
+    /// A container left; its IP returned to the pool.
+    ContainerDown {
+        /// The departed container.
+        id: ContainerId,
+        /// The IP it released.
+        ip: OverlayIp,
+    },
+}
+
+const FEED_DEPTH: usize = 1024;
+
+/// Fan-out of [`OrchestratorEvent`]s to any number of subscribers.
+#[derive(Debug, Default)]
+pub struct EventFeed {
+    subscribers: Mutex<Vec<crossbeam::channel::Sender<OrchestratorEvent>>>,
+}
+
+impl EventFeed {
+    /// Empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe; returns the receiving end.
+    pub fn subscribe(&self) -> crossbeam::channel::Receiver<OrchestratorEvent> {
+        let (tx, rx) = crossbeam::channel::bounded(FEED_DEPTH);
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publish to all live subscribers; silently drops the dead or wedged.
+    pub fn publish(&self, event: OrchestratorEvent) {
+        self.subscribers
+            .lock()
+            .retain(|tx| tx.try_send(event.clone()).is_ok());
+    }
+
+    /// Live subscriber count (wedged ones are pruned on publish).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(id: u64) -> OrchestratorEvent {
+        OrchestratorEvent::ContainerUp {
+            id: ContainerId::new(id),
+            ip: OverlayIp::from_octets(10, 0, 0, id as u8),
+            location: ContainerLocation::BareMetal(HostId::new(0)),
+            physical_host: HostId::new(0),
+        }
+    }
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let feed = EventFeed::new();
+        let a = feed.subscribe();
+        let b = feed.subscribe();
+        feed.publish(up(1));
+        assert_eq!(a.try_recv().unwrap(), up(1));
+        assert_eq!(b.try_recv().unwrap(), up(1));
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let feed = EventFeed::new();
+        let a = feed.subscribe();
+        {
+            let _b = feed.subscribe();
+        }
+        feed.publish(up(1));
+        assert_eq!(feed.subscriber_count(), 1);
+        assert!(a.try_recv().is_ok());
+    }
+
+    #[test]
+    fn wedged_subscriber_is_pruned_not_blocking() {
+        let feed = EventFeed::new();
+        let _stuck = feed.subscribe(); // never drained
+        for i in 0..(FEED_DEPTH + 10) as u64 {
+            feed.publish(up(i));
+        }
+        // Once the buffer filled, the subscriber was dropped.
+        assert_eq!(feed.subscriber_count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Overlay IP address management.
+//!
+//! The control-plane feature the paper calls out explicitly: *"Container
+//! IPs can be assigned automatically by network agents via DHCP, or
+//! manually assigned by containers' configurations"* — and, crucially,
+//! *"IP assignments \[are\] independent to container's locations"*: nothing
+//! here knows about hosts at all.
+
+use freeflow_types::{Error, OverlayCidr, OverlayIp, Result};
+use std::collections::BTreeSet;
+
+/// How a container wants its address chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpAssign {
+    /// Next free address from the pool (DHCP-style).
+    Auto,
+    /// A specific address from the container's configuration.
+    Static(OverlayIp),
+}
+
+/// An allocator over one overlay CIDR block.
+#[derive(Debug)]
+pub struct Ipam {
+    cidr: OverlayCidr,
+    allocated: BTreeSet<OverlayIp>,
+    /// Rotating cursor so freed addresses are not instantly reused
+    /// (avoids stale-cache aliasing after container churn).
+    cursor: OverlayIp,
+}
+
+impl Ipam {
+    /// Manage the given block.
+    pub fn new(cidr: OverlayCidr) -> Self {
+        Self {
+            cidr,
+            allocated: BTreeSet::new(),
+            cursor: cidr.first_host(),
+        }
+    }
+
+    /// The managed block.
+    pub fn cidr(&self) -> OverlayCidr {
+        self.cidr
+    }
+
+    /// Number of addresses currently allocated.
+    pub fn allocated_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Number of usable host addresses in the block.
+    pub fn capacity(&self) -> u64 {
+        let first = self.cidr.first_host().raw() as u64;
+        let last = self.cidr.last_host().raw() as u64;
+        last - first + 1
+    }
+
+    /// Allocate an address.
+    pub fn allocate(&mut self, how: IpAssign) -> Result<OverlayIp> {
+        match how {
+            IpAssign::Static(ip) => {
+                if !self.cidr.contains(ip) {
+                    return Err(Error::config(format!(
+                        "static IP {ip} outside overlay {}",
+                        self.cidr
+                    )));
+                }
+                if ip < self.cidr.first_host() || ip > self.cidr.last_host() {
+                    return Err(Error::config(format!(
+                        "static IP {ip} is a reserved address of {}",
+                        self.cidr
+                    )));
+                }
+                if !self.allocated.insert(ip) {
+                    return Err(Error::already_exists(format!("overlay IP {ip}")));
+                }
+                Ok(ip)
+            }
+            IpAssign::Auto => {
+                if self.allocated.len() as u64 >= self.capacity() {
+                    return Err(Error::exhausted(format!("overlay pool {}", self.cidr)));
+                }
+                let first = self.cidr.first_host();
+                let last = self.cidr.last_host();
+                let mut candidate = self.cursor;
+                loop {
+                    if self.allocated.insert(candidate) {
+                        self.cursor = if candidate == last { first } else { OverlayIp(candidate.raw() + 1) };
+                        return Ok(candidate);
+                    }
+                    candidate = if candidate == last { first } else { OverlayIp(candidate.raw() + 1) };
+                }
+            }
+        }
+    }
+
+    /// Release an address back to the pool.
+    pub fn release(&mut self, ip: OverlayIp) -> Result<()> {
+        if self.allocated.remove(&ip) {
+            Ok(())
+        } else {
+            Err(Error::not_found(format!("overlay IP {ip} not allocated")))
+        }
+    }
+
+    /// Whether an address is currently allocated.
+    pub fn is_allocated(&self, ip: OverlayIp) -> bool {
+        self.allocated.contains(&ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> Ipam {
+        Ipam::new("10.9.0.0/29".parse().unwrap()) // hosts .1 .. .6
+    }
+
+    #[test]
+    fn auto_allocation_is_sequential_and_unique() {
+        let mut ipam = small_pool();
+        let a = ipam.allocate(IpAssign::Auto).unwrap();
+        let b = ipam.allocate(IpAssign::Auto).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "10.9.0.1");
+        assert_eq!(b.to_string(), "10.9.0.2");
+        assert_eq!(ipam.allocated_count(), 2);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut ipam = small_pool();
+        for _ in 0..ipam.capacity() {
+            ipam.allocate(IpAssign::Auto).unwrap();
+        }
+        assert!(matches!(
+            ipam.allocate(IpAssign::Auto),
+            Err(Error::Exhausted(_))
+        ));
+    }
+
+    #[test]
+    fn static_allocation_and_conflict() {
+        let mut ipam = small_pool();
+        let ip: OverlayIp = "10.9.0.5".parse().unwrap();
+        assert_eq!(ipam.allocate(IpAssign::Static(ip)).unwrap(), ip);
+        assert!(matches!(
+            ipam.allocate(IpAssign::Static(ip)),
+            Err(Error::AlreadyExists(_))
+        ));
+        // Auto skips the statically taken address.
+        for _ in 0..(ipam.capacity() - 1) {
+            let got = ipam.allocate(IpAssign::Auto).unwrap();
+            assert_ne!(got, ip);
+        }
+    }
+
+    #[test]
+    fn static_outside_pool_rejected() {
+        let mut ipam = small_pool();
+        assert!(ipam
+            .allocate(IpAssign::Static("192.168.0.1".parse().unwrap()))
+            .is_err());
+        // Network/broadcast addresses of the block are reserved.
+        assert!(ipam
+            .allocate(IpAssign::Static("10.9.0.0".parse().unwrap()))
+            .is_err());
+        assert!(ipam
+            .allocate(IpAssign::Static("10.9.0.7".parse().unwrap()))
+            .is_err());
+    }
+
+    #[test]
+    fn release_and_delayed_reuse() {
+        let mut ipam = small_pool();
+        let a = ipam.allocate(IpAssign::Auto).unwrap();
+        ipam.release(a).unwrap();
+        assert!(!ipam.is_allocated(a));
+        // The cursor has moved on: the next auto allocation is not `a`.
+        let b = ipam.allocate(IpAssign::Auto).unwrap();
+        assert_ne!(b, a);
+        // Double release fails.
+        assert!(ipam.release(a).is_err());
+    }
+
+    #[test]
+    fn cursor_wraps_the_pool() {
+        let mut ipam = small_pool();
+        // Allocate and free one address enough times to wrap.
+        for _ in 0..20 {
+            let ip = ipam.allocate(IpAssign::Auto).unwrap();
+            ipam.release(ip).unwrap();
+        }
+        assert_eq!(ipam.allocated_count(), 0);
+    }
+}

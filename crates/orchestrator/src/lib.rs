@@ -1,0 +1,36 @@
+//! # freeflow-orchestrator
+//!
+//! FreeFlow's (conceptually) centralized control plane — the paper's first
+//! building block: *"a central place which stores the realtime locations
+//! of each container in the cluster"*, extended so that "executing
+//! applications \[can\] query for the physical deployment location of each
+//! container".
+//!
+//! It maintains the paper's three kinds of global information:
+//!
+//! 1. **container locations** — from the cluster orchestrator
+//!    (Mesos/Kubernetes stand-in): [`registry`], including the VM → machine
+//!    map a cloud fabric controller would provide for deployment cases (c)
+//!    and (d);
+//! 2. **assigned overlay IPs** — [`ipam`], DHCP-style automatic or static;
+//! 3. **host NIC capabilities** — fed to [`policy`], which makes the
+//!    per-flow data-plane decision (shared memory / RDMA / DPDK / TCP)
+//!    that is FreeFlow's whole point.
+//!
+//! Libraries keep their location caches fresh through the [`events`]
+//! subscription feed instead of polling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod events;
+pub mod ipam;
+pub mod orchestrator;
+pub mod policy;
+pub mod registry;
+
+pub use events::OrchestratorEvent;
+pub use ipam::{IpAssign, Ipam};
+pub use orchestrator::Orchestrator;
+pub use policy::{PolicyConfig, PolicyEngine};
+pub use registry::{ContainerLocation, ContainerRecord, Registry};

@@ -1,0 +1,404 @@
+//! The orchestrator facade: one thread-safe object combining registry,
+//! IPAM, policy and the event feed — what agents and per-container
+//! libraries hold an `Arc` of.
+
+use crate::events::{EventFeed, OrchestratorEvent};
+use crate::ipam::{IpAssign, Ipam};
+use crate::policy::{PolicyConfig, PolicyEngine};
+use crate::registry::{ContainerLocation, ContainerRecord, Registry};
+use freeflow_types::transport::PathDecision;
+use freeflow_types::{
+    ContainerId, Error, HostCaps, HostId, OverlayCidr, OverlayIp, Result, TenantId, VmId,
+};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+struct State {
+    registry: Registry,
+    ipam: Ipam,
+}
+
+/// The central network orchestrator.
+pub struct Orchestrator {
+    state: RwLock<State>,
+    policy: PolicyEngine,
+    feed: EventFeed,
+}
+
+impl Orchestrator {
+    /// Create an orchestrator managing `overlay` with the given policy.
+    pub fn new(overlay: OverlayCidr, policy: PolicyConfig) -> Arc<Self> {
+        Arc::new(Self {
+            state: RwLock::new(State {
+                registry: Registry::new(),
+                ipam: Ipam::new(overlay),
+            }),
+            policy: PolicyEngine::new(policy),
+            feed: EventFeed::new(),
+        })
+    }
+
+    /// Orchestrator with the default overlay (`10.0.0.0/16`) and policy.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new("10.0.0.0/16".parse().expect("static"), PolicyConfig::default())
+    }
+
+    // --- infrastructure ---------------------------------------------------
+
+    /// Register a physical host and its NIC capabilities.
+    pub fn add_host(&self, id: HostId, caps: HostCaps) -> Result<()> {
+        self.state.write().registry.add_host(id, caps)
+    }
+
+    /// Register a VM → machine mapping (fabric-controller input).
+    pub fn add_vm(&self, vm: VmId, host: HostId) -> Result<()> {
+        self.state.write().registry.add_vm(vm, host)
+    }
+
+    /// Host capabilities.
+    pub fn host_caps(&self, id: HostId) -> Result<HostCaps> {
+        self.state.read().registry.host_caps(id).copied()
+    }
+
+    // --- container lifecycle ----------------------------------------------
+
+    /// Register a container, assigning an overlay IP.
+    pub fn register_container(
+        &self,
+        id: ContainerId,
+        tenant: TenantId,
+        location: ContainerLocation,
+        ip: IpAssign,
+    ) -> Result<OverlayIp> {
+        let (assigned, physical_host) = {
+            let mut st = self.state.write();
+            // Validate the location first so a bad registration does not
+            // leak an address.
+            let physical_host = st.registry.physical_host(location)?;
+            let assigned = st.ipam.allocate(ip)?;
+            let record = ContainerRecord {
+                id,
+                tenant,
+                location,
+                ip: assigned,
+            };
+            if let Err(e) = st.registry.insert_container(record) {
+                st.ipam.release(assigned).expect("just allocated");
+                return Err(e);
+            }
+            (assigned, physical_host)
+        };
+        self.feed.publish(OrchestratorEvent::ContainerUp {
+            id,
+            ip: assigned,
+            location,
+            physical_host,
+        });
+        Ok(assigned)
+    }
+
+    /// Move a container (reschedule / live migration). Its IP is kept.
+    pub fn move_container(&self, id: ContainerId, to: ContainerLocation) -> Result<()> {
+        let (ip, physical_host) = {
+            let mut st = self.state.write();
+            st.registry.move_container(id, to)?;
+            let ip = st.registry.container(id)?.ip;
+            (ip, st.registry.physical_host(to)?)
+        };
+        self.feed.publish(OrchestratorEvent::ContainerMoved {
+            id,
+            ip,
+            location: to,
+            physical_host,
+        });
+        Ok(())
+    }
+
+    /// Deregister a container, releasing its IP.
+    pub fn deregister_container(&self, id: ContainerId) -> Result<()> {
+        let ip = {
+            let mut st = self.state.write();
+            let rec = st.registry.remove_container(id)?;
+            st.ipam.release(rec.ip)?;
+            rec.ip
+        };
+        self.feed.publish(OrchestratorEvent::ContainerDown { id, ip });
+        Ok(())
+    }
+
+    // --- queries ------------------------------------------------------------
+
+    /// Full record for a container.
+    pub fn container(&self, id: ContainerId) -> Result<ContainerRecord> {
+        self.state.read().registry.container(id).cloned()
+    }
+
+    /// The physical machine a container currently runs on — the query the
+    /// paper's library issues before picking a transport.
+    pub fn locate(&self, id: ContainerId) -> Result<HostId> {
+        let st = self.state.read();
+        let rec = st.registry.container(id)?;
+        st.registry.physical_host(rec.location)
+    }
+
+    /// Reverse lookup: who owns this overlay IP?
+    pub fn whois(&self, ip: OverlayIp) -> Result<ContainerRecord> {
+        self.state.read().registry.by_ip(ip).cloned()
+    }
+
+    /// Decide the data plane for `src → dst`.
+    pub fn decide_path(&self, src: ContainerId, dst: ContainerId) -> Result<PathDecision> {
+        let st = self.state.read();
+        self.policy.decide(&st.registry, src, dst)
+    }
+
+    /// Decide by IP addresses (what a socket `connect()` knows).
+    pub fn decide_path_by_ip(&self, src: OverlayIp, dst: OverlayIp) -> Result<PathDecision> {
+        let st = self.state.read();
+        let s = st.registry.by_ip(src)?.id;
+        let d = st.registry.by_ip(dst)?.id;
+        self.policy.decide(&st.registry, s, d)
+    }
+
+    /// Per-host routing view: every remote container's `(ip, physical
+    /// host)` — what an agent installs into its forwarding table.
+    pub fn routes_for(&self, host: HostId) -> Vec<(OverlayIp, HostId)> {
+        let st = self.state.read();
+        let mut routes: Vec<(OverlayIp, HostId)> = st
+            .registry
+            .host_ids()
+            .filter(|h| *h != host)
+            .flat_map(|h| {
+                st.registry
+                    .containers_on(h)
+                    .into_iter()
+                    .map(move |c| (c.ip, h))
+            })
+            .collect();
+        routes.sort_by_key(|(ip, _)| *ip);
+        routes
+    }
+
+    /// All containers on a host (an agent's local population).
+    pub fn containers_on(&self, host: HostId) -> Vec<ContainerRecord> {
+        self.state
+            .read()
+            .registry
+            .containers_on(host)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Subscribe to cluster change events.
+    pub fn subscribe(&self) -> crossbeam::channel::Receiver<OrchestratorEvent> {
+        self.feed.subscribe()
+    }
+
+    /// Number of registered containers.
+    pub fn container_count(&self) -> usize {
+        self.state.read().registry.container_count()
+    }
+
+    /// Validate that an IP is currently assigned (debug/ops helper).
+    pub fn ip_in_use(&self, ip: OverlayIp) -> bool {
+        self.state.read().ipam.is_allocated(ip)
+    }
+}
+
+impl std::fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.read();
+        f.debug_struct("Orchestrator")
+            .field("containers", &st.registry.container_count())
+            .field("overlay", &st.ipam.cidr())
+            .finish()
+    }
+}
+
+/// Convenience: an `Err` when the decision is unreachable.
+pub fn require_transport(decision: PathDecision) -> Result<freeflow_types::TransportKind> {
+    decision
+        .transport()
+        .ok_or_else(|| Error::unreachable("no transport available"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow_types::TransportKind;
+
+    fn setup() -> Arc<Orchestrator> {
+        let orch = Orchestrator::with_defaults();
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        orch.add_host(HostId::new(1), HostCaps::paper_testbed()).unwrap();
+        orch
+    }
+
+    fn bm(h: u64) -> ContainerLocation {
+        ContainerLocation::BareMetal(HostId::new(h))
+    }
+
+    #[test]
+    fn register_assigns_ips_and_publishes() {
+        let orch = setup();
+        let feed = orch.subscribe();
+        let ip1 = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip2 = orch
+            .register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_ne!(ip1, ip2);
+        assert!(orch.ip_in_use(ip1));
+        match feed.try_recv().unwrap() {
+            OrchestratorEvent::ContainerUp { id, ip, .. } => {
+                assert_eq!(id, ContainerId::new(1));
+                assert_eq!(ip, ip1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_does_not_leak_ip() {
+        let orch = setup();
+        let before_ip = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        // Same id again: must fail and release the would-be address.
+        let err = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap_err();
+        assert!(matches!(err, Error::AlreadyExists(_)));
+        // Next registration gets the address the failed attempt touched
+        // back eventually — at minimum, the pool didn't shrink by two.
+        let ip3 = orch
+            .register_container(ContainerId::new(3), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        assert_ne!(ip3, before_ip);
+    }
+
+    #[test]
+    fn locate_and_whois() {
+        let orch = setup();
+        let ip = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(orch.locate(ContainerId::new(1)).unwrap(), HostId::new(1));
+        assert_eq!(orch.whois(ip).unwrap().id, ContainerId::new(1));
+    }
+
+    #[test]
+    fn path_decision_end_to_end() {
+        let orch = setup();
+        let ip1 = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip2 = orch
+            .register_container(ContainerId::new(2), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip3 = orch
+            .register_container(ContainerId::new(3), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(
+            orch.decide_path_by_ip(ip1, ip2).unwrap().transport(),
+            Some(TransportKind::SharedMemory)
+        );
+        assert_eq!(
+            orch.decide_path_by_ip(ip1, ip3).unwrap().transport(),
+            Some(TransportKind::Rdma)
+        );
+    }
+
+    #[test]
+    fn migration_flips_the_decision() {
+        let orch = setup();
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        orch.register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(
+            orch.decide_path(ContainerId::new(1), ContainerId::new(2))
+                .unwrap()
+                .transport(),
+            Some(TransportKind::Rdma)
+        );
+        let feed = orch.subscribe();
+        // Container 2 migrates onto host 0 → the same pair is now shm.
+        orch.move_container(ContainerId::new(2), bm(0)).unwrap();
+        assert_eq!(
+            orch.decide_path(ContainerId::new(1), ContainerId::new(2))
+                .unwrap()
+                .transport(),
+            Some(TransportKind::SharedMemory)
+        );
+        assert!(matches!(
+            feed.try_recv().unwrap(),
+            OrchestratorEvent::ContainerMoved { .. }
+        ));
+    }
+
+    #[test]
+    fn deregister_releases_ip_for_reuse() {
+        let orch = setup();
+        let ip = orch
+            .register_container(
+                ContainerId::new(1),
+                TenantId::new(1),
+                bm(0),
+                IpAssign::Static("10.0.0.77".parse().unwrap()),
+            )
+            .unwrap();
+        assert_eq!(ip.to_string(), "10.0.0.77");
+        orch.deregister_container(ContainerId::new(1)).unwrap();
+        assert!(!orch.ip_in_use(ip));
+        // The static address is takeable again.
+        orch.register_container(
+            ContainerId::new(2),
+            TenantId::new(1),
+            bm(0),
+            IpAssign::Static(ip),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn routes_for_lists_remote_containers_only() {
+        let orch = setup();
+        let _ip1 = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip2 = orch
+            .register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        let routes = orch.routes_for(HostId::new(0));
+        assert_eq!(routes, vec![(ip2, HostId::new(1))]);
+    }
+
+    #[test]
+    fn concurrent_registrations_are_consistent() {
+        let orch = setup();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let orch = Arc::clone(&orch);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        orch.register_container(
+                            ContainerId::new(t * 100 + i),
+                            TenantId::new(1),
+                            bm(t % 2),
+                            IpAssign::Auto,
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(orch.container_count(), 200);
+        // All IPs distinct (registry would have rejected duplicates).
+    }
+}

@@ -1,0 +1,324 @@
+//! The data-plane selection policy — the decision at FreeFlow's heart.
+//!
+//! Paper §3.1: *"one container should decide how to communicate with
+//! another according to the latter's location, using the optimal transport
+//! for high networking performance"*; §4: the control plane selects the
+//! data plane *"according to multiple factors, such as container
+//! locations, hardware capabilities and so on"*.
+//!
+//! The decision procedure reproduces the paper's (commented) constraint
+//! matrix `tab:best-network` across the four deployment cases of Figure 2:
+//!
+//! | constraint | (a) same host | (b) diff hosts | (c) same host, VMs | (d) diff hosts, VMs |
+//! |---|---|---|---|---|
+//! | none | SharedMem | RDMA | SharedMem | RDMA |
+//! | w/o trust | TCP/IP | TCP/IP | TCP/IP | TCP/IP |
+//! | w/o RDMA NIC | SharedMem | TCP/IP | SharedMem | TCP/IP |
+//!
+//! (With DPDK-capable-but-not-RDMA NICs the inter-host rows pick DPDK
+//! before falling back to TCP.)
+
+use crate::registry::{ContainerLocation, Registry};
+use freeflow_types::transport::PathDecision;
+use freeflow_types::{ContainerId, Result, TransportKind};
+
+/// Tunables of the policy engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyConfig {
+    /// Master switch for kernel-bypass transports (shm/RDMA/DPDK). Off
+    /// models the "w/o trust" row: everything degrades to TCP.
+    pub allow_kernel_bypass: bool,
+    /// Whether two containers in *different VMs on one host* may share
+    /// memory (requires NetVM-style inter-VM channels; the paper's
+    /// discussion section leaves this future work but the constraint
+    /// matrix assumes it).
+    pub allow_cross_vm_shm: bool,
+    /// Kernel-bypass transports require both containers to belong to one
+    /// tenant (the paper's trust precondition). Disable only in tests.
+    pub require_same_tenant: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            allow_kernel_bypass: true,
+            allow_cross_vm_shm: true,
+            require_same_tenant: true,
+        }
+    }
+}
+
+/// The decision engine. Stateless: reads the registry per query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyEngine {
+    /// Active configuration.
+    pub config: PolicyConfig,
+}
+
+impl PolicyEngine {
+    /// Engine with the given config.
+    pub fn new(config: PolicyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Decide the transport for traffic `src → dst`.
+    pub fn decide(
+        &self,
+        registry: &Registry,
+        src: ContainerId,
+        dst: ContainerId,
+    ) -> Result<PathDecision> {
+        let s = registry.container(src)?;
+        let d = registry.container(dst)?;
+        let sh = registry.physical_host(s.location)?;
+        let dh = registry.physical_host(d.location)?;
+        let same_host = sh == dh;
+
+        // Trust gate: kernel bypass relaxes isolation, so only between
+        // mutually trusting (same-tenant) containers, and only when the
+        // operator allows bypass at all.
+        let trusted = !self.config.require_same_tenant || s.tenant == d.tenant;
+        if !self.config.allow_kernel_bypass || !trusted {
+            let why = if !self.config.allow_kernel_bypass {
+                "kernel bypass disabled by operator"
+            } else {
+                "cross-tenant: isolation must hold"
+            };
+            return Ok(PathDecision::selected(
+                TransportKind::TcpOverlay,
+                format!("{why}; falling back to overlay TCP"),
+            ));
+        }
+
+        if same_host {
+            // Cases (a) and (c): co-located.
+            let caps = registry.host_caps(sh)?;
+            let same_vm = match (s.location, d.location) {
+                (ContainerLocation::InVm(a), ContainerLocation::InVm(b)) => a == b,
+                (ContainerLocation::BareMetal(_), ContainerLocation::BareMetal(_)) => true,
+                _ => false,
+            };
+            let shm_ok =
+                caps.allow_shared_memory && (same_vm || self.config.allow_cross_vm_shm);
+            if shm_ok {
+                return Ok(PathDecision::selected(
+                    TransportKind::SharedMemory,
+                    format!("co-located on {sh}; shared memory"),
+                ));
+            }
+            // Same host but shm unavailable: intra-host RDMA hairpin still
+            // beats the bridge path when the NIC offers it.
+            if caps.nic.kind.supports_rdma() {
+                return Ok(PathDecision::selected(
+                    TransportKind::Rdma,
+                    format!("co-located on {sh}, shm unavailable; NIC-hairpin RDMA"),
+                ));
+            }
+            return Ok(PathDecision::selected(
+                TransportKind::TcpOverlay,
+                format!("co-located on {sh}, no bypass available; overlay TCP"),
+            ));
+        }
+
+        // Cases (b) and (d): different hosts — best transport both NICs
+        // support.
+        let s_caps = registry.host_caps(sh)?;
+        let d_caps = registry.host_caps(dh)?;
+        if s_caps.nic.kind.supports_rdma() && d_caps.nic.kind.supports_rdma() {
+            return Ok(PathDecision::selected(
+                TransportKind::Rdma,
+                format!("{sh} → {dh}: both NICs RDMA-capable"),
+            ));
+        }
+        if s_caps.nic.kind.supports_dpdk() && d_caps.nic.kind.supports_dpdk() {
+            return Ok(PathDecision::selected(
+                TransportKind::Dpdk,
+                format!("{sh} → {dh}: DPDK-capable NICs, no RDMA"),
+            ));
+        }
+        Ok(PathDecision::selected(
+            TransportKind::TcpHost,
+            format!("{sh} → {dh}: plain NICs; agent-managed host TCP"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ContainerRecord, Registry};
+    use freeflow_types::{HostCaps, HostId, NicCaps, TenantId, VmId};
+
+    /// Cluster covering all four deployment cases:
+    /// host0 (RDMA), host1 (RDMA), host2 (plain NIC), host3 (DPDK-only);
+    /// vm10/vm11 on host0, vm12 on host1.
+    fn cluster() -> Registry {
+        let mut r = Registry::new();
+        r.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        r.add_host(HostId::new(1), HostCaps::paper_testbed()).unwrap();
+        r.add_host(HostId::new(2), HostCaps::commodity()).unwrap();
+        r.add_host(
+            HostId::new(3),
+            HostCaps {
+                nic: NicCaps::dpdk_40g(),
+                ..HostCaps::paper_testbed()
+            },
+        )
+        .unwrap();
+        r.add_vm(VmId::new(10), HostId::new(0)).unwrap();
+        r.add_vm(VmId::new(11), HostId::new(0)).unwrap();
+        r.add_vm(VmId::new(12), HostId::new(1)).unwrap();
+        r
+    }
+
+    fn add(r: &mut Registry, id: u64, tenant: u64, loc: ContainerLocation, last: u8) {
+        r.insert_container(ContainerRecord {
+            id: ContainerId::new(id),
+            tenant: TenantId::new(tenant),
+            location: loc,
+            ip: freeflow_types::OverlayIp::from_octets(10, 0, 0, last),
+        })
+        .unwrap();
+    }
+
+    fn decide(r: &Registry, a: u64, b: u64) -> TransportKind {
+        PolicyEngine::default()
+            .decide(r, ContainerId::new(a), ContainerId::new(b))
+            .unwrap()
+            .transport()
+            .unwrap()
+    }
+
+    #[test]
+    fn case_a_same_baremetal_host_shm() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        assert_eq!(decide(&r, 1, 2), TransportKind::SharedMemory);
+    }
+
+    #[test]
+    fn case_b_different_hosts_rdma() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(1)), 2);
+        assert_eq!(decide(&r, 1, 2), TransportKind::Rdma);
+    }
+
+    #[test]
+    fn case_c_vms_same_host_shm() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::InVm(VmId::new(10)), 1);
+        add(&mut r, 2, 1, ContainerLocation::InVm(VmId::new(11)), 2);
+        assert_eq!(decide(&r, 1, 2), TransportKind::SharedMemory);
+    }
+
+    #[test]
+    fn case_d_vms_different_hosts_rdma() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::InVm(VmId::new(10)), 1);
+        add(&mut r, 2, 1, ContainerLocation::InVm(VmId::new(12)), 2);
+        assert_eq!(decide(&r, 1, 2), TransportKind::Rdma);
+    }
+
+    #[test]
+    fn without_trust_everything_is_tcp() {
+        // Different tenants: all four cases degrade to overlay TCP.
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
+        add(&mut r, 2, 2, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        add(&mut r, 3, 2, ContainerLocation::BareMetal(HostId::new(1)), 3);
+        assert_eq!(decide(&r, 1, 2), TransportKind::TcpOverlay);
+        assert_eq!(decide(&r, 1, 3), TransportKind::TcpOverlay);
+    }
+
+    #[test]
+    fn operator_bypass_off_is_tcp() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        let engine = PolicyEngine::new(PolicyConfig {
+            allow_kernel_bypass: false,
+            ..Default::default()
+        });
+        let d = engine
+            .decide(&r, ContainerId::new(1), ContainerId::new(2))
+            .unwrap();
+        assert_eq!(d.transport(), Some(TransportKind::TcpOverlay));
+    }
+
+    #[test]
+    fn without_rdma_nic_intra_host_still_shm_inter_host_tcp() {
+        // The "w/o RDMA NIC" row: host2 has a plain NIC.
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(2)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(2)), 2);
+        add(&mut r, 3, 1, ContainerLocation::BareMetal(HostId::new(0)), 3);
+        assert_eq!(decide(&r, 1, 2), TransportKind::SharedMemory);
+        assert_eq!(decide(&r, 1, 3), TransportKind::TcpHost);
+    }
+
+    #[test]
+    fn dpdk_when_both_support_it_but_not_rdma() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(3)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        // host3 is DPDK-only, host0 is RDMA (⊃ DPDK): best common is DPDK.
+        assert_eq!(decide(&r, 1, 2), TransportKind::Dpdk);
+    }
+
+    #[test]
+    fn cross_vm_shm_can_be_disabled() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::InVm(VmId::new(10)), 1);
+        add(&mut r, 2, 1, ContainerLocation::InVm(VmId::new(11)), 2);
+        let engine = PolicyEngine::new(PolicyConfig {
+            allow_cross_vm_shm: false,
+            ..Default::default()
+        });
+        let d = engine
+            .decide(&r, ContainerId::new(1), ContainerId::new(2))
+            .unwrap();
+        // Falls back to the NIC hairpin, not all the way to TCP.
+        assert_eq!(d.transport(), Some(TransportKind::Rdma));
+    }
+
+    #[test]
+    fn same_vm_shm_allowed_even_when_cross_vm_disabled() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::InVm(VmId::new(10)), 1);
+        add(&mut r, 2, 1, ContainerLocation::InVm(VmId::new(10)), 2);
+        let engine = PolicyEngine::new(PolicyConfig {
+            allow_cross_vm_shm: false,
+            ..Default::default()
+        });
+        let d = engine
+            .decide(&r, ContainerId::new(1), ContainerId::new(2))
+            .unwrap();
+        assert_eq!(d.transport(), Some(TransportKind::SharedMemory));
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let r = cluster();
+        assert!(PolicyEngine::default()
+            .decide(&r, ContainerId::new(1), ContainerId::new(2))
+            .is_err());
+    }
+
+    #[test]
+    fn decisions_carry_reasons() {
+        let mut r = cluster();
+        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
+        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(1)), 2);
+        let d = PolicyEngine::default()
+            .decide(&r, ContainerId::new(1), ContainerId::new(2))
+            .unwrap();
+        match d {
+            PathDecision::Selected { reason, .. } => {
+                assert!(reason.contains("RDMA"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

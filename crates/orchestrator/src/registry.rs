@@ -1,0 +1,272 @@
+//! Container and infrastructure registry.
+//!
+//! Tracks what the cluster orchestrator and fabric controller would know:
+//! which hosts exist (and their NIC capabilities), which VMs run on which
+//! machine, and where every container currently lives. [`Registry`] is the
+//! ground truth the policy engine and every location query read from.
+
+use freeflow_types::{ContainerId, Error, HostCaps, HostId, OverlayIp, Result, TenantId, VmId};
+use std::collections::HashMap;
+
+/// Where a container runs: directly on a machine, or inside a VM
+/// (deployment cases (a)/(b) vs (c)/(d) of the paper's Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerLocation {
+    /// Bare-metal placement on a physical host.
+    BareMetal(HostId),
+    /// Inside a VM; the physical host comes from the fabric map.
+    InVm(VmId),
+}
+
+/// Everything the control plane knows about one container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerRecord {
+    /// The container's id.
+    pub id: ContainerId,
+    /// Owning tenant — the trust boundary for kernel-bypass transports.
+    pub tenant: TenantId,
+    /// Current placement.
+    pub location: ContainerLocation,
+    /// Assigned overlay IP.
+    pub ip: OverlayIp,
+}
+
+/// The cluster state store.
+#[derive(Debug, Default)]
+pub struct Registry {
+    hosts: HashMap<HostId, HostCaps>,
+    vms: HashMap<VmId, HostId>,
+    containers: HashMap<ContainerId, ContainerRecord>,
+    by_ip: HashMap<OverlayIp, ContainerId>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a physical host and its capabilities.
+    pub fn add_host(&mut self, id: HostId, caps: HostCaps) -> Result<()> {
+        if self.hosts.insert(id, caps).is_some() {
+            return Err(Error::already_exists(format!("{id}")));
+        }
+        Ok(())
+    }
+
+    /// Register a VM and the machine it runs on (fabric-controller data).
+    pub fn add_vm(&mut self, vm: VmId, host: HostId) -> Result<()> {
+        if !self.hosts.contains_key(&host) {
+            return Err(Error::not_found(format!("{host}")));
+        }
+        if self.vms.insert(vm, host).is_some() {
+            return Err(Error::already_exists(format!("{vm}")));
+        }
+        Ok(())
+    }
+
+    /// Host capabilities.
+    pub fn host_caps(&self, id: HostId) -> Result<&HostCaps> {
+        self.hosts
+            .get(&id)
+            .ok_or_else(|| Error::not_found(format!("{id}")))
+    }
+
+    /// Resolve a location to the physical machine.
+    pub fn physical_host(&self, loc: ContainerLocation) -> Result<HostId> {
+        match loc {
+            ContainerLocation::BareMetal(h) => {
+                if self.hosts.contains_key(&h) {
+                    Ok(h)
+                } else {
+                    Err(Error::not_found(format!("{h}")))
+                }
+            }
+            ContainerLocation::InVm(vm) => self
+                .vms
+                .get(&vm)
+                .copied()
+                .ok_or_else(|| Error::not_found(format!("{vm}"))),
+        }
+    }
+
+    /// Record a new container.
+    pub fn insert_container(&mut self, record: ContainerRecord) -> Result<()> {
+        // Validate the location resolves before mutating anything.
+        self.physical_host(record.location)?;
+        if self.containers.contains_key(&record.id) {
+            return Err(Error::already_exists(format!("{}", record.id)));
+        }
+        if self.by_ip.contains_key(&record.ip) {
+            return Err(Error::already_exists(format!("IP {}", record.ip)));
+        }
+        self.by_ip.insert(record.ip, record.id);
+        self.containers.insert(record.id, record);
+        Ok(())
+    }
+
+    /// Move a container (live migration / reschedule). The IP stays — the
+    /// portability property.
+    pub fn move_container(&mut self, id: ContainerId, to: ContainerLocation) -> Result<()> {
+        self.physical_host(to)?;
+        let rec = self
+            .containers
+            .get_mut(&id)
+            .ok_or_else(|| Error::not_found(format!("{id}")))?;
+        rec.location = to;
+        Ok(())
+    }
+
+    /// Remove a container; returns its record (the IP is released by the
+    /// caller, which owns IPAM).
+    pub fn remove_container(&mut self, id: ContainerId) -> Result<ContainerRecord> {
+        let rec = self
+            .containers
+            .remove(&id)
+            .ok_or_else(|| Error::not_found(format!("{id}")))?;
+        self.by_ip.remove(&rec.ip);
+        Ok(rec)
+    }
+
+    /// Look up a container's record.
+    pub fn container(&self, id: ContainerId) -> Result<&ContainerRecord> {
+        self.containers
+            .get(&id)
+            .ok_or_else(|| Error::not_found(format!("{id}")))
+    }
+
+    /// Reverse lookup by overlay IP.
+    pub fn by_ip(&self, ip: OverlayIp) -> Result<&ContainerRecord> {
+        let id = self
+            .by_ip
+            .get(&ip)
+            .ok_or_else(|| Error::not_found(format!("IP {ip}")))?;
+        self.container(*id)
+    }
+
+    /// All containers currently on a physical host (including in VMs on
+    /// it) — what an agent needs to build its local view.
+    pub fn containers_on(&self, host: HostId) -> Vec<&ContainerRecord> {
+        self.containers
+            .values()
+            .filter(|r| self.physical_host(r.location) == Ok(host))
+            .collect()
+    }
+
+    /// Number of registered containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Iterate all host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, tenant: u64, loc: ContainerLocation, ip: &str) -> ContainerRecord {
+        ContainerRecord {
+            id: ContainerId::new(id),
+            tenant: TenantId::new(tenant),
+            location: loc,
+            ip: ip.parse().unwrap(),
+        }
+    }
+
+    fn registry_with_hosts() -> Registry {
+        let mut r = Registry::new();
+        r.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        r.add_host(HostId::new(1), HostCaps::commodity()).unwrap();
+        r.add_vm(VmId::new(10), HostId::new(0)).unwrap();
+        r
+    }
+
+    #[test]
+    fn host_and_vm_resolution() {
+        let r = registry_with_hosts();
+        assert_eq!(
+            r.physical_host(ContainerLocation::BareMetal(HostId::new(1))).unwrap(),
+            HostId::new(1)
+        );
+        assert_eq!(
+            r.physical_host(ContainerLocation::InVm(VmId::new(10))).unwrap(),
+            HostId::new(0)
+        );
+        assert!(r.physical_host(ContainerLocation::InVm(VmId::new(99))).is_err());
+        assert!(r
+            .physical_host(ContainerLocation::BareMetal(HostId::new(9)))
+            .is_err());
+    }
+
+    #[test]
+    fn vm_requires_known_host() {
+        let mut r = Registry::new();
+        assert!(r.add_vm(VmId::new(1), HostId::new(0)).is_err());
+    }
+
+    #[test]
+    fn container_lifecycle() {
+        let mut r = registry_with_hosts();
+        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .unwrap();
+        assert_eq!(r.container_count(), 1);
+        assert_eq!(r.by_ip("10.0.0.1".parse().unwrap()).unwrap().id, ContainerId::new(1));
+        // Move to the other host; IP unchanged.
+        r.move_container(ContainerId::new(1), ContainerLocation::BareMetal(HostId::new(1)))
+            .unwrap();
+        assert_eq!(r.by_ip("10.0.0.1".parse().unwrap()).unwrap().ip.to_string(), "10.0.0.1");
+        let gone = r.remove_container(ContainerId::new(1)).unwrap();
+        assert_eq!(gone.id, ContainerId::new(1));
+        assert!(r.by_ip("10.0.0.1".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn duplicate_container_and_ip_rejected() {
+        let mut r = registry_with_hosts();
+        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .unwrap();
+        assert!(r
+            .insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.2"))
+            .is_err());
+        assert!(r
+            .insert_container(rec(2, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .is_err());
+    }
+
+    #[test]
+    fn containers_on_host_includes_vm_residents() {
+        let mut r = registry_with_hosts();
+        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .unwrap();
+        r.insert_container(rec(2, 1, ContainerLocation::InVm(VmId::new(10)), "10.0.0.2"))
+            .unwrap();
+        r.insert_container(rec(3, 1, ContainerLocation::BareMetal(HostId::new(1)), "10.0.0.3"))
+            .unwrap();
+        let on0: Vec<u64> = r
+            .containers_on(HostId::new(0))
+            .iter()
+            .map(|c| c.id.raw())
+            .collect();
+        assert_eq!(on0.len(), 2);
+        assert!(on0.contains(&1) && on0.contains(&2));
+    }
+
+    #[test]
+    fn move_to_unknown_location_fails_without_corruption() {
+        let mut r = registry_with_hosts();
+        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .unwrap();
+        assert!(r
+            .move_container(ContainerId::new(1), ContainerLocation::BareMetal(HostId::new(77)))
+            .is_err());
+        // Record untouched.
+        assert_eq!(
+            r.container(ContainerId::new(1)).unwrap().location,
+            ContainerLocation::BareMetal(HostId::new(0))
+        );
+    }
+}

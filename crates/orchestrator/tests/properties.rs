@@ -1,0 +1,98 @@
+//! Property-based tests for the control plane: IPAM soundness under
+//! arbitrary allocate/release interleavings, and policy invariants over
+//! arbitrary cluster shapes.
+
+use freeflow_orchestrator::registry::{ContainerLocation, ContainerRecord, Registry};
+use freeflow_orchestrator::{IpAssign, Ipam, PolicyConfig, PolicyEngine};
+use freeflow_types::{ContainerId, HostCaps, HostId, NicCaps, OverlayIp, TenantId, TransportKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// IPAM never double-allocates, never exceeds capacity, and releases
+    /// restore capacity exactly.
+    #[test]
+    fn ipam_soundness(ops in prop::collection::vec(any::<(bool, prop::sample::Index)>(), 1..200)) {
+        let mut ipam = Ipam::new("10.50.0.0/26".parse().unwrap()); // 62 hosts
+        let mut live: Vec<OverlayIp> = Vec::new();
+        let mut seen = HashSet::new();
+        for (is_alloc, idx) in ops {
+            if is_alloc {
+                match ipam.allocate(IpAssign::Auto) {
+                    Ok(ip) => {
+                        prop_assert!(seen.insert(ip), "double allocation of {}", ip);
+                        prop_assert!(ipam.is_allocated(ip));
+                        live.push(ip);
+                    }
+                    Err(_) => prop_assert_eq!(live.len() as u64, ipam.capacity()),
+                }
+            } else if !live.is_empty() {
+                let ip = live.swap_remove(idx.index(live.len()));
+                ipam.release(ip).unwrap();
+                seen.remove(&ip);
+                prop_assert!(!ipam.is_allocated(ip));
+            }
+        }
+        prop_assert_eq!(ipam.allocated_count(), live.len());
+    }
+
+    /// Policy invariants over arbitrary placements and NIC mixes:
+    /// * shared memory is only ever chosen for co-located pairs;
+    /// * cross-tenant pairs never get a kernel-bypass transport;
+    /// * RDMA/DPDK are only chosen when both NICs support them;
+    /// * the engine always returns *some* transport for known containers.
+    #[test]
+    fn policy_invariants(
+        host_kinds in prop::collection::vec(0u8..3, 2..6),
+        src_host in any::<prop::sample::Index>(),
+        dst_host in any::<prop::sample::Index>(),
+        same_tenant in any::<bool>(),
+        allow_bypass in any::<bool>(),
+    ) {
+        let mut reg = Registry::new();
+        for (i, kind) in host_kinds.iter().enumerate() {
+            let nic = match kind {
+                0 => NicCaps::mellanox_cx3(),
+                1 => NicCaps::dpdk_40g(),
+                _ => NicCaps::standard_10g(),
+            };
+            reg.add_host(HostId::new(i as u64), HostCaps { nic, ..HostCaps::paper_testbed() }).unwrap();
+        }
+        let sh = HostId::new(src_host.index(host_kinds.len()) as u64);
+        let dh = HostId::new(dst_host.index(host_kinds.len()) as u64);
+        reg.insert_container(ContainerRecord {
+            id: ContainerId::new(1),
+            tenant: TenantId::new(1),
+            location: ContainerLocation::BareMetal(sh),
+            ip: "10.0.0.1".parse().unwrap(),
+        }).unwrap();
+        reg.insert_container(ContainerRecord {
+            id: ContainerId::new(2),
+            tenant: TenantId::new(if same_tenant { 1 } else { 2 }),
+            location: ContainerLocation::BareMetal(dh),
+            ip: "10.0.0.2".parse().unwrap(),
+        }).unwrap();
+
+        let engine = PolicyEngine::new(PolicyConfig {
+            allow_kernel_bypass: allow_bypass,
+            ..Default::default()
+        });
+        let decision = engine.decide(&reg, ContainerId::new(1), ContainerId::new(2)).unwrap();
+        let transport = decision.transport().expect("known containers always get a path");
+
+        if transport == TransportKind::SharedMemory {
+            prop_assert_eq!(sh, dh, "shm requires co-location");
+        }
+        if transport.kernel_bypass() {
+            prop_assert!(allow_bypass && same_tenant, "bypass needs trust + operator consent");
+        }
+        let s_nic = reg.host_caps(sh).unwrap().nic.kind;
+        let d_nic = reg.host_caps(dh).unwrap().nic.kind;
+        if transport == TransportKind::Rdma && sh != dh {
+            prop_assert!(s_nic.supports_rdma() && d_nic.supports_rdma());
+        }
+        if transport == TransportKind::Dpdk {
+            prop_assert!(s_nic.supports_dpdk() && d_nic.supports_dpdk());
+        }
+    }
+}

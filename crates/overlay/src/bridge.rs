@@ -1,0 +1,254 @@
+//! The per-host software bridge.
+//!
+//! Containers attach [`BridgePort`]s (the veth-pair analog); the bridge
+//! keeps an address table and forwards frames between local ports. Frames
+//! for addresses it does not know go to the *uplink* — the overlay router
+//! — exactly the `docker0`-to-router wiring of Figure 3(a).
+
+use crate::frame::Frame;
+use freeflow_types::{Error, OverlayIp, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type PortQueue = crossbeam::channel::Sender<Frame>;
+
+/// Forwarding counters, for tests and diagnostics.
+#[derive(Debug, Default)]
+pub struct BridgeStats {
+    /// Frames delivered between local ports.
+    pub local_forwarded: AtomicU64,
+    /// Frames punted to the uplink.
+    pub uplinked: AtomicU64,
+    /// Frames dropped (unknown destination, no uplink).
+    pub dropped: AtomicU64,
+}
+
+struct BridgeInner {
+    ports: HashMap<OverlayIp, PortQueue>,
+    uplink: Option<PortQueue>,
+}
+
+/// A per-host software bridge.
+pub struct Bridge {
+    inner: Mutex<BridgeInner>,
+    stats: BridgeStats,
+    port_backlog: usize,
+}
+
+/// A container's attachment to the bridge (its veth end).
+pub struct BridgePort {
+    ip: OverlayIp,
+    bridge: Arc<Bridge>,
+    rx: crossbeam::channel::Receiver<Frame>,
+}
+
+impl Bridge {
+    /// Create a bridge whose ports buffer up to `port_backlog` frames.
+    pub fn new(port_backlog: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(BridgeInner {
+                ports: HashMap::new(),
+                uplink: None,
+            }),
+            stats: BridgeStats::default(),
+            port_backlog: port_backlog.max(1),
+        })
+    }
+
+    /// Attach a container at `ip`.
+    pub fn attach(self: &Arc<Self>, ip: OverlayIp) -> Result<BridgePort> {
+        let (tx, rx) = crossbeam::channel::bounded(self.port_backlog);
+        let mut inner = self.inner.lock();
+        if inner.ports.contains_key(&ip) {
+            return Err(Error::already_exists(format!("bridge port {ip}")));
+        }
+        inner.ports.insert(ip, tx);
+        Ok(BridgePort {
+            ip,
+            bridge: Arc::clone(self),
+            rx,
+        })
+    }
+
+    /// Detach the port at `ip` (container stop / migration away).
+    pub fn detach(&self, ip: OverlayIp) {
+        self.inner.lock().ports.remove(&ip);
+    }
+
+    /// Install the uplink queue (the overlay router's ingress).
+    pub fn set_uplink(&self, uplink: crossbeam::channel::Sender<Frame>) {
+        self.inner.lock().uplink = Some(uplink);
+    }
+
+    /// Whether `ip` is attached locally.
+    pub fn knows(&self, ip: OverlayIp) -> bool {
+        self.inner.lock().ports.contains_key(&ip)
+    }
+
+    /// Forwarding statistics.
+    pub fn stats(&self) -> &BridgeStats {
+        &self.stats
+    }
+
+    /// Forward one frame: local port if known, else uplink, else drop.
+    pub fn input(&self, frame: Frame) -> Result<()> {
+        let (dst, uplink) = {
+            let inner = self.inner.lock();
+            (
+                inner.ports.get(&frame.dst).cloned(),
+                inner.uplink.clone(),
+            )
+        };
+        if let Some(port) = dst {
+            port.try_send(frame).map_err(|e| match e {
+                crossbeam::channel::TrySendError::Full(_) => {
+                    Error::exhausted("bridge port queue full")
+                }
+                crossbeam::channel::TrySendError::Disconnected(_) => {
+                    Error::disconnected("bridge port gone")
+                }
+            })?;
+            self.stats.local_forwarded.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else if let Some(uplink) = uplink {
+            uplink.try_send(frame).map_err(|e| match e {
+                crossbeam::channel::TrySendError::Full(_) => {
+                    Error::exhausted("bridge uplink queue full")
+                }
+                crossbeam::channel::TrySendError::Disconnected(_) => {
+                    Error::disconnected("bridge uplink gone")
+                }
+            })?;
+            self.stats.uplinked.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            Err(Error::unreachable(format!(
+                "no port or uplink for {}",
+                frame.dst
+            )))
+        }
+    }
+}
+
+impl std::fmt::Debug for Bridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bridge")
+            .field("ports", &self.inner.lock().ports.len())
+            .finish()
+    }
+}
+
+impl BridgePort {
+    /// This port's overlay IP.
+    pub fn ip(&self) -> OverlayIp {
+        self.ip
+    }
+
+    /// Send a frame into the bridge.
+    pub fn send(&self, frame: Frame) -> Result<()> {
+        self.bridge.input(frame)
+    }
+
+    /// Non-blocking receive of a delivered frame.
+    pub fn try_recv(&self) -> Result<Frame> {
+        self.rx.try_recv().map_err(|e| match e {
+            crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
+            crossbeam::channel::TryRecvError::Disconnected => {
+                Error::disconnected("bridge dropped")
+            }
+        })
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Frame>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(Error::disconnected("bridge dropped"))
+            }
+        }
+    }
+}
+
+impl Drop for BridgePort {
+    fn drop(&mut self) {
+        self.bridge.detach(self.ip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::proto;
+    use bytes::Bytes;
+
+    fn ip(last: u8) -> OverlayIp {
+        OverlayIp::from_octets(10, 0, 0, last)
+    }
+
+    fn frame(src: u8, dst: u8) -> Frame {
+        Frame::new(ip(src), ip(dst), proto::DATA, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn local_forwarding() {
+        let bridge = Bridge::new(16);
+        let a = bridge.attach(ip(1)).unwrap();
+        let b = bridge.attach(ip(2)).unwrap();
+        a.send(frame(1, 2)).unwrap();
+        let got = b.try_recv().unwrap();
+        assert_eq!(got.src, ip(1));
+        assert_eq!(bridge.stats().local_forwarded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn duplicate_attach_rejected() {
+        let bridge = Bridge::new(16);
+        let _a = bridge.attach(ip(1)).unwrap();
+        assert!(matches!(bridge.attach(ip(1)), Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn unknown_destination_goes_to_uplink() {
+        let bridge = Bridge::new(16);
+        let a = bridge.attach(ip(1)).unwrap();
+        let (up_tx, up_rx) = crossbeam::channel::bounded(16);
+        bridge.set_uplink(up_tx);
+        a.send(frame(1, 99)).unwrap();
+        assert_eq!(up_rx.try_recv().unwrap().dst, ip(99));
+        assert_eq!(bridge.stats().uplinked.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_destination_without_uplink_drops() {
+        let bridge = Bridge::new(16);
+        let a = bridge.attach(ip(1)).unwrap();
+        assert!(matches!(a.send(frame(1, 99)), Err(Error::Unreachable(_))));
+        assert_eq!(bridge.stats().dropped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn detach_on_drop_frees_address() {
+        let bridge = Bridge::new(16);
+        {
+            let _a = bridge.attach(ip(1)).unwrap();
+            assert!(bridge.knows(ip(1)));
+        }
+        assert!(!bridge.knows(ip(1)));
+        let _a2 = bridge.attach(ip(1)).unwrap();
+    }
+
+    #[test]
+    fn full_port_queue_backpressures() {
+        let bridge = Bridge::new(2);
+        let a = bridge.attach(ip(1)).unwrap();
+        let _b = bridge.attach(ip(2)).unwrap();
+        a.send(frame(1, 2)).unwrap();
+        a.send(frame(1, 2)).unwrap();
+        assert!(matches!(a.send(frame(1, 2)), Err(Error::Exhausted(_))));
+    }
+}

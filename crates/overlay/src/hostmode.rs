@@ -1,0 +1,196 @@
+//! Host-mode networking: containers share the host's port space.
+//!
+//! The paper's second baseline: a container "binds an interface and a
+//! port on the host and use\[s\] the host's IP to communicate, like an
+//! ordinary process". Fast (no bridge, no router) — but containers are
+//! "not truly isolated as they must share the port space": only one
+//! container per host can bind port 80. [`HostPortSpace`] reproduces that
+//! conflict as a first-class, testable behaviour.
+
+use bytes::Bytes;
+use freeflow_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Inbox = crossbeam::channel::Sender<(u16, Bytes)>;
+
+struct SpaceInner {
+    bound: HashMap<u16, Inbox>,
+    next_ephemeral: u16,
+}
+
+/// One host's shared TCP/UDP-style port space.
+pub struct HostPortSpace {
+    inner: Mutex<SpaceInner>,
+}
+
+/// A socket bound to a host port.
+pub struct HostSocket {
+    port: u16,
+    space: Arc<HostPortSpace>,
+    rx: crossbeam::channel::Receiver<(u16, Bytes)>,
+}
+
+impl HostPortSpace {
+    /// An empty port space.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(SpaceInner {
+                bound: HashMap::new(),
+                next_ephemeral: 32_768,
+            }),
+        })
+    }
+
+    /// Bind a specific port. Fails with [`Error::AlreadyExists`] when
+    /// another container (or the host) holds it — the paper's "only one
+    /// container bound to port 80 per physical server".
+    pub fn bind(self: &Arc<Self>, port: u16) -> Result<HostSocket> {
+        let (tx, rx) = crossbeam::channel::bounded(1024);
+        let mut inner = self.inner.lock();
+        if inner.bound.contains_key(&port) {
+            return Err(Error::already_exists(format!("host port {port}")));
+        }
+        inner.bound.insert(port, tx);
+        Ok(HostSocket {
+            port,
+            space: Arc::clone(self),
+            rx,
+        })
+    }
+
+    /// Bind any free ephemeral port.
+    pub fn bind_ephemeral(self: &Arc<Self>) -> Result<HostSocket> {
+        let port = {
+            let mut inner = self.inner.lock();
+            let mut candidate = inner.next_ephemeral;
+            let start = candidate;
+            loop {
+                if !inner.bound.contains_key(&candidate) {
+                    break;
+                }
+                candidate = candidate.checked_add(1).unwrap_or(32_768);
+                if candidate == start {
+                    return Err(Error::exhausted("host ephemeral ports"));
+                }
+            }
+            inner.next_ephemeral = candidate.checked_add(1).unwrap_or(32_768);
+            candidate
+        };
+        self.bind(port)
+    }
+
+    /// Deliver a datagram to `dst_port` (loopback within the host).
+    pub fn send(&self, src_port: u16, dst_port: u16, data: Bytes) -> Result<()> {
+        let tx = {
+            let inner = self.inner.lock();
+            inner
+                .bound
+                .get(&dst_port)
+                .cloned()
+                .ok_or_else(|| Error::unreachable(format!("host port {dst_port} not bound")))?
+        };
+        tx.try_send((src_port, data))
+            .map_err(|_| Error::exhausted("host socket queue full"))
+    }
+
+    /// Number of bound ports.
+    pub fn bound_count(&self) -> usize {
+        self.inner.lock().bound.len()
+    }
+}
+
+impl Default for HostPortSpace {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(SpaceInner {
+                bound: HashMap::new(),
+                next_ephemeral: 32_768,
+            }),
+        }
+    }
+}
+
+impl HostSocket {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Send to another port on this host.
+    pub fn send_to(&self, dst_port: u16, data: impl Into<Bytes>) -> Result<()> {
+        self.space.send(self.port, dst_port, data.into())
+    }
+
+    /// Non-blocking receive of `(source port, data)`.
+    pub fn try_recv(&self) -> Result<(u16, Bytes)> {
+        self.rx.try_recv().map_err(|e| match e {
+            crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
+            crossbeam::channel::TryRecvError::Disconnected => {
+                Error::disconnected("port space gone")
+            }
+        })
+    }
+}
+
+impl Drop for HostSocket {
+    fn drop(&mut self) {
+        self.space.inner.lock().bound.remove(&self.port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_80_conflict_reproduces_paper_argument() {
+        let space = HostPortSpace::new();
+        let _web1 = space.bind(80).unwrap();
+        // Second "web server" container on the same host: refused.
+        assert!(matches!(space.bind(80), Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn port_freed_on_drop() {
+        let space = HostPortSpace::new();
+        {
+            let _s = space.bind(8080).unwrap();
+        }
+        let _s2 = space.bind(8080).unwrap();
+    }
+
+    #[test]
+    fn loopback_datagram_delivery() {
+        let space = HostPortSpace::new();
+        let server = space.bind(80).unwrap();
+        let client = space.bind_ephemeral().unwrap();
+        client.send_to(80, &b"GET /"[..]).unwrap();
+        let (from, data) = server.try_recv().unwrap();
+        assert_eq!(from, client.port());
+        assert_eq!(&data[..], b"GET /");
+        // And the reply goes back by source port.
+        server.send_to(from, &b"200 OK"[..]).unwrap();
+        assert_eq!(&client.try_recv().unwrap().1[..], b"200 OK");
+    }
+
+    #[test]
+    fn ephemeral_ports_are_distinct() {
+        let space = HostPortSpace::new();
+        let a = space.bind_ephemeral().unwrap();
+        let b = space.bind_ephemeral().unwrap();
+        assert_ne!(a.port(), b.port());
+        assert_eq!(space.bound_count(), 2);
+    }
+
+    #[test]
+    fn send_to_unbound_port_unreachable() {
+        let space = HostPortSpace::new();
+        let a = space.bind_ephemeral().unwrap();
+        assert!(matches!(
+            a.send_to(9, &b"x"[..]),
+            Err(Error::Unreachable(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # freeflow-overlay
+//!
+//! The *baseline*: a functional implementation of how existing container
+//! networks move packets (the paper's Figure 3(a)), built so FreeFlow has
+//! something real to be compared against and to reuse control-plane ideas
+//! from.
+//!
+//! * [`frame`] — the overlay packet format (inner L3-ish frame, outer
+//!   VXLAN-style encapsulation).
+//! * [`bridge`] — the per-host software bridge: containers attach ports,
+//!   the bridge learns addresses and forwards locally, punting unknown
+//!   destinations to its uplink (the overlay router).
+//! * [`router`] — the per-host overlay software router: routes by CIDR
+//!   over point-to-point wire links to peer routers, encapsulating frames
+//!   VXLAN-style. This is the "double hairpin" of overlay mode — every
+//!   inter-container byte crosses a bridge and this process on *both*
+//!   hosts.
+//! * [`hostmode`] — host-mode networking: containers share the host's
+//!   port space, which is fast but breaks portability (two containers
+//!   cannot both bind port 80 — reproduced as a test, since it is the
+//!   paper's core argument against host mode).
+//!
+//! Everything is poll-driven (smoltcp style): no background threads;
+//! hosts pump their router with [`router::OverlayRouter::poll`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bridge;
+pub mod frame;
+pub mod hostmode;
+pub mod router;
+
+pub use bridge::{Bridge, BridgePort};
+pub use frame::{Frame, VxlanPacket};
+pub use hostmode::HostPortSpace;
+pub use router::{OverlayRouter, WireLink};

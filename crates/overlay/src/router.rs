@@ -1,0 +1,323 @@
+//! The per-host overlay software router.
+//!
+//! One [`OverlayRouter`] runs per host (Figure 3(a)). It receives frames
+//! the local bridge could not deliver, consults its CIDR route table,
+//! VXLAN-encapsulates them and ships them over a [`WireLink`] to the peer
+//! host's router, which decapsulates and injects into *its* bridge. Routes
+//! are exchanged out of band — real deployments use BGP or a central
+//! store; here the control plane (or the test) installs them, the same
+//! simplification the paper's own prototype makes.
+//!
+//! The router is poll-driven: [`OverlayRouter::poll`] drains both the
+//! bridge-uplink queue and every wire's inbound queue. No threads are
+//! spawned; the host's pump (or the test) decides when forwarding work
+//! happens — the smoltcp idiom.
+
+use crate::bridge::Bridge;
+use crate::frame::{Frame, VxlanPacket};
+use freeflow_types::{Error, OverlayCidr, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A bidirectional point-to-point link between two routers (the "host
+/// network" path).
+pub struct WireLink {
+    tx: crossbeam::channel::Sender<VxlanPacket>,
+    rx: crossbeam::channel::Receiver<VxlanPacket>,
+}
+
+impl WireLink {
+    /// Create a connected pair of link endpoints with `depth`-packet
+    /// queues per direction.
+    pub fn pair(depth: usize) -> (WireLink, WireLink) {
+        let (a_tx, b_rx) = crossbeam::channel::bounded(depth);
+        let (b_tx, a_rx) = crossbeam::channel::bounded(depth);
+        (
+            WireLink { tx: a_tx, rx: a_rx },
+            WireLink { tx: b_tx, rx: b_rx },
+        )
+    }
+}
+
+/// Router forwarding counters.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Frames encapsulated and sent to a peer.
+    pub encapped: AtomicU64,
+    /// Packets decapsulated from peers and delivered locally.
+    pub decapped: AtomicU64,
+    /// Frames dropped for lack of a route.
+    pub no_route: AtomicU64,
+    /// Packets dropped for a foreign VNI.
+    pub wrong_vni: AtomicU64,
+}
+
+struct RouterInner {
+    routes: Vec<(OverlayCidr, usize)>,
+    wires: Vec<WireLink>,
+}
+
+/// The overlay router of one host.
+pub struct OverlayRouter {
+    vni: u32,
+    bridge: Arc<Bridge>,
+    uplink_rx: crossbeam::channel::Receiver<Frame>,
+    inner: Mutex<RouterInner>,
+    stats: RouterStats,
+}
+
+impl OverlayRouter {
+    /// Create a router for `bridge`, handling network `vni`, and wire it
+    /// as the bridge's uplink.
+    pub fn new(bridge: Arc<Bridge>, vni: u32) -> Arc<Self> {
+        let (up_tx, up_rx) = crossbeam::channel::bounded(1024);
+        bridge.set_uplink(up_tx);
+        Arc::new(Self {
+            vni,
+            bridge,
+            uplink_rx: up_rx,
+            inner: Mutex::new(RouterInner {
+                routes: Vec::new(),
+                wires: Vec::new(),
+            }),
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Attach a wire to a peer router; returns the wire's index for use in
+    /// [`add_route`](Self::add_route).
+    pub fn attach_wire(&self, wire: WireLink) -> usize {
+        let mut inner = self.inner.lock();
+        inner.wires.push(wire);
+        inner.wires.len() - 1
+    }
+
+    /// Install a route: frames for `cidr` leave through wire `wire_idx`.
+    /// More-specific (longer-prefix) routes win regardless of order.
+    pub fn add_route(&self, cidr: OverlayCidr, wire_idx: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if wire_idx >= inner.wires.len() {
+            return Err(Error::not_found(format!("wire {wire_idx}")));
+        }
+        inner.routes.push((cidr, wire_idx));
+        // Longest prefix first so lookup can take the first hit.
+        inner.routes.sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+        Ok(())
+    }
+
+    /// Forwarding statistics.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Drain pending work: uplink frames out, wire packets in.
+    /// Returns how many packets were processed (0 = quiescent).
+    pub fn poll(&self) -> usize {
+        let mut work = 0;
+        // Outbound: frames the bridge couldn't deliver locally.
+        while let Ok(frame) = self.uplink_rx.try_recv() {
+            work += 1;
+            self.route_out(frame);
+        }
+        // Inbound: packets from peer routers.
+        let mut inbound = Vec::new();
+        {
+            let inner = self.inner.lock();
+            for wire in &inner.wires {
+                while let Ok(pkt) = wire.rx.try_recv() {
+                    inbound.push(pkt);
+                }
+            }
+        }
+        for pkt in inbound {
+            work += 1;
+            self.deliver_in(pkt);
+        }
+        work
+    }
+
+    fn route_out(&self, frame: Frame) {
+        let inner = self.inner.lock();
+        let hit = inner
+            .routes
+            .iter()
+            .find(|(cidr, _)| cidr.contains(frame.dst));
+        match hit {
+            Some((_, wire_idx)) => {
+                let pkt = VxlanPacket::encap(self.vni, &frame);
+                if inner.wires[*wire_idx].tx.try_send(pkt).is_ok() {
+                    self.stats.encapped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.no_route.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.stats.no_route.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn deliver_in(&self, pkt: VxlanPacket) {
+        if pkt.vni != self.vni {
+            // Not our network: tenant isolation at the decap point.
+            self.stats.wrong_vni.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match pkt.decap() {
+            Ok(frame) => {
+                self.stats.decapped.fetch_add(1, Ordering::Relaxed);
+                // Inject into the local bridge; if even the bridge doesn't
+                // know the destination it counts a drop there.
+                let _ = self.bridge.input(frame);
+            }
+            Err(_) => {
+                self.stats.wrong_vni.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for OverlayRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("OverlayRouter")
+            .field("vni", &self.vni)
+            .field("wires", &inner.wires.len())
+            .field("routes", &inner.routes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::proto;
+    use bytes::Bytes;
+    use freeflow_types::OverlayIp;
+
+    fn ip(a: u8, b: u8) -> OverlayIp {
+        OverlayIp::from_octets(10, 0, a, b)
+    }
+
+    /// Two hosts, one container each, overlay-routed.
+    struct TwoHosts {
+        bridge_a: Arc<Bridge>,
+        bridge_b: Arc<Bridge>,
+        router_a: Arc<OverlayRouter>,
+        router_b: Arc<OverlayRouter>,
+    }
+
+    fn two_hosts(vni_a: u32, vni_b: u32) -> TwoHosts {
+        let bridge_a = Bridge::new(64);
+        let bridge_b = Bridge::new(64);
+        let router_a = OverlayRouter::new(Arc::clone(&bridge_a), vni_a);
+        let router_b = OverlayRouter::new(Arc::clone(&bridge_b), vni_b);
+        let (wa, wb) = WireLink::pair(64);
+        let ia = router_a.attach_wire(wa);
+        let ib = router_b.attach_wire(wb);
+        // Host A owns 10.0.1.0/24, host B owns 10.0.2.0/24.
+        router_a
+            .add_route("10.0.2.0/24".parse().unwrap(), ia)
+            .unwrap();
+        router_b
+            .add_route("10.0.1.0/24".parse().unwrap(), ib)
+            .unwrap();
+        TwoHosts {
+            bridge_a,
+            bridge_b,
+            router_a,
+            router_b,
+        }
+    }
+
+    #[test]
+    fn cross_host_delivery_with_double_hairpin() {
+        let h = two_hosts(1, 1);
+        let a = h.bridge_a.attach(ip(1, 1)).unwrap();
+        let b = h.bridge_b.attach(ip(2, 1)).unwrap();
+        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"over")))
+            .unwrap();
+        // Pump both routers: encap at A, decap at B.
+        assert!(h.router_a.poll() > 0);
+        assert!(h.router_b.poll() > 0);
+        let got = b.try_recv().unwrap();
+        assert_eq!(&got.payload[..], b"over");
+        assert_eq!(h.router_a.stats().encapped.load(Ordering::Relaxed), 1);
+        assert_eq!(h.router_b.stats().decapped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn no_route_is_counted() {
+        let h = two_hosts(1, 1);
+        let a = h.bridge_a.attach(ip(1, 1)).unwrap();
+        a.send(Frame::new(ip(1, 1), OverlayIp::from_octets(192, 168, 0, 1), proto::DATA, Bytes::new()))
+            .unwrap();
+        h.router_a.poll();
+        assert_eq!(h.router_a.stats().no_route.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn vni_mismatch_is_dropped_at_decap() {
+        // Same wire, different tenants: B must refuse A's packets.
+        let h = two_hosts(1, 2);
+        let a = h.bridge_a.attach(ip(1, 1)).unwrap();
+        let b = h.bridge_b.attach(ip(2, 1)).unwrap();
+        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"spy")))
+            .unwrap();
+        h.router_a.poll();
+        h.router_b.poll();
+        assert!(matches!(b.try_recv(), Err(Error::WouldBlock)));
+        assert_eq!(h.router_b.stats().wrong_vni.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn longest_prefix_route_wins() {
+        let bridge = Bridge::new(16);
+        let router = OverlayRouter::new(Arc::clone(&bridge), 1);
+        let (w0, w0_peer) = WireLink::pair(16);
+        let (w1, w1_peer) = WireLink::pair(16);
+        let i0 = router.attach_wire(w0);
+        let i1 = router.attach_wire(w1);
+        router.add_route("10.0.0.0/16".parse().unwrap(), i0).unwrap();
+        router.add_route("10.0.2.0/24".parse().unwrap(), i1).unwrap();
+        let a = bridge.attach(ip(1, 1)).unwrap();
+        a.send(Frame::new(ip(1, 1), ip(2, 9), proto::DATA, Bytes::new()))
+            .unwrap();
+        router.poll();
+        assert!(w1_peer.rx.try_recv().is_ok(), "went out the /24 wire");
+        assert!(w0_peer.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn add_route_to_missing_wire_fails() {
+        let bridge = Bridge::new(16);
+        let router = OverlayRouter::new(bridge, 1);
+        assert!(router
+            .add_route("10.0.0.0/16".parse().unwrap(), 3)
+            .is_err());
+    }
+
+    #[test]
+    fn container_keeps_ip_across_hosts_paper_portability() {
+        // The overlay's selling point: container 10.0.2.1 "moves" from
+        // host B to host A; after the route flips, peers keep using the
+        // same address.
+        let h = two_hosts(1, 1);
+        let a = h.bridge_a.attach(ip(1, 1)).unwrap();
+        {
+            let b = h.bridge_b.attach(ip(2, 1)).unwrap();
+            a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"v1")))
+                .unwrap();
+            h.router_a.poll();
+            h.router_b.poll();
+            assert_eq!(&b.try_recv().unwrap().payload[..], b"v1");
+        } // container departs host B
+        // ... and reappears on host A with the same IP.
+        let migrated = h.bridge_a.attach(ip(2, 1)).unwrap();
+        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"v2")))
+            .unwrap();
+        // Local now: no router hop needed at all.
+        assert_eq!(&migrated.try_recv().unwrap().payload[..], b"v2");
+    }
+}

@@ -1,0 +1,360 @@
+//! Offset-addressed shared memory segments.
+//!
+//! A [`SharedArena`] models one POSIX shm segment mapped into multiple
+//! containers on a host. Everything is addressed by *offset* — raw pointers
+//! would not survive a second mapping at a different base address, so the
+//! API never exposes them. Verbs memory regions (`freeflow-verbs`) register
+//! ranges of an arena; the agent's zero-copy forwarding passes
+//! [`ArenaHandle`]s (offset + length) between containers instead of bytes.
+//!
+//! Allocation is a first-fit free list over block-granular chunks —
+//! deliberately simple, O(free-list length), but supports coalescing so
+//! long-running channels don't fragment the segment.
+
+use freeflow_types::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A block allocated out of a [`SharedArena`]: offset + length.
+///
+/// Handles are plain data (sendable across "process" boundaries, i.e.
+/// threads) and do not free the block on drop — ownership of a block is a
+/// protocol-level concern (the receiver of a zero-copy handoff frees it),
+/// mirroring how real shm segment bookkeeping works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaHandle {
+    /// Byte offset of the block within the arena.
+    pub offset: u64,
+    /// Length of the block in bytes.
+    pub len: u64,
+}
+
+impl ArenaHandle {
+    /// End offset (one past the last byte).
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    offset: u64,
+    len: u64,
+}
+
+struct ArenaInner {
+    /// First-fit free list, kept sorted by offset for coalescing.
+    free: Vec<FreeBlock>,
+    allocated_bytes: u64,
+}
+
+/// One shared memory segment, usable from any number of threads.
+///
+/// Data access goes through [`read`](SharedArena::read) /
+/// [`write`](SharedArena::write) with explicit offsets, just as mapped shm
+/// is accessed relative to its own base.
+pub struct SharedArena {
+    buf: Mutex<Box<[u8]>>,
+    size: u64,
+    inner: Mutex<ArenaInner>,
+}
+
+impl SharedArena {
+    /// Create an arena of `size` bytes (rounded up to 64-byte granularity).
+    pub fn new(size: usize) -> Arc<Self> {
+        let size = (size.max(64) as u64).next_multiple_of(64);
+        Arc::new(Self {
+            buf: Mutex::new(vec![0u8; size as usize].into_boxed_slice()),
+            size,
+            inner: Mutex::new(ArenaInner {
+                free: vec![FreeBlock {
+                    offset: 0,
+                    len: size,
+                }],
+                allocated_bytes: 0,
+            }),
+        })
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.inner.lock().allocated_bytes
+    }
+
+    /// Allocate a block of `len` bytes (rounded up to 64-byte granularity).
+    ///
+    /// Returns [`Error::Exhausted`] when no free block is large enough —
+    /// callers treat this as backpressure.
+    pub fn alloc(&self, len: u64) -> Result<ArenaHandle> {
+        if len == 0 {
+            return Err(Error::too_large("zero-length arena allocation"));
+        }
+        let want = len.next_multiple_of(64);
+        let mut inner = self.inner.lock();
+        let pos = inner
+            .free
+            .iter()
+            .position(|b| b.len >= want)
+            .ok_or_else(|| Error::exhausted(format!("arena: no free block of {want} bytes")))?;
+        let block = inner.free[pos];
+        if block.len == want {
+            inner.free.remove(pos);
+        } else {
+            inner.free[pos] = FreeBlock {
+                offset: block.offset + want,
+                len: block.len - want,
+            };
+        }
+        inner.allocated_bytes += want;
+        Ok(ArenaHandle {
+            offset: block.offset,
+            len: want,
+        })
+    }
+
+    /// Free a previously allocated block, coalescing with neighbours.
+    ///
+    /// Freeing a handle that was not allocated (or double-freeing) is a
+    /// protocol bug; it is detected when it would create overlapping free
+    /// blocks and reported as [`Error::InvalidState`].
+    pub fn free(&self, handle: ArenaHandle) -> Result<()> {
+        if handle.end() > self.size {
+            return Err(Error::invalid_state(format!(
+                "arena free out of range: {handle:?}"
+            )));
+        }
+        let mut inner = self.inner.lock();
+        // Insert position by offset.
+        let idx = inner
+            .free
+            .partition_point(|b| b.offset < handle.offset);
+        // Overlap checks against neighbours.
+        if idx > 0 {
+            let prev = inner.free[idx - 1];
+            if prev.offset + prev.len > handle.offset {
+                return Err(Error::invalid_state("arena double free (prev overlap)"));
+            }
+        }
+        if idx < inner.free.len() {
+            let next = inner.free[idx];
+            if handle.end() > next.offset {
+                return Err(Error::invalid_state("arena double free (next overlap)"));
+            }
+        }
+        inner.free.insert(
+            idx,
+            FreeBlock {
+                offset: handle.offset,
+                len: handle.len,
+            },
+        );
+        inner.allocated_bytes -= handle.len;
+        // Coalesce with next, then prev.
+        if idx + 1 < inner.free.len() {
+            let next = inner.free[idx + 1];
+            if inner.free[idx].offset + inner.free[idx].len == next.offset {
+                inner.free[idx].len += next.len;
+                inner.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let cur = inner.free[idx];
+            let prev = &mut inner.free[idx - 1];
+            if prev.offset + prev.len == cur.offset {
+                prev.len += cur.len;
+                inner.free.remove(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `data` into the arena at `handle.offset + at`.
+    pub fn write(&self, handle: ArenaHandle, at: u64, data: &[u8]) -> Result<()> {
+        if at + data.len() as u64 > handle.len {
+            return Err(Error::too_large(format!(
+                "write of {} bytes at +{at} exceeds block of {}",
+                data.len(),
+                handle.len
+            )));
+        }
+        let start = (handle.offset + at) as usize;
+        self.buf.lock()[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read `out.len()` bytes from the arena at `handle.offset + at`.
+    pub fn read(&self, handle: ArenaHandle, at: u64, out: &mut [u8]) -> Result<()> {
+        if at + out.len() as u64 > handle.len {
+            return Err(Error::too_large(format!(
+                "read of {} bytes at +{at} exceeds block of {}",
+                out.len(),
+                handle.len
+            )));
+        }
+        let start = (handle.offset + at) as usize;
+        out.copy_from_slice(&self.buf.lock()[start..start + out.len()]);
+        Ok(())
+    }
+
+    /// Copy `len` bytes between two blocks of (possibly) two arenas —
+    /// the primitive behind a Verbs `WRITE`/`READ` executed in software.
+    pub fn copy(
+        src_arena: &SharedArena,
+        src: ArenaHandle,
+        src_at: u64,
+        dst_arena: &SharedArena,
+        dst: ArenaHandle,
+        dst_at: u64,
+        len: u64,
+    ) -> Result<()> {
+        if src_at + len > src.len || dst_at + len > dst.len {
+            return Err(Error::too_large("arena copy exceeds a block bound"));
+        }
+        if std::ptr::eq(src_arena, dst_arena) {
+            // Same segment: one lock, one copy_within.
+            let mut buf = src_arena.buf.lock();
+            let s = (src.offset + src_at) as usize;
+            let d = (dst.offset + dst_at) as usize;
+            buf.copy_within(s..s + len as usize, d);
+            Ok(())
+        } else {
+            let src_buf = src_arena.buf.lock();
+            let mut dst_buf = dst_arena.buf.lock();
+            let s = (src.offset + src_at) as usize;
+            let d = (dst.offset + dst_at) as usize;
+            dst_buf[d..d + len as usize].copy_from_slice(&src_buf[s..s + len as usize]);
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedArena")
+            .field("size", &self.size)
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let arena = SharedArena::new(4096);
+        let h = arena.alloc(100).unwrap();
+        assert_eq!(h.len, 128, "rounded to 64-byte granularity");
+        arena.write(h, 0, b"freeflow").unwrap();
+        let mut out = [0u8; 8];
+        arena.read(h, 0, &mut out).unwrap();
+        assert_eq!(&out, b"freeflow");
+    }
+
+    #[test]
+    fn alloc_exhaustion_is_reported() {
+        let arena = SharedArena::new(256);
+        let _a = arena.alloc(128).unwrap();
+        let _b = arena.alloc(128).unwrap();
+        let err = arena.alloc(64).unwrap_err();
+        assert!(matches!(err, Error::Exhausted(_)), "{err}");
+    }
+
+    #[test]
+    fn free_coalesces_and_allows_big_realloc() {
+        let arena = SharedArena::new(256);
+        let a = arena.alloc(64).unwrap();
+        let b = arena.alloc(64).unwrap();
+        let c = arena.alloc(64).unwrap();
+        let d = arena.alloc(64).unwrap();
+        for h in [a, b, c, d] {
+            arena.free(h).unwrap();
+        }
+        assert_eq!(arena.allocated(), 0);
+        // Only possible if the four blocks coalesced back into one.
+        let big = arena.alloc(256).unwrap();
+        assert_eq!(big.offset, 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let arena = SharedArena::new(256);
+        let a = arena.alloc(64).unwrap();
+        arena.free(a).unwrap();
+        let err = arena.free(a).unwrap_err();
+        assert!(matches!(err, Error::InvalidState(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let arena = SharedArena::new(256);
+        let h = arena.alloc(64).unwrap();
+        assert!(arena.write(h, 60, &[0u8; 8]).is_err());
+        let mut out = [0u8; 8];
+        assert!(arena.read(h, 60, &mut out).is_err());
+    }
+
+    #[test]
+    fn copy_between_arenas() {
+        let a = SharedArena::new(256);
+        let b = SharedArena::new(256);
+        let ha = a.alloc(64).unwrap();
+        let hb = b.alloc(64).unwrap();
+        a.write(ha, 0, b"payload!").unwrap();
+        SharedArena::copy(&a, ha, 0, &b, hb, 8, 8).unwrap();
+        let mut out = [0u8; 8];
+        b.read(hb, 8, &mut out).unwrap();
+        assert_eq!(&out, b"payload!");
+    }
+
+    #[test]
+    fn copy_within_one_arena() {
+        let a = SharedArena::new(256);
+        let h1 = a.alloc(64).unwrap();
+        let h2 = a.alloc(64).unwrap();
+        a.write(h1, 0, b"xyz").unwrap();
+        SharedArena::copy(&a, h1, 0, &a, h2, 0, 3).unwrap();
+        let mut out = [0u8; 3];
+        a.read(h2, 0, &mut out).unwrap();
+        assert_eq!(&out, b"xyz");
+    }
+
+    #[test]
+    fn zero_len_alloc_rejected() {
+        let arena = SharedArena::new(256);
+        assert!(arena.alloc(0).is_err());
+    }
+
+    #[test]
+    fn concurrent_alloc_free_is_consistent() {
+        let arena = SharedArena::new(1 << 16);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let arena = Arc::clone(&arena);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(h) = arena.alloc(128) {
+                            arena.write(h, 0, &[7u8; 16]).unwrap();
+                            arena.free(h).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(arena.allocated(), 0);
+        // Full coalescing back to one block of the whole arena.
+        let all = arena.alloc(1 << 16).unwrap();
+        assert_eq!(all.offset, 0);
+    }
+
+    use std::sync::Arc;
+}

@@ -1,0 +1,248 @@
+//! Per-host shared-memory rendezvous.
+//!
+//! On a real host, FreeFlow's agent creates named shm segments that
+//! containers open by name. [`ShmFabric`] is that naming layer: one
+//! instance per (simulated) host, holding
+//!
+//! * a registry of named listeners ([`ShmFabric::bind`] /
+//!   [`ShmFabric::connect`]), used by the agent ("agent" endpoint) and by
+//!   containers offering direct container↔container channels; and
+//! * the host's [`SharedArena`], the segment zero-copy handoffs live in.
+//!
+//! Connections are duplex channel pairs handed over through a bounded
+//! queue, so `connect` sees backpressure if an endpoint stops accepting.
+
+use crate::arena::SharedArena;
+use crate::channel::{duplex_pair, ShmDuplex};
+use freeflow_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many not-yet-accepted connections a listener can hold.
+const BACKLOG: usize = 64;
+
+type PendingTx = crossbeam::channel::Sender<ShmDuplex>;
+type PendingRx = crossbeam::channel::Receiver<ShmDuplex>;
+
+/// The per-host shm rendezvous and segment.
+pub struct ShmFabric {
+    arena: Arc<SharedArena>,
+    listeners: Mutex<HashMap<String, PendingTx>>,
+}
+
+/// A bound endpoint name, yielding incoming duplex channels.
+pub struct ShmListener {
+    name: String,
+    incoming: PendingRx,
+    fabric: Arc<ShmFabric>,
+}
+
+impl ShmFabric {
+    /// Create a host fabric with an `arena_size`-byte shared segment.
+    pub fn new(arena_size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            arena: SharedArena::new(arena_size),
+            listeners: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The host's shared segment (for zero-copy blocks).
+    pub fn arena(&self) -> &Arc<SharedArena> {
+        &self.arena
+    }
+
+    /// Bind `name`, returning the listener. Fails if already bound.
+    pub fn bind(self: &Arc<Self>, name: impl Into<String>) -> Result<ShmListener> {
+        let name = name.into();
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&name) {
+            return Err(Error::already_exists(format!("shm endpoint {name:?}")));
+        }
+        let (tx, rx) = crossbeam::channel::bounded(BACKLOG);
+        listeners.insert(name.clone(), tx);
+        Ok(ShmListener {
+            name,
+            incoming: rx,
+            fabric: Arc::clone(self),
+        })
+    }
+
+    /// Connect to a bound endpoint, returning our end of a fresh duplex
+    /// channel with `capacity`-byte rings.
+    pub fn connect(&self, name: &str, capacity: usize) -> Result<ShmDuplex> {
+        let tx = {
+            let listeners = self.listeners.lock();
+            listeners
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::not_found(format!("shm endpoint {name:?}")))?
+        };
+        let (ours, theirs) = duplex_pair(capacity);
+        tx.try_send(theirs).map_err(|e| match e {
+            crossbeam::channel::TrySendError::Full(_) => {
+                Error::exhausted(format!("shm endpoint {name:?} backlog full"))
+            }
+            crossbeam::channel::TrySendError::Disconnected(_) => {
+                Error::disconnected(format!("shm endpoint {name:?} listener dropped"))
+            }
+        })?;
+        Ok(ours)
+    }
+
+    /// Whether `name` is currently bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.listeners.lock().contains_key(name)
+    }
+}
+
+impl std::fmt::Debug for ShmFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmFabric")
+            .field("arena", &self.arena)
+            .field("endpoints", &self.listeners.lock().len())
+            .finish()
+    }
+}
+
+impl ShmListener {
+    /// The bound name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Non-blocking accept.
+    pub fn try_accept(&self) -> Result<ShmDuplex> {
+        self.incoming.try_recv().map_err(|e| match e {
+            crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
+            crossbeam::channel::TryRecvError::Disconnected => {
+                Error::disconnected("fabric dropped")
+            }
+        })
+    }
+
+    /// Blocking accept with timeout.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<ShmDuplex>> {
+        match self.incoming.recv_timeout(timeout) {
+            Ok(d) => Ok(Some(d)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(Error::disconnected("fabric dropped"))
+            }
+        }
+    }
+
+    /// Blocking accept.
+    pub fn accept(&self) -> Result<ShmDuplex> {
+        self.incoming
+            .recv()
+            .map_err(|_| Error::disconnected("fabric dropped"))
+    }
+}
+
+impl Drop for ShmListener {
+    fn drop(&mut self) {
+        self.fabric.listeners.lock().remove(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ShmMessage;
+
+    #[test]
+    fn bind_connect_accept_roundtrip() {
+        let fabric = ShmFabric::new(1 << 16);
+        let listener = fabric.bind("agent").unwrap();
+        let client = fabric.connect("agent", 1024).unwrap();
+        let server = listener.try_accept().unwrap();
+        client.tx.send(b"hi agent").unwrap();
+        match server.rx.recv().unwrap() {
+            ShmMessage::Inline(b) => assert_eq!(&b[..], b"hi agent"),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.tx.send(b"hi container").unwrap();
+        assert!(matches!(client.rx.recv().unwrap(), ShmMessage::Inline(_)));
+    }
+
+    #[test]
+    fn connect_unbound_fails() {
+        let fabric = ShmFabric::new(1 << 12);
+        assert!(matches!(
+            fabric.connect("nobody", 64),
+            Err(Error::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let fabric = ShmFabric::new(1 << 12);
+        let _l = fabric.bind("x").unwrap();
+        assert!(matches!(fabric.bind("x"), Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn listener_drop_unbinds() {
+        let fabric = ShmFabric::new(1 << 12);
+        {
+            let _l = fabric.bind("ephemeral").unwrap();
+            assert!(fabric.is_bound("ephemeral"));
+        }
+        assert!(!fabric.is_bound("ephemeral"));
+        // Re-bind after drop works.
+        let _l2 = fabric.bind("ephemeral").unwrap();
+    }
+
+    #[test]
+    fn accept_timeout_expires_empty() {
+        let fabric = ShmFabric::new(1 << 12);
+        let l = fabric.bind("quiet").unwrap();
+        assert_eq!(
+            l.accept_timeout(Duration::from_millis(5)).unwrap().is_some(),
+            false
+        );
+    }
+
+    #[test]
+    fn backlog_overflow_reports_exhausted() {
+        let fabric = ShmFabric::new(1 << 12);
+        let _l = fabric.bind("busy").unwrap();
+        let mut conns = Vec::new();
+        loop {
+            match fabric.connect("busy", 64) {
+                Ok(c) => conns.push(c),
+                Err(Error::Exhausted(_)) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(conns.len(), BACKLOG);
+    }
+
+    #[test]
+    fn zero_copy_handoff_through_fabric() {
+        // The full paper §5 intra-host flow: sender allocates a block in
+        // the host arena, writes payload, passes the handle; receiver reads
+        // straight from the arena and frees.
+        let fabric = ShmFabric::new(1 << 16);
+        let listener = fabric.bind("peer").unwrap();
+        let client = fabric.connect("peer", 1024).unwrap();
+        let server = listener.try_accept().unwrap();
+
+        let block = fabric.arena().alloc(1024).unwrap();
+        fabric.arena().write(block, 0, b"zero copy payload").unwrap();
+        client.tx.send_handle(block).unwrap();
+
+        match server.rx.recv().unwrap() {
+            ShmMessage::Handle(h) => {
+                let mut out = [0u8; 17];
+                fabric.arena().read(h, 0, &mut out).unwrap();
+                assert_eq!(&out, b"zero copy payload");
+                fabric.arena().free(h).unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(fabric.arena().allocated(), 0);
+    }
+}

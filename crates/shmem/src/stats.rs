@@ -1,0 +1,93 @@
+//! Cheap atomic counters for channel traffic.
+//!
+//! Every channel carries a [`ChannelStats`]; the agent and the benchmark
+//! harness aggregate snapshots from these into the per-figure metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one channel (both directions share one instance).
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// A point-in-time copy of [`ChannelStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Messages pushed by the sender.
+    pub msgs_sent: u64,
+    /// Payload bytes pushed by the sender.
+    pub bytes_sent: u64,
+    /// Messages popped by the receiver.
+    pub msgs_received: u64,
+    /// Payload bytes popped by the receiver.
+    pub bytes_received: u64,
+}
+
+impl ChannelStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sent message of `bytes` payload.
+    pub fn record_send(&self, bytes: u64) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one received message of `bytes` payload.
+    pub fn record_recv(&self, bytes: u64) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Messages still in flight (sent but not yet received).
+    pub fn in_flight(&self) -> u64 {
+        self.msgs_sent.saturating_sub(self.msgs_received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ChannelStats::new();
+        s.record_send(10);
+        s.record_send(20);
+        s.record_recv(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 2);
+        assert_eq!(snap.bytes_sent, 30);
+        assert_eq!(snap.msgs_received, 1);
+        assert_eq!(snap.bytes_received, 10);
+        assert_eq!(snap.in_flight(), 1);
+    }
+
+    #[test]
+    fn in_flight_saturates() {
+        let snap = StatsSnapshot {
+            msgs_sent: 1,
+            msgs_received: 3,
+            ..Default::default()
+        };
+        assert_eq!(snap.in_flight(), 0);
+    }
+}

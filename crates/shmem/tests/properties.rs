@@ -1,0 +1,133 @@
+//! Property-based tests for the shared-memory substrate: any sequence of
+//! operations must preserve stream integrity (rings), allocator soundness
+//! (arena) and framing fidelity (channels).
+
+use freeflow_shmem::{channel_pair, ShmMessage, SharedArena, SpscRing};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever chunk sizes the producer and consumer pick, the consumer
+    /// observes exactly the producer's byte stream.
+    #[test]
+    fn ring_preserves_byte_stream(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..50),
+        read_sizes in prop::collection::vec(1usize..300, 1..100),
+    ) {
+        let ring = SpscRing::new(256);
+        let expected: Vec<u8> = chunks.iter().flatten().copied().collect();
+        let mut got = Vec::new();
+        let mut pending = chunks.into_iter();
+        let mut current: Option<Vec<u8>> = None;
+        let mut reads = read_sizes.into_iter().cycle();
+        // Interleave pushes and pops; pushes may fail when full (retry
+        // after some pops), pops may return 0 when empty.
+        loop {
+            // Try to push the next chunk.
+            if current.is_none() {
+                current = pending.next();
+            }
+            if let Some(chunk) = &current {
+                if chunk.len() <= ring.capacity() && ring.push(chunk) {
+                    current = None;
+                } else if chunk.len() > ring.capacity() {
+                    // Oversized chunks can never be pushed; count their
+                    // bytes out of the expectation.
+                    current = None;
+                }
+            }
+            // Pop a bit.
+            let mut buf = vec![0u8; reads.next().unwrap()];
+            let n = ring.pop(&mut buf);
+            got.extend_from_slice(&buf[..n]);
+            if current.is_none() && pending.len() == 0 && ring.is_empty() {
+                break;
+            }
+        }
+        // Recompute expectation excluding oversized chunks.
+        let expected: Vec<u8> = expected
+            .into_iter()
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Alloc/free in arbitrary orders never corrupts the arena: allocated
+    /// blocks never overlap, and a full drain coalesces back to one block.
+    #[test]
+    fn arena_blocks_never_overlap(
+        sizes in prop::collection::vec(1u64..2048, 1..40),
+        free_order in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let arena = SharedArena::new(1 << 16);
+        let mut live = Vec::new();
+        for size in sizes {
+            if let Ok(h) = arena.alloc(size) {
+                // No overlap with any live block.
+                for other in &live {
+                    let other: &freeflow_shmem::ArenaHandle = other;
+                    let disjoint = h.end() <= other.offset || other.end() <= h.offset;
+                    prop_assert!(disjoint, "{:?} overlaps {:?}", h, other);
+                }
+                live.push(h);
+            }
+        }
+        // Free in a pseudo-random order.
+        for idx in free_order {
+            if live.is_empty() { break; }
+            let h = live.swap_remove(idx.index(live.len()));
+            arena.free(h).unwrap();
+        }
+        for h in live.drain(..) {
+            arena.free(h).unwrap();
+        }
+        prop_assert_eq!(arena.allocated(), 0);
+        // Full coalescing: the whole arena is one block again.
+        let all = arena.alloc(1 << 16).unwrap();
+        prop_assert_eq!(all.offset, 0);
+    }
+
+    /// Channel framing: any sequence of messages arrives intact, in order,
+    /// regardless of message sizes.
+    #[test]
+    fn channel_messages_arrive_in_order(
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..500), 1..50),
+    ) {
+        let (tx, rx) = channel_pair(4096);
+        let expected = msgs.clone();
+        let sender = std::thread::spawn(move || {
+            for m in msgs {
+                tx.send(&m).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..expected.len() {
+            match rx.recv().unwrap() {
+                ShmMessage::Inline(b) => got.push(b.to_vec()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        sender.join().unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Arena write/read roundtrips at arbitrary offsets within a block.
+    #[test]
+    fn arena_rw_roundtrip(
+        block in 64u64..4096,
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        offset in 0u64..4096,
+    ) {
+        let arena = SharedArena::new(1 << 14);
+        let h = arena.alloc(block).unwrap();
+        let fits = offset + data.len() as u64 <= h.len;
+        match arena.write(h, offset, &data) {
+            Ok(()) => {
+                prop_assert!(fits);
+                let mut out = vec![0u8; data.len()];
+                arena.read(h, offset, &mut out).unwrap();
+                prop_assert_eq!(out, data);
+            }
+            Err(_) => prop_assert!(!fits),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # freeflow-socket
+//!
+//! The Socket-API half of FreeFlow's network abstraction (paper §4):
+//! *"There are already libraries available to translate TCP/IP ... to RDMA
+//! Verbs semantics"* — this crate is that translation layer (the `rsocket`
+//! analog), built from scratch over `freeflow`'s virtual queue pairs.
+//!
+//! Applications get familiar stream sockets — [`SocketStack::bind`] /
+//! [`FfListener::accept`] / [`SocketStack::connect`] / `read` / `write` —
+//! and underneath every byte rides whichever data plane FreeFlow selected
+//! for the peer pair: shared memory when co-located, RDMA/DPDK/TCP wires
+//! otherwise. The socket code cannot tell and does not care; that is the
+//! point.
+//!
+//! ## Translation scheme
+//!
+//! * A stream is one connected QP pair. Each side owns `NSLOTS` receive
+//!   slots of `SLOT_SIZE` bytes in a registered MR and pre-posts them all.
+//! * Writes are segmented into ≤`SLOT_SIZE` messages, copied into send
+//!   slots and SENT; a one-byte tag distinguishes `DATA` / `CREDIT` / `FIN`
+//!   frames on the wire.
+//! * Flow control is credit-based: a sender consumes one credit per
+//!   message; the receiver returns credits only after the application has
+//!   actually consumed the bytes — so a slow reader backpressures the
+//!   writer through every transport, like TCP receive windows.
+//! * Connection setup goes through a [`SocketStack`] — the connection
+//!   manager that maps `ip:port` to listeners and brokers the endpoint
+//!   exchange (what rsockets does over a TCP side channel).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod stack;
+pub mod stream;
+
+pub use stack::{FfListener, SocketStack};
+pub use stream::FfStream;

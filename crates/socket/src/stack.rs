@@ -1,0 +1,331 @@
+//! The connection manager: `bind` / `accept` / `connect`.
+//!
+//! Verbs has no notion of listening; real RDMA socket layers broker the
+//! (GID, QPN) exchange over a side channel. [`SocketStack`] is that side
+//! channel: a cluster-wide registry mapping bound `ip:port` addresses to
+//! listener queues. `connect` creates the client's QP first, posts a
+//! connect request carrying its endpoint, and blocks for the listener's
+//! endpoint in return; both sides then transition their QPs and wrap them
+//! in [`FfStream`]s. The data path never touches this stack again.
+
+use crate::stream::FfStream;
+use freeflow::{Container, FfEndpoint};
+use freeflow_types::{Error, OverlayAddr, OverlayIp, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BACKLOG: usize = 64;
+const STREAM_SQ: usize = crate::stream::NSLOTS * 2 + 8;
+const STREAM_RQ: usize = crate::stream::NSLOTS + 4;
+
+struct ConnectReq {
+    client_ep: FfEndpoint,
+    reply: crossbeam::channel::Sender<FfEndpoint>,
+}
+
+/// The cluster-wide socket connection manager.
+#[derive(Default)]
+pub struct SocketStack {
+    listeners: Mutex<HashMap<OverlayAddr, crossbeam::channel::Sender<ConnectReq>>>,
+}
+
+/// A listening socket.
+pub struct FfListener {
+    addr: OverlayAddr,
+    stack: Arc<SocketStack>,
+    incoming: crossbeam::channel::Receiver<ConnectReq>,
+}
+
+impl SocketStack {
+    /// Create an empty connection manager.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Bind `container` to `port`, returning a listener.
+    ///
+    /// Unlike host-mode networking, the bind key includes the container's
+    /// own overlay IP — two containers can both own port 80 (the
+    /// portability property host mode loses).
+    pub fn bind(self: &Arc<Self>, container: &Container, port: u16) -> Result<FfListener> {
+        let addr = OverlayAddr::new(container.ip(), port);
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&addr) {
+            return Err(Error::already_exists(format!("socket {addr}")));
+        }
+        let (tx, rx) = crossbeam::channel::bounded(BACKLOG);
+        listeners.insert(addr, tx);
+        Ok(FfListener {
+            addr,
+            stack: Arc::clone(self),
+            incoming: rx,
+        })
+    }
+
+    /// Connect from `container` to `remote`. Blocks for the handshake.
+    pub fn connect(
+        self: &Arc<Self>,
+        container: &Container,
+        remote_ip: OverlayIp,
+        remote_port: u16,
+    ) -> Result<FfStream> {
+        let remote = OverlayAddr::new(remote_ip, remote_port);
+        let listener_tx = self
+            .listeners
+            .lock()
+            .get(&remote)
+            .cloned()
+            .ok_or_else(|| Error::unreachable(format!("connection refused: {remote}")))?;
+        // Client QP first, so the request can carry our endpoint.
+        // Distinct CQs per direction: the stream logic reaps sends and
+        // waits on receives independently.
+        let send_cq = container.create_cq(STREAM_SQ * 2);
+        let recv_cq = container.create_cq(STREAM_RQ * 2);
+        let qp = container
+            .create_qp(&send_cq, &recv_cq, STREAM_SQ, STREAM_RQ)
+            .map_err(|e| Error::config(e.to_string()))?;
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        listener_tx
+            .try_send(ConnectReq {
+                client_ep: qp.endpoint(),
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::exhausted(format!("backlog full at {remote}")))?;
+        let server_ep = reply_rx
+            .recv_timeout(Duration::from_secs(30))
+            .map_err(|_| Error::unreachable(format!("accept timed out at {remote}")))?;
+        qp.connect(server_ep)
+            .map_err(|e| Error::unreachable(e.to_string()))?;
+        FfStream::from_qp(container, qp, send_cq, recv_cq)
+    }
+}
+
+impl FfListener {
+    /// The bound address.
+    pub fn addr(&self) -> OverlayAddr {
+        self.addr
+    }
+
+    /// Accept one connection, blocking up to `timeout`.
+    ///
+    /// `container` must be the same container the listener was bound on
+    /// (the accept-side QP is created on its virtual NIC).
+    pub fn accept(&self, container: &Container, timeout: Duration) -> Result<FfStream> {
+        debug_assert_eq!(container.ip(), self.addr.ip, "accept on the bound container");
+        let req = self
+            .incoming
+            .recv_timeout(timeout)
+            .map_err(|_| Error::WouldBlock)?;
+        let send_cq = container.create_cq(STREAM_SQ * 2);
+        let recv_cq = container.create_cq(STREAM_RQ * 2);
+        let qp = container
+            .create_qp(&send_cq, &recv_cq, STREAM_SQ, STREAM_RQ)
+            .map_err(|e| Error::config(e.to_string()))?;
+        qp.connect(req.client_ep)
+            .map_err(|e| Error::unreachable(e.to_string()))?;
+        // Tell the client who we are only after our QP can receive.
+        req.reply
+            .send(qp.endpoint())
+            .map_err(|_| Error::disconnected("client gave up"))?;
+        FfStream::from_qp(container, qp, send_cq, recv_cq)
+    }
+}
+
+impl Drop for FfListener {
+    fn drop(&mut self) {
+        self.stack.listeners.lock().remove(&self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeflow::FreeFlowCluster;
+    use freeflow_types::{HostCaps, TenantId};
+
+    fn two_containers(same_host: bool) -> (Arc<FreeFlowCluster>, Container, Container) {
+        let cluster = FreeFlowCluster::with_defaults();
+        let h0 = cluster.add_host(HostCaps::paper_testbed());
+        let h1 = if same_host {
+            h0
+        } else {
+            cluster.add_host(HostCaps::paper_testbed())
+        };
+        let a = cluster.launch(TenantId::new(1), h0).unwrap();
+        let b = cluster.launch(TenantId::new(1), h1).unwrap();
+        (cluster, a, b)
+    }
+
+    fn echo_roundtrip(same_host: bool) {
+        let (_cluster, a, b) = two_containers(same_host);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+
+        let server = std::thread::spawn(move || {
+            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = stream.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                stream.write_all(&buf[..n]).unwrap();
+            }
+            b // keep the container alive until done
+        });
+
+        let mut client = stack.connect(&a, server_ip, 80).unwrap();
+        for i in 0..50u32 {
+            let msg = format!("echo message {i}");
+            client.write_all(msg.as_bytes()).unwrap();
+            let mut out = vec![0u8; msg.len()];
+            client.read_exact(&mut out).unwrap();
+            assert_eq!(out, msg.as_bytes());
+        }
+        client.shutdown().unwrap();
+        let _b = server.join().unwrap();
+    }
+
+    #[test]
+    fn echo_intra_host_rides_shared_memory() {
+        echo_roundtrip(true);
+    }
+
+    #[test]
+    fn echo_inter_host_rides_the_wire() {
+        echo_roundtrip(false);
+    }
+
+    #[test]
+    fn stream_transport_matches_placement() {
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 9000).unwrap();
+        let server_ip = b.ip();
+        let t = std::thread::spawn(move || {
+            let s = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            (s, b)
+        });
+        let client = stack.connect(&a, server_ip, 9000).unwrap();
+        assert!(matches!(
+            client.qp().path(),
+            freeflow::qp::FfPath::Local { .. }
+        ));
+        let (_s, _b) = t.join().unwrap();
+    }
+
+    #[test]
+    fn large_transfer_integrity_inter_host() {
+        let (_cluster, a, b) = two_containers(false);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+        const LEN: usize = 1 << 20; // 1 MiB
+        let data: Vec<u8> = (0..LEN).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+
+        let server = std::thread::spawn(move || {
+            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut got = vec![0u8; LEN];
+            stream.read_exact(&mut got).unwrap();
+            (got, b)
+        });
+        let mut client = stack.connect(&a, server_ip, 80).unwrap();
+        client.write_all(&data).unwrap();
+        client.shutdown().unwrap();
+        let (got, _b) = server.join().unwrap();
+        assert_eq!(got, expect, "1 MiB survives segmentation + credits");
+    }
+
+    #[test]
+    fn two_containers_can_both_bind_port_80() {
+        // The portability win over host mode, at the socket layer.
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        let _l1 = stack.bind(&a, 80).unwrap();
+        let _l2 = stack.bind(&b, 80).unwrap();
+    }
+
+    #[test]
+    fn double_bind_same_container_rejected() {
+        let (_cluster, a, _b) = two_containers(true);
+        let stack = SocketStack::new();
+        let _l = stack.bind(&a, 80).unwrap();
+        assert!(matches!(
+            stack.bind(&a, 80),
+            Err(Error::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn connect_to_unbound_port_refused() {
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        assert!(matches!(
+            stack.connect(&a, b.ip(), 81),
+            Err(Error::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn listener_drop_unbinds() {
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        {
+            let _l = stack.bind(&b, 8080).unwrap();
+        }
+        assert!(stack.connect(&a, b.ip(), 8080).is_err());
+        let _l2 = stack.bind(&b, 8080).unwrap();
+    }
+
+    #[test]
+    fn eof_after_shutdown() {
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+        let server = std::thread::spawn(move || {
+            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut buf = [0u8; 16];
+            let n = stream.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"bye");
+            assert_eq!(stream.read(&mut buf).unwrap(), 0, "EOF after FIN");
+            b
+        });
+        let mut client = stack.connect(&a, server_ip, 80).unwrap();
+        client.write_all(b"bye").unwrap();
+        client.shutdown().unwrap();
+        let _b = server.join().unwrap();
+    }
+
+    #[test]
+    fn backpressure_slow_reader_does_not_lose_bytes() {
+        let (_cluster, a, b) = two_containers(false);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+        const LEN: usize = 600 * 1024; // ≫ window (16 × 16 KiB)
+        let server = std::thread::spawn(move || {
+            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut got = Vec::new();
+            let mut buf = [0u8; 1000]; // tiny reads → slow drain
+            loop {
+                let n = stream.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            (got, b)
+        });
+        let data: Vec<u8> = (0..LEN).map(|i| (i % 241) as u8).collect();
+        let mut client = stack.connect(&a, server_ip, 80).unwrap();
+        client.write_all(&data).unwrap();
+        client.shutdown().unwrap();
+        let (got, _b) = server.join().unwrap();
+        assert_eq!(got, data);
+    }
+}

@@ -1,0 +1,309 @@
+//! The stream itself: segmentation, credits, ordering, EOF.
+
+use freeflow::{Container, FfEndpoint, FfQp};
+use freeflow_types::{Error, Result};
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr, WcOpcode};
+use freeflow_verbs::{CompletionQueue, MemoryRegion, VerbsError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bytes of payload per message slot.
+pub const SLOT_SIZE: usize = 16 * 1024;
+/// Receive (and send) slots per direction.
+pub const NSLOTS: usize = 16;
+
+const TAG_DATA: u8 = 0;
+const TAG_CREDIT: u8 = 1;
+const TAG_FIN: u8 = 2;
+
+/// A connected, reliable, ordered byte stream over FreeFlow verbs.
+///
+/// Methods take `&mut self` (like `std::net::TcpStream` used from one
+/// thread); use two streams for two threads.
+pub struct FfStream {
+    qp: Arc<FfQp>,
+    send_cq: Arc<CompletionQueue>,
+    recv_cq: Arc<CompletionQueue>,
+    send_mr: Arc<MemoryRegion>,
+    recv_mr: Arc<MemoryRegion>,
+    /// Send slots currently in flight (wr_id = slot index).
+    send_slots_free: VecDeque<u64>,
+    /// Messages we may still send before the peer returns credits.
+    credits: usize,
+    /// Credits consumed locally but not yet returned to the peer.
+    pending_credit_return: u32,
+    /// Bytes received and not yet read by the application.
+    rx_buffer: VecDeque<u8>,
+    /// Peer sent FIN.
+    peer_closed: bool,
+    /// We sent FIN.
+    closed: bool,
+}
+
+impl FfStream {
+    /// Wire a stream over an already-connected QP. Both sides must call
+    /// this with symmetric parameters (the [`crate::stack`] handshake does).
+    pub fn from_qp(
+        container: &Container,
+        qp: Arc<FfQp>,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+    ) -> Result<Self> {
+        let send_mr = container
+            .register((SLOT_SIZE * NSLOTS) as u64, AccessFlags::local_rw())
+            .map_err(|e| Error::config(e.to_string()))?;
+        let recv_mr = container
+            .register((SLOT_SIZE * NSLOTS) as u64, AccessFlags::local_rw())
+            .map_err(|e| Error::config(e.to_string()))?;
+        // Pre-post every receive slot.
+        for slot in 0..NSLOTS as u64 {
+            qp.post_recv(RecvWr::new(
+                slot,
+                recv_mr.sge(slot * SLOT_SIZE as u64, SLOT_SIZE as u32),
+            ))
+            .map_err(|e| Error::config(e.to_string()))?;
+        }
+        Ok(Self {
+            qp,
+            send_cq,
+            recv_cq,
+            send_mr,
+            recv_mr,
+            send_slots_free: (0..NSLOTS as u64).collect(),
+            credits: NSLOTS,
+            pending_credit_return: 0,
+            rx_buffer: VecDeque::new(),
+            peer_closed: false,
+            closed: false,
+        })
+    }
+
+    /// The underlying QP (diagnostics: lets tests assert which data plane
+    /// the stream landed on).
+    pub fn qp(&self) -> &Arc<FfQp> {
+        &self.qp
+    }
+
+    /// The peer endpoint.
+    pub fn peer(&self) -> Option<FfEndpoint> {
+        match self.qp.path() {
+            freeflow::qp::FfPath::Local { peer } | freeflow::qp::FfPath::Remote { peer, .. } => {
+                Some(peer)
+            }
+            freeflow::qp::FfPath::Unbound => None,
+        }
+    }
+
+    /// Drain send completions (frees slots) without blocking.
+    fn reap_send_completions(&mut self) -> Result<()> {
+        while let Some(wc) = self.send_cq.poll_one() {
+            if !wc.status.is_ok() {
+                return Err(Error::disconnected(format!("send failed: {}", wc.status)));
+            }
+            if wc.opcode == WcOpcode::Send {
+                self.send_slots_free.push_back(wc.wr_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Process one receive completion (data / credit / fin), reposting the
+    /// slot. `block` controls whether we wait for one.
+    fn process_one_recv(&mut self, block: bool) -> Result<bool> {
+        let wc = if block {
+            match self.recv_cq.wait_one(Duration::from_secs(30)) {
+                Some(wc) => wc,
+                None => return Err(Error::unreachable("stream receive timed out")),
+            }
+        } else {
+            match self.recv_cq.poll_one() {
+                Some(wc) => wc,
+                None => return Ok(false),
+            }
+        };
+        if !wc.status.is_ok() {
+            return Err(Error::disconnected(format!("recv failed: {}", wc.status)));
+        }
+        let slot = wc.wr_id;
+        let mut frame = vec![0u8; wc.byte_len as usize];
+        self.recv_mr
+            .read(slot * SLOT_SIZE as u64, &mut frame)
+            .map_err(|e| Error::config(e.to_string()))?;
+        // Repost the slot immediately; the payload is already copied out.
+        self.qp
+            .post_recv(RecvWr::new(
+                slot,
+                self.recv_mr.sge(slot * SLOT_SIZE as u64, SLOT_SIZE as u32),
+            ))
+            .map_err(|e| Error::disconnected(e.to_string()))?;
+        match frame.first().copied() {
+            Some(TAG_DATA) => {
+                self.rx_buffer.extend(&frame[1..]);
+                // The slot is free again but the *application* hasn't read
+                // the bytes; withhold the credit until it does (true
+                // receiver-window semantics).
+                self.pending_credit_return += 1;
+            }
+            Some(TAG_CREDIT) => {
+                let n = u32::from_le_bytes(frame[1..5].try_into().map_err(|_| {
+                    Error::parse("short credit frame")
+                })?);
+                self.credits += n as usize;
+                // A credit frame consumed one of *our* receive slots; that
+                // credit goes straight back (it carries no app data).
+                self.pending_credit_return += 1;
+            }
+            Some(TAG_FIN) => {
+                self.peer_closed = true;
+            }
+            other => return Err(Error::parse(format!("bad stream tag {other:?}"))),
+        }
+        Ok(true)
+    }
+
+    /// Return accumulated credits to the peer when worthwhile.
+    fn maybe_return_credits(&mut self) -> Result<()> {
+        // Batch: return when half the window is pending (cuts credit
+        // traffic 8×) or when the peer might be stalled.
+        if self.pending_credit_return as usize >= NSLOTS / 2 {
+            self.send_control(TAG_CREDIT, self.pending_credit_return)?;
+            self.pending_credit_return = 0;
+        }
+        Ok(())
+    }
+
+    fn send_control(&mut self, tag: u8, arg: u32) -> Result<()> {
+        // Control frames use inline data: no slot, no credit needed.
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&arg.to_le_bytes());
+        loop {
+            match self.qp.post_send(SendWr::send_inline(u64::MAX, frame.clone()).unsignaled()) {
+                Ok(()) => return Ok(()),
+                Err(VerbsError::QueueFull { .. }) => {
+                    self.reap_send_completions()?;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(Error::disconnected(e.to_string())),
+            }
+        }
+    }
+
+    /// Write the whole buffer (blocking). Returns the number of bytes
+    /// written (always `buf.len()` on success).
+    pub fn write_all(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.closed {
+            return Err(Error::invalid_state("stream closed"));
+        }
+        let mut off = 0;
+        while off < buf.len() {
+            self.reap_send_completions()?;
+            // Opportunistically process inbound (credits!) so a
+            // bidirectional stream can't deadlock.
+            while self.credits == 0 || self.send_slots_free.is_empty() {
+                self.reap_send_completions()?;
+                if self.credits > 0 && !self.send_slots_free.is_empty() {
+                    break;
+                }
+                self.process_one_recv(true)?;
+                self.maybe_return_credits()?;
+            }
+            let slot = self.send_slots_free.pop_front().expect("checked");
+            let chunk = (buf.len() - off).min(SLOT_SIZE - 1);
+            let base = slot * SLOT_SIZE as u64;
+            self.send_mr
+                .write(base, &[TAG_DATA])
+                .map_err(|e| Error::config(e.to_string()))?;
+            self.send_mr
+                .write(base + 1, &buf[off..off + chunk])
+                .map_err(|e| Error::config(e.to_string()))?;
+            self.credits -= 1;
+            loop {
+                match self
+                    .qp
+                    .post_send(SendWr::send(slot, self.send_mr.sge(base, (chunk + 1) as u32)))
+                {
+                    Ok(()) => break,
+                    Err(VerbsError::QueueFull { .. }) => {
+                        self.reap_send_completions()?;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => return Err(Error::disconnected(e.to_string())),
+                }
+            }
+            off += chunk;
+        }
+        Ok(buf.len())
+    }
+
+    /// Read up to `buf.len()` bytes, blocking for at least one unless the
+    /// peer closed. Returns 0 at EOF.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.rx_buffer.is_empty() {
+            if self.peer_closed {
+                return Ok(0); // EOF
+            }
+            self.process_one_recv(true)?;
+            self.maybe_return_credits()?;
+        }
+        let n = buf.len().min(self.rx_buffer.len());
+        for b in buf.iter_mut().take(n) {
+            *b = self.rx_buffer.pop_front().expect("non-empty");
+        }
+        // Bytes consumed → credits can flow back.
+        self.maybe_return_credits()?;
+        Ok(n)
+    }
+
+    /// Read exactly `buf.len()` bytes or fail at EOF.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let mut off = 0;
+        while off < buf.len() {
+            let n = self.read(&mut buf[off..])?;
+            if n == 0 {
+                return Err(Error::disconnected(format!(
+                    "EOF after {off} of {} bytes",
+                    buf.len()
+                )));
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Half-close: signal EOF to the peer. Reads continue to drain.
+    pub fn shutdown(&mut self) -> Result<()> {
+        if !self.closed {
+            self.closed = true;
+            // Return any withheld credits first so the peer can finish
+            // in-flight writes cleanly.
+            if self.pending_credit_return > 0 {
+                let n = self.pending_credit_return;
+                self.pending_credit_return = 0;
+                self.send_control(TAG_CREDIT, n)?;
+            }
+            self.send_control(TAG_FIN, 0)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FfStream {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for FfStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FfStream")
+            .field("qpn", &self.qp.qp_num())
+            .field("credits", &self.credits)
+            .field("rx_buffered", &self.rx_buffer.len())
+            .field("peer_closed", &self.peer_closed)
+            .finish()
+    }
+}

@@ -1,0 +1,144 @@
+//! The shared error type.
+//!
+//! One enum covers the failure classes that cross crate boundaries; crates
+//! with richer internal failure modes (e.g. the Verbs emulation's
+//! per-completion status codes) define their own types and convert at the
+//! boundary.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Failure classes shared across FreeFlow crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A textual value failed to parse (addresses, CIDRs, configs).
+    Parse(String),
+    /// An entity lookup failed (container, host, flow, ...).
+    NotFound(String),
+    /// An entity already exists where a fresh one was required.
+    AlreadyExists(String),
+    /// A resource pool is exhausted (IPAM out of addresses, ring full, ...).
+    Exhausted(String),
+    /// The operation is invalid in the current state (e.g. posting to a
+    /// queue pair that is not ready to send).
+    InvalidState(String),
+    /// The peer/endpoint is unreachable or refused the operation.
+    Unreachable(String),
+    /// Isolation policy forbade the requested data plane (e.g. shared
+    /// memory between containers of different tenants).
+    PolicyDenied(String),
+    /// The channel/connection was closed by the other side.
+    Disconnected(String),
+    /// An operation would block and the caller asked for non-blocking.
+    WouldBlock,
+    /// A size/argument limit was violated.
+    TooLarge(String),
+    /// Configuration is inconsistent.
+    Config(String),
+}
+
+impl Error {
+    /// Construct a [`Error::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Construct a [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Construct a [`Error::AlreadyExists`].
+    pub fn already_exists(msg: impl Into<String>) -> Self {
+        Error::AlreadyExists(msg.into())
+    }
+
+    /// Construct a [`Error::Exhausted`].
+    pub fn exhausted(msg: impl Into<String>) -> Self {
+        Error::Exhausted(msg.into())
+    }
+
+    /// Construct a [`Error::InvalidState`].
+    pub fn invalid_state(msg: impl Into<String>) -> Self {
+        Error::InvalidState(msg.into())
+    }
+
+    /// Construct a [`Error::Unreachable`].
+    pub fn unreachable(msg: impl Into<String>) -> Self {
+        Error::Unreachable(msg.into())
+    }
+
+    /// Construct a [`Error::PolicyDenied`].
+    pub fn policy_denied(msg: impl Into<String>) -> Self {
+        Error::PolicyDenied(msg.into())
+    }
+
+    /// Construct a [`Error::Disconnected`].
+    pub fn disconnected(msg: impl Into<String>) -> Self {
+        Error::Disconnected(msg.into())
+    }
+
+    /// Construct a [`Error::TooLarge`].
+    pub fn too_large(msg: impl Into<String>) -> Self {
+        Error::TooLarge(msg.into())
+    }
+
+    /// Construct a [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Whether retrying later may succeed (transient conditions).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::WouldBlock | Error::Exhausted(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Exhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Unreachable(m) => write!(f, "unreachable: {m}"),
+            Error::PolicyDenied(m) => write!(f, "policy denied: {m}"),
+            Error::Disconnected(m) => write!(f, "disconnected: {m}"),
+            Error::WouldBlock => write!(f, "operation would block"),
+            Error::TooLarge(m) => write!(f, "too large: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = Error::not_found("ctr-7");
+        assert_eq!(e.to_string(), "not found: ctr-7");
+        let e = Error::WouldBlock;
+        assert_eq!(e.to_string(), "operation would block");
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::WouldBlock.is_transient());
+        assert!(Error::exhausted("ring full").is_transient());
+        assert!(!Error::policy_denied("cross-tenant shm").is_transient());
+        assert!(!Error::disconnected("peer gone").is_transient());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std(_e: &dyn std::error::Error) {}
+        takes_std(&Error::parse("x"));
+    }
+}

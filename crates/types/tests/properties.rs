@@ -1,0 +1,74 @@
+//! Property-based tests for addressing and unit arithmetic.
+
+use freeflow_types::{Bandwidth, ByteSize, Nanos, OverlayAddr, OverlayCidr, OverlayIp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every IP survives a display/parse roundtrip.
+    #[test]
+    fn ip_display_parse_roundtrip(raw in any::<u32>()) {
+        let ip = OverlayIp(raw);
+        let back: OverlayIp = ip.to_string().parse().unwrap();
+        prop_assert_eq!(back, ip);
+    }
+
+    /// Every address survives a display/parse roundtrip.
+    #[test]
+    fn addr_display_parse_roundtrip(raw in any::<u32>(), port in any::<u16>()) {
+        let addr = OverlayAddr::new(OverlayIp(raw), port);
+        let back: OverlayAddr = addr.to_string().parse().unwrap();
+        prop_assert_eq!(back, addr);
+    }
+
+    /// CIDR membership is exactly "shares the masked prefix".
+    #[test]
+    fn cidr_contains_matches_mask(base in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+        let cidr = OverlayCidr::new(OverlayIp(base), len).unwrap();
+        let expected = (probe & cidr.netmask()) == cidr.base.raw();
+        prop_assert_eq!(cidr.contains(OverlayIp(probe)), expected);
+    }
+
+    /// A CIDR contains its own first and last host, and its size is 2^(32-len).
+    #[test]
+    fn cidr_hosts_inside(base in any::<u32>(), len in 0u8..=32) {
+        let cidr = OverlayCidr::new(OverlayIp(base), len).unwrap();
+        prop_assert!(cidr.contains(cidr.first_host()));
+        prop_assert!(cidr.contains(cidr.last_host()));
+        prop_assert_eq!(cidr.size(), 1u64 << (32 - len as u32));
+        prop_assert!(cidr.first_host() <= cidr.last_host());
+    }
+
+    /// Overlap is symmetric and self-overlap always holds.
+    #[test]
+    fn cidr_overlap_symmetric(
+        a_base in any::<u32>(), a_len in 0u8..=32,
+        b_base in any::<u32>(), b_len in 0u8..=32,
+    ) {
+        let a = OverlayCidr::new(OverlayIp(a_base), a_len).unwrap();
+        let b = OverlayCidr::new(OverlayIp(b_base), b_len).unwrap();
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert!(a.overlaps(&a));
+    }
+
+    /// transfer_time and observed() are mutual inverses (within rounding).
+    #[test]
+    fn bandwidth_roundtrip(gbps in 1u64..400, mib in 1u64..512) {
+        let bw = Bandwidth::from_gbps(gbps);
+        let size = ByteSize::from_mib(mib);
+        let t = bw.transfer_time(size).unwrap();
+        let obs = Bandwidth::observed(size, t);
+        let err = (obs.as_gbps_f64() - gbps as f64).abs() / gbps as f64;
+        prop_assert!(err < 1e-3, "{} vs {}", obs, gbps);
+    }
+
+    /// Nanos saturating/ checked arithmetic never panics and orders sanely.
+    #[test]
+    fn nanos_arithmetic_total(a in any::<u32>(), b in any::<u32>()) {
+        let (x, y) = (Nanos::from_nanos(a as u64), Nanos::from_nanos(b as u64));
+        let sum = x + y;
+        prop_assert!(sum >= x && sum >= y);
+        prop_assert_eq!(sum.saturating_sub(y), x);
+        prop_assert_eq!(x.max(y).as_nanos(), a.max(b) as u64);
+        prop_assert_eq!(x.min(y).as_nanos(), a.min(b) as u64);
+    }
+}

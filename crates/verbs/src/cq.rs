@@ -1,0 +1,198 @@
+//! Completion queues.
+//!
+//! Bounded queues of [`WorkCompletion`]s, polled by the application
+//! (`ibv_poll_cq` style) or waited on via a doorbell (the comp-channel
+//! analog). Overflow marks the CQ errored — real hardware raises a fatal
+//! async event in that case, and silently dropping completions would hide
+//! protocol bugs.
+
+use crate::wr::WorkCompletion;
+use freeflow_shmem::Doorbell;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct CqInner {
+    queue: VecDeque<WorkCompletion>,
+    overflowed: bool,
+}
+
+/// A completion queue shared by any number of QPs.
+pub struct CompletionQueue {
+    depth: usize,
+    inner: Mutex<CqInner>,
+    doorbell: Doorbell,
+}
+
+impl CompletionQueue {
+    /// Create a CQ holding at most `depth` completions.
+    pub fn new(depth: usize) -> Arc<Self> {
+        Arc::new(Self {
+            depth: depth.max(1),
+            inner: Mutex::new(CqInner {
+                queue: VecDeque::new(),
+                overflowed: false,
+            }),
+            doorbell: Doorbell::new(),
+        })
+    }
+
+    /// Capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether the CQ overflowed (fatal).
+    pub fn is_overflowed(&self) -> bool {
+        self.inner.lock().overflowed
+    }
+
+    /// Fabric side: push a completion. Returns `false` on overflow.
+    ///
+    /// Public so fabric implementations (the FreeFlow library's relayed
+    /// paths) can complete work they executed on the QP's behalf.
+    pub fn push(&self, wc: WorkCompletion) -> bool {
+        let ok = {
+            let mut inner = self.inner.lock();
+            if inner.queue.len() >= self.depth {
+                inner.overflowed = true;
+                false
+            } else {
+                inner.queue.push_back(wc);
+                true
+            }
+        };
+        if ok {
+            self.doorbell.ring();
+        }
+        ok
+    }
+
+    /// Poll up to `max` completions (non-blocking).
+    pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.queue.len());
+        inner.queue.drain(..n).collect()
+    }
+
+    /// Poll a single completion (non-blocking).
+    pub fn poll_one(&self) -> Option<WorkCompletion> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Number of completions currently queued.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Block until a completion is available or `timeout` passes.
+    pub fn wait_one(&self, timeout: Duration) -> Option<WorkCompletion> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let seen = self.doorbell.current();
+            if let Some(wc) = self.poll_one() {
+                return Some(wc);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return self.poll_one();
+            }
+            let _ = self
+                .doorbell
+                .wait_timeout(seen, (deadline - now).min(Duration::from_millis(50)));
+        }
+    }
+
+    /// Busy-poll until a completion arrives (kernel-bypass style; burns a
+    /// core — the benches show this against `wait_one`).
+    pub fn spin_one(&self) -> WorkCompletion {
+        loop {
+            if let Some(wc) = self.poll_one() {
+                return wc;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("depth", &self.depth)
+            .field("pending", &self.pending())
+            .field("overflowed", &self.is_overflowed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::WcStatus;
+    use crate::wr::WcOpcode;
+
+    fn wc(id: u64) -> WorkCompletion {
+        WorkCompletion {
+            wr_id: id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Send,
+            byte_len: 0,
+            imm: None,
+            qp_num: 1,
+        }
+    }
+
+    #[test]
+    fn push_poll_fifo() {
+        let cq = CompletionQueue::new(8);
+        assert!(cq.push(wc(1)));
+        assert!(cq.push(wc(2)));
+        let got = cq.poll(10);
+        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(cq.pending(), 0);
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let cq = CompletionQueue::new(8);
+        for i in 0..5 {
+            cq.push(wc(i));
+        }
+        assert_eq!(cq.poll(2).len(), 2);
+        assert_eq!(cq.pending(), 3);
+    }
+
+    #[test]
+    fn overflow_is_fatal_flagged() {
+        let cq = CompletionQueue::new(2);
+        assert!(cq.push(wc(1)));
+        assert!(cq.push(wc(2)));
+        assert!(!cq.push(wc(3)), "third push overflows depth-2 CQ");
+        assert!(cq.is_overflowed());
+        // Existing completions still pollable.
+        assert_eq!(cq.poll(10).len(), 2);
+    }
+
+    #[test]
+    fn wait_one_times_out_and_succeeds() {
+        let cq = CompletionQueue::new(4);
+        assert!(cq.wait_one(Duration::from_millis(5)).is_none());
+        let cq2 = Arc::clone(&cq);
+        let t = std::thread::spawn(move || {
+            cq2.push(wc(9));
+        });
+        let got = cq.wait_one(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.wr_id, 9);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn spin_one_gets_completion() {
+        let cq = CompletionQueue::new(4);
+        let cq2 = Arc::clone(&cq);
+        let t = std::thread::spawn(move || cq2.push(wc(5)));
+        assert_eq!(cq.spin_one().wr_id, 5);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,147 @@
+//! Verbs error and work-completion status types.
+//!
+//! Mirrors the split real verbs make: *posting* errors are returned
+//! synchronously from the post call (bad state, full queue), while
+//! *execution* errors surface asynchronously as a failed
+//! [`crate::wr::WorkCompletion`] carrying a [`WcStatus`].
+
+use std::fmt;
+
+/// Result alias for verbs operations.
+pub type VerbsResult<T> = std::result::Result<T, VerbsError>;
+
+/// Synchronous failures of verbs calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    /// Operation requires a different QP state (e.g. posting a send on a
+    /// QP that is not RTS).
+    InvalidQpState {
+        /// What the QP state was.
+        actual: &'static str,
+        /// What the operation required.
+        required: &'static str,
+    },
+    /// The send or receive queue is full.
+    QueueFull {
+        /// `"send"` or `"recv"`.
+        which: &'static str,
+    },
+    /// A scatter/gather element points outside its memory region.
+    OutOfBounds {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Key lookup failed (bad lkey/rkey).
+    BadKey {
+        /// The failing key.
+        key: u32,
+    },
+    /// Access flags forbid the operation (e.g. REMOTE_WRITE not granted).
+    AccessDenied {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The remote endpoint is unknown to the fabric.
+    PeerUnreachable {
+        /// Description of the failed lookup.
+        detail: String,
+    },
+    /// Device resource limits exceeded (max QPs, CQ depth, ...).
+    ResourceLimit {
+        /// Which limit.
+        detail: String,
+    },
+    /// Inline payload exceeds the QP's max inline size.
+    InlineTooLarge {
+        /// Payload length.
+        len: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidQpState { actual, required } => {
+                write!(f, "invalid QP state {actual}, requires {required}")
+            }
+            VerbsError::QueueFull { which } => write!(f, "{which} queue full"),
+            VerbsError::OutOfBounds { detail } => write!(f, "out of bounds: {detail}"),
+            VerbsError::BadKey { key } => write!(f, "bad memory key {key:#x}"),
+            VerbsError::AccessDenied { detail } => write!(f, "access denied: {detail}"),
+            VerbsError::PeerUnreachable { detail } => write!(f, "peer unreachable: {detail}"),
+            VerbsError::ResourceLimit { detail } => write!(f, "resource limit: {detail}"),
+            VerbsError::InlineTooLarge { len, max } => {
+                write!(f, "inline payload of {len} bytes exceeds max {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+/// Completion status codes, the asynchronous half of error reporting.
+/// Names follow `ibv_wc_status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcStatus {
+    /// Operation completed successfully.
+    Success,
+    /// Local length error (SGE shorter than incoming message).
+    LocalLengthError,
+    /// Local protection error (bad lkey / bounds).
+    LocalProtectionError,
+    /// Remote access error (bad rkey / bounds / flags).
+    RemoteAccessError,
+    /// Remote operation error (peer in a bad state).
+    RemoteOperationError,
+    /// Receiver-not-ready retries exhausted.
+    RnrRetryExceeded,
+    /// Work request flushed because the QP entered the error state.
+    WrFlushError,
+}
+
+impl WcStatus {
+    /// Whether this status indicates success.
+    pub fn is_ok(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+impl fmt::Display for WcStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WcStatus::Success => "success",
+            WcStatus::LocalLengthError => "local length error",
+            WcStatus::LocalProtectionError => "local protection error",
+            WcStatus::RemoteAccessError => "remote access error",
+            WcStatus::RemoteOperationError => "remote operation error",
+            WcStatus::RnrRetryExceeded => "RNR retry exceeded",
+            WcStatus::WrFlushError => "WR flushed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VerbsError::QueueFull { which: "send" };
+        assert_eq!(e.to_string(), "send queue full");
+        let e = VerbsError::InvalidQpState {
+            actual: "INIT",
+            required: "RTS",
+        };
+        assert_eq!(e.to_string(), "invalid QP state INIT, requires RTS");
+    }
+
+    #[test]
+    fn status_ok_classification() {
+        assert!(WcStatus::Success.is_ok());
+        assert!(!WcStatus::RemoteAccessError.is_ok());
+        assert!(!WcStatus::WrFlushError.is_ok());
+    }
+}

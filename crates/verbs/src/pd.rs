@@ -1,0 +1,82 @@
+//! Protection domains.
+//!
+//! A [`ProtectionDomain`] scopes memory registrations and queue pairs, as
+//! in real verbs: a QP may only gather/scatter through MRs of its own PD.
+//! FreeFlow leans on this to keep tenants apart even when their MRs share
+//! a host arena.
+
+use crate::cq::CompletionQueue;
+use crate::device::Device;
+use crate::error::VerbsResult;
+use crate::mr::MemoryRegion;
+use crate::qp::QueuePair;
+use crate::wr::AccessFlags;
+use freeflow_shmem::{ArenaHandle, SharedArena};
+use std::sync::Arc;
+
+/// A protection domain on one device.
+pub struct ProtectionDomain {
+    device: Arc<Device>,
+    id: u32,
+}
+
+impl ProtectionDomain {
+    pub(crate) fn new(device: Arc<Device>, id: u32) -> Self {
+        Self { device, id }
+    }
+
+    /// The PD's numeric id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The owning device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Register `len` bytes of fresh private memory.
+    pub fn register(&self, len: u64, access: AccessFlags) -> VerbsResult<Arc<MemoryRegion>> {
+        self.device.register_mr(len, access)
+    }
+
+    /// Register an existing shared-arena block — the zero-copy path for
+    /// co-located containers: both sides register blocks of the same host
+    /// segment and a WRITE becomes a segment-local copy (or pure handoff).
+    pub fn register_arena(
+        &self,
+        arena: Arc<SharedArena>,
+        handle: ArenaHandle,
+        access: AccessFlags,
+    ) -> VerbsResult<Arc<MemoryRegion>> {
+        self.device.register_mr_arena(arena, handle, access)
+    }
+
+    /// Create a reliable-connected queue pair with the given completion
+    /// queues and queue depths.
+    pub fn create_qp(
+        &self,
+        send_cq: &Arc<CompletionQueue>,
+        recv_cq: &Arc<CompletionQueue>,
+        sq_depth: usize,
+        rq_depth: usize,
+    ) -> VerbsResult<Arc<QueuePair>> {
+        QueuePair::create(
+            Arc::clone(&self.device),
+            self.id,
+            Arc::clone(send_cq),
+            Arc::clone(recv_cq),
+            sq_depth,
+            rq_depth,
+        )
+    }
+}
+
+impl std::fmt::Debug for ProtectionDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectionDomain")
+            .field("id", &self.id)
+            .field("device", &self.device.addr())
+            .finish()
+    }
+}

@@ -1,0 +1,118 @@
+//! Data-parallel training over FreeFlow-MPI — the paper's "machine
+//! learning" motivating workload.
+//!
+//! Four workers (two per host) fit a linear model `y = w·x` by synchronous
+//! SGD: each step every rank computes a gradient on its shard and the
+//! ranks `allreduce` to average it. The allreduce crosses a mix of
+//! shared-memory links (co-located ranks) and RDMA-wire links (cross-host
+//! ranks); the MPI layer — and the training loop — never know which.
+//!
+//! Run: `cargo run --example allreduce_ml`
+
+use freeflow::FreeFlowCluster;
+use freeflow_mpi::{Op, Rank, World};
+use freeflow_types::{HostCaps, TenantId};
+use std::time::Instant;
+
+const DIM: usize = 64;
+const SAMPLES_PER_RANK: usize = 256;
+const STEPS: usize = 300;
+const LR: f64 = 1.5;
+
+/// Deterministic pseudo-data: rank-striped samples of a known model.
+fn make_shard(rank: usize) -> (Vec<[f64; DIM]>, Vec<f64>, [f64; DIM]) {
+    // Ground truth w*: w*_j = sin(j) scaled.
+    let mut w_star = [0.0; DIM];
+    for (j, w) in w_star.iter_mut().enumerate() {
+        *w = ((j as f64) * 0.7).sin();
+    }
+    let mut xs = Vec::with_capacity(SAMPLES_PER_RANK);
+    let mut ys = Vec::with_capacity(SAMPLES_PER_RANK);
+    let mut seed = (rank as u64 + 1) * 0x9E37_79B9;
+    let mut next = || {
+        // xorshift64* — deterministic, no external RNG needed here.
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for _ in 0..SAMPLES_PER_RANK {
+        let mut x = [0.0; DIM];
+        for v in x.iter_mut() {
+            *v = next();
+        }
+        let y: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum();
+        xs.push(x);
+        ys.push(y);
+    }
+    (xs, ys, w_star)
+}
+
+fn worker(mut rank: Rank) -> (usize, f64, f64) {
+    let (xs, ys, w_star) = make_shard(rank.rank());
+    let mut w = vec![0.0f64; DIM];
+    let size = rank.size() as f64;
+    let t0 = Instant::now();
+    let mut last_loss = f64::NAN;
+    for _step in 0..STEPS {
+        // Local gradient of MSE on this shard.
+        let mut grad = vec![0.0f64; DIM];
+        let mut loss = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let pred: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+            let err = pred - y;
+            loss += err * err;
+            for (g, xv) in grad.iter_mut().zip(x.iter()) {
+                *g += 2.0 * err * xv / SAMPLES_PER_RANK as f64;
+            }
+        }
+        last_loss = loss / SAMPLES_PER_RANK as f64;
+        // Synchronous SGD: average gradients across all ranks.
+        let global = rank.allreduce(&grad, Op::Sum).expect("allreduce");
+        for (wv, g) in w.iter_mut().zip(&global) {
+            *wv -= LR * g / size;
+        }
+    }
+    rank.barrier().expect("final barrier");
+    let err: f64 = w
+        .iter()
+        .zip(&w_star)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    (
+        rank.rank(),
+        last_loss,
+        if rank.rank() == 0 {
+            t0.elapsed().as_secs_f64()
+        } else {
+            err // ranks ≠ 0 report model error instead
+        },
+    )
+}
+
+fn main() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    println!("4 workers on 2 hosts; links mix shared memory and the RDMA wire");
+
+    let ranks = World::create(&cluster, TenantId::new(1), &[h0, h0, h1, h1])
+        .expect("build MPI world");
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranks.into_iter().map(|r| s.spawn(move || worker(r))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (rank, loss, extra) in &results {
+        if *rank == 0 {
+            println!("  rank {rank}: final shard loss {loss:.6}, wall time {extra:.2}s for {STEPS} steps");
+        } else {
+            println!("  rank {rank}: final shard loss {loss:.6}, |w - w*| = {extra:.4}");
+        }
+    }
+    let converged = results.iter().filter(|(r, _, e)| *r != 0 && *e < 0.5).count();
+    println!(
+        "model converged on {converged}/3 reporting ranks — synchronous SGD over mixed transports works."
+    );
+}

@@ -1,0 +1,158 @@
+//! A containerized key-value store — the paper's motivating workload class
+//! ("key-value store [FaRM, Cassandra]").
+//!
+//! One server container holds the store. Clients on the *same* host and on
+//! a *different* host issue identical `PUT`/`GET` traffic over the FreeFlow
+//! socket layer; afterwards the same slots are fetched with one-sided RDMA
+//! `READ`s straight out of the server's registered value region — the
+//! FaRM-style access pattern that only works because FreeFlow exposes real
+//! Verbs semantics end-to-end.
+//!
+//! Run: `cargo run --example keyvalue_store`
+
+use freeflow::FreeFlowCluster;
+use freeflow_socket::SocketStack;
+use freeflow_types::{HostCaps, TenantId};
+use freeflow_verbs::wr::{AccessFlags, SendWr};
+use std::time::{Duration, Instant};
+
+const VALUE_SIZE: usize = 512;
+const SLOTS: u64 = 64;
+const OPS: usize = 2_000;
+
+const OP_PUT: u8 = 1;
+const OP_GET: u8 = 2;
+
+fn main() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+
+    let server = cluster.launch(tenant, h0).expect("launch server");
+    let local_client = cluster.launch(tenant, h0).expect("launch local client");
+    let remote_client = cluster.launch(tenant, h1).expect("launch remote client");
+
+    // The server's value region: slot k holds the value of key k. Clients
+    // learn its (addr, rkey) out of band and may READ slots directly.
+    let values = server
+        .register(SLOTS * VALUE_SIZE as u64, AccessFlags::all())
+        .expect("register value region");
+    let values_addr = values.addr();
+    let values_rkey = values.rkey();
+
+    let stack = SocketStack::new();
+    let listener = stack.bind(&server, 6379).expect("bind");
+    let server_ip = server.ip();
+
+    // --- Phase 1: PUT/GET over the socket layer -------------------------
+    let server_thread = std::thread::spawn(move || {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let mut stream = listener.accept(&server, Duration::from_secs(10)).unwrap();
+            let values = values.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut hdr = [0u8; 9];
+                let mut val = vec![0u8; VALUE_SIZE];
+                loop {
+                    if stream.read_exact(&mut hdr).is_err() {
+                        break; // client closed
+                    }
+                    let key = u64::from_le_bytes(hdr[1..9].try_into().unwrap()) % SLOTS;
+                    match hdr[0] {
+                        OP_PUT => {
+                            stream.read_exact(&mut val).unwrap();
+                            values.write(key * VALUE_SIZE as u64, &val).unwrap();
+                            stream.write_all(&[1]).unwrap(); // ack
+                        }
+                        OP_GET => {
+                            values.read(key * VALUE_SIZE as u64, &mut val).unwrap();
+                            stream.write_all(&val).unwrap();
+                        }
+                        _ => break,
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server
+    });
+
+    let run_client = |client: freeflow::Container, label: &'static str| {
+        let stack = stack.clone();
+        std::thread::spawn(move || {
+            let mut stream = stack.connect(&client, server_ip, 6379).unwrap();
+            let path = match stream.qp().path() {
+                freeflow::qp::FfPath::Local { .. } => "shared memory",
+                freeflow::qp::FfPath::Remote { .. } => "RDMA relay",
+                freeflow::qp::FfPath::Unbound => "?",
+            };
+            let mut val = vec![0u8; VALUE_SIZE];
+
+            // Warm the store.
+            for key in 0..SLOTS {
+                let mut req = vec![OP_PUT];
+                req.extend_from_slice(&key.to_le_bytes());
+                req.extend_from_slice(&vec![(key % 251) as u8; VALUE_SIZE]);
+                stream.write_all(&req).unwrap();
+                stream.read_exact(&mut val[..1]).unwrap();
+            }
+            // Timed GETs.
+            let start = Instant::now();
+            for i in 0..OPS as u64 {
+                let key = (i * 7) % SLOTS;
+                let mut req = vec![OP_GET];
+                req.extend_from_slice(&key.to_le_bytes());
+                stream.write_all(&req).unwrap();
+                stream.read_exact(&mut val).unwrap();
+                assert_eq!(val[0], (key % 251) as u8);
+            }
+            let get_us = start.elapsed().as_secs_f64() * 1e6 / OPS as f64;
+            (label, path, get_us, client)
+        })
+    };
+
+    let local = run_client(local_client, "local  (same host) ");
+    let remote = run_client(remote_client, "remote (cross host)");
+    let (l_label, l_path, l_get, l_client) = local.join().unwrap();
+    let (r_label, r_path, r_get, r_client) = remote.join().unwrap();
+    let server = server_thread.join().unwrap();
+
+    // --- Phase 2: one-sided RDMA READs of the same slots ----------------
+    let s_cq = server.create_cq(64);
+    let one_sided = |client: &freeflow::Container| -> f64 {
+        let mr = client.register(VALUE_SIZE as u64, AccessFlags::all()).unwrap();
+        let cq = client.create_cq(32);
+        let qp = client.create_qp(&cq, &cq, 16, 16).unwrap();
+        let s_qp = server.create_qp(&s_cq, &s_cq, 16, 16).unwrap();
+        qp.connect(s_qp.endpoint()).unwrap();
+        s_qp.connect(qp.endpoint()).unwrap();
+        let start = Instant::now();
+        for i in 0..OPS as u64 {
+            let key = (i * 7) % SLOTS;
+            qp.post_send(SendWr::read(
+                i,
+                mr.sge(0, VALUE_SIZE as u32),
+                values_addr + key * VALUE_SIZE as u64,
+                values_rkey,
+            ))
+            .unwrap();
+            let wc = cq.wait_one(Duration::from_secs(10)).unwrap();
+            assert!(wc.status.is_ok());
+            let mut got = [0u8; 1];
+            mr.read(0, &mut got).unwrap();
+            assert_eq!(got[0], (key % 251) as u8, "READ fetched the stored value");
+        }
+        start.elapsed().as_secs_f64() * 1e6 / OPS as f64
+    };
+    let l_rdma = one_sided(&l_client);
+    let r_rdma = one_sided(&r_client);
+
+    println!("key-value store: {OPS} GETs of {VALUE_SIZE} B values per client");
+    println!("  client                 socket GET    one-sided READ   data plane");
+    println!("  {l_label}  {l_get:>9.1}us   {l_rdma:>12.1}us   {l_path}");
+    println!("  {r_label}  {r_get:>9.1}us   {r_rdma:>12.1}us   {r_path}");
+    println!("same client code; placement decided the transport underneath.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the FreeFlow promise in sixty lines.
+//!
+//! Two applications talk through the standard Verbs API. We run the exact
+//! same code twice — once with the containers co-located (FreeFlow binds
+//! the shared-memory path) and once across hosts (FreeFlow binds the RDMA
+//! relay). The application cannot tell the difference; only the diagnostics
+//! we print reveal which data plane carried the bytes.
+//!
+//! Run: `cargo run --example quickstart`
+
+use freeflow::qp::FfPath;
+use freeflow::FreeFlowCluster;
+use freeflow_types::{HostCaps, HostId, TenantId};
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
+use std::time::Duration;
+
+fn talk(cluster: &FreeFlowCluster, h_client: HostId, h_server: HostId, label: &str) {
+    let tenant = TenantId::new(1);
+    let client = cluster.launch(tenant, h_client).expect("launch client");
+    let server = cluster.launch(tenant, h_server).expect("launch server");
+
+    // Standard verbs setup — identical regardless of placement.
+    let mr_c = client.register(4096, AccessFlags::all()).unwrap();
+    let mr_s = server.register(4096, AccessFlags::all()).unwrap();
+    let cq_c = client.create_cq(16);
+    let cq_s = server.create_cq(16);
+    let qp_c = client.create_qp(&cq_c, &cq_c, 16, 16).unwrap();
+    let qp_s = server.create_qp(&cq_s, &cq_s, 16, 16).unwrap();
+    qp_c.connect(qp_s.endpoint()).unwrap();
+    qp_s.connect(qp_c.endpoint()).unwrap();
+
+    // Two-sided SEND/RECV.
+    qp_s.post_recv(RecvWr::new(1, mr_s.sge(0, 4096))).unwrap();
+    mr_c.write(0, b"hello through freeflow").unwrap();
+    qp_c.post_send(SendWr::send(2, mr_c.sge(0, 22))).unwrap();
+    let wc = cq_s.wait_one(Duration::from_secs(5)).expect("recv");
+    assert!(wc.status.is_ok());
+    // Reap our own send completion too — every signaled WR completes, and
+    // leaving it queued would alias the next wait.
+    let wc = cq_c.wait_one(Duration::from_secs(5)).expect("send completion");
+    assert!(wc.status.is_ok());
+
+    // One-sided WRITE straight into the server's memory.
+    mr_c.write(100, b"one-sided").unwrap();
+    qp_c.post_send(SendWr::write(3, mr_c.sge(100, 9), mr_s.addr() + 512, mr_s.rkey()))
+        .unwrap();
+    assert!(cq_c.wait_one(Duration::from_secs(5)).unwrap().status.is_ok());
+    let mut out = [0u8; 9];
+    mr_s.read(512, &mut out).unwrap();
+    assert_eq!(&out, b"one-sided");
+
+    let path = match qp_c.path() {
+        FfPath::Local { .. } => "shared memory (co-located)".to_string(),
+        FfPath::Remote { transport, .. } => format!("agent relay over {transport}"),
+        FfPath::Unbound => unreachable!(),
+    };
+    println!(
+        "[{label}] client {} -> server {}: data plane = {path}",
+        client.ip(),
+        server.ip()
+    );
+}
+
+fn main() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+
+    talk(&cluster, h0, h0, "same host ");
+    talk(&cluster, h0, h1, "cross host");
+
+    println!("same application code, transparently different data planes — that's FreeFlow.");
+}

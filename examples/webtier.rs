@@ -1,0 +1,167 @@
+//! A multi-tier web service — the paper's other motivating architecture:
+//! "a web service can include layers, such as load balancer, web server,
+//! in-memory cache ... and each layer can be a distributed system with
+//! multiple containerized nodes."
+//!
+//! Topology (5 containers over 2 hosts):
+//!
+//! ```text
+//!   client ── lb ──┬── web-0 ──┐
+//!                  └── web-1 ──┴── cache     (cache co-located with web-0)
+//! ```
+//!
+//! Every tier speaks plain sockets on its own port-80/6379-style ports —
+//! both web servers bind :80, which host-mode networking cannot do at all.
+//! The lb round-robins requests; webs consult the cache. FreeFlow silently
+//! uses shared memory for the co-located hops and the RDMA wire for the
+//! rest.
+//!
+//! Run: `cargo run --example webtier`
+
+use freeflow::FreeFlowCluster;
+use freeflow_socket::{FfStream, SocketStack};
+use freeflow_types::{HostCaps, OverlayIp, TenantId};
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 200;
+
+fn send_msg(s: &mut FfStream, data: &[u8]) {
+    s.write_all(&(data.len() as u32).to_le_bytes()).unwrap();
+    s.write_all(data).unwrap();
+}
+
+fn recv_msg(s: &mut FfStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    if s.read_exact(&mut len).is_err() {
+        return None;
+    }
+    let mut data = vec![0u8; u32::from_le_bytes(len) as usize];
+    s.read_exact(&mut data).ok()?;
+    Some(data)
+}
+
+fn main() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(7);
+    let stack = SocketStack::new();
+
+    // Placement: lb + web-0 + cache on h0; web-1 on h1.
+    let lb = cluster.launch(tenant, h0).unwrap();
+    let web0 = cluster.launch(tenant, h0).unwrap();
+    let web1 = cluster.launch(tenant, h1).unwrap();
+    let cache = cluster.launch(tenant, h0).unwrap();
+    let client = cluster.launch(tenant, h1).unwrap();
+
+    let cache_ip = cache.ip();
+    let lb_ip = lb.ip();
+    let web_ips = [web0.ip(), web1.ip()];
+
+    // --- cache tier: GET <key> → "value-of-<key>" -------------------------
+    let cache_listener = stack.bind(&cache, 6379).unwrap();
+    let cache_thread = std::thread::spawn(move || {
+        let mut conns = Vec::new();
+        for _ in 0..2 {
+            conns.push(cache_listener.accept(&cache, Duration::from_secs(10)).unwrap());
+        }
+        let mut workers = Vec::new();
+        for mut conn in conns {
+            workers.push(std::thread::spawn(move || {
+                while let Some(req) = recv_msg(&mut conn) {
+                    let key = String::from_utf8_lossy(&req).to_string();
+                    send_msg(&mut conn, format!("value-of-{key}").as_bytes());
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        cache
+    });
+
+    // --- web tier: both servers bind :80 (impossible in host mode!) ------
+    let mut web_threads = Vec::new();
+    for (idx, web) in [web0, web1].into_iter().enumerate() {
+        let listener = stack.bind(&web, 80).unwrap();
+        let stack = stack.clone();
+        web_threads.push(std::thread::spawn(move || {
+            let mut cache_conn = stack.connect(&web, cache_ip, 6379).unwrap();
+            let mut lb_conn = listener.accept(&web, Duration::from_secs(10)).unwrap();
+            while let Some(req) = recv_msg(&mut lb_conn) {
+                // "GET /k" → ask the cache, render a response.
+                send_msg(&mut cache_conn, &req);
+                let val = recv_msg(&mut cache_conn).expect("cache reply");
+                let body = format!(
+                    "HTTP/1.0 200 OK (web-{idx})\n{}",
+                    String::from_utf8_lossy(&val)
+                );
+                send_msg(&mut lb_conn, body.as_bytes());
+            }
+            web
+        }));
+    }
+
+    // --- load balancer: round robin over the web tier ---------------------
+    let lb_listener = stack.bind(&lb, 80).unwrap();
+    let lb_stack = stack.clone();
+    let lb_thread = std::thread::spawn(move || {
+        let mut webs: Vec<FfStream> = web_ips
+            .iter()
+            .map(|ip| lb_stack.connect(&lb, *ip, 80).unwrap())
+            .collect();
+        let mut client_conn = lb_listener.accept(&lb, Duration::from_secs(10)).unwrap();
+        let mut rr = 0usize;
+        while let Some(req) = recv_msg(&mut client_conn) {
+            let n = webs.len();
+            let web = &mut webs[rr % n];
+            rr += 1;
+            send_msg(web, &req);
+            let resp = recv_msg(web).expect("web reply");
+            send_msg(&mut client_conn, &resp);
+        }
+        lb
+    });
+
+    // --- client ------------------------------------------------------------
+    let mut conn = stack.connect(&client, lb_ip, 80).unwrap();
+    let start = Instant::now();
+    let mut hits = [0usize; 2];
+    for i in 0..REQUESTS {
+        send_msg(&mut conn, format!("item-{}", i % 16).as_bytes());
+        let resp = recv_msg(&mut conn).expect("response");
+        let text = String::from_utf8_lossy(&resp).to_string();
+        assert!(text.contains(&format!("value-of-item-{}", i % 16)), "{text}");
+        if text.contains("web-0") {
+            hits[0] += 1;
+        } else {
+            hits[1] += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    conn.shutdown().unwrap();
+    drop(conn);
+
+    let lb = lb_thread.join().unwrap();
+    let webs: Vec<_> = web_threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let cache = cache_thread.join().unwrap();
+
+    println!("web tier: {REQUESTS} requests through client → lb → web[0..2] → cache");
+    println!(
+        "  responses: web-0 served {}, web-1 served {} (round robin)",
+        hits[0], hits[1]
+    );
+    println!(
+        "  mean end-to-end latency: {:.1} us (4 hops, mixed shm/RDMA)",
+        elapsed.as_secs_f64() * 1e6 / REQUESTS as f64
+    );
+    let show = |name: &str, ip: OverlayIp, host: freeflow_types::HostId| {
+        println!("  {name:<6} {ip:<12} on {host}");
+    };
+    show("lb", lb.ip(), lb.host());
+    for (i, w) in webs.iter().enumerate() {
+        show(&format!("web-{i}"), w.ip(), w.host());
+    }
+    show("cache", cache.ip(), cache.host());
+    println!("both web servers bound :80 — per-container port spaces, the overlay's gift.");
+}
