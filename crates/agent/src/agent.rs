@@ -18,7 +18,7 @@
 //! Poll-driven ([`Agent::poll`]) with a [`Agent::spawn_pump`] helper for
 //! threaded operation.
 
-use crate::proto::{status, RelayMsg, RelayPayload};
+use crate::proto::{status, RelayMsg, RelayPayload, WireEp};
 use crate::wire::PeerWire;
 use bytes::Bytes;
 use freeflow_shmem::{ShmDuplex, ShmFabric, ShmMessage, ShmReceiver, ShmSender};
@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Payloads at or above this size are re-staged into the arena on local
 /// delivery instead of being copied inline through the ring.
@@ -34,6 +35,29 @@ pub const ZERO_COPY_THRESHOLD: usize = 4096;
 
 /// Ring capacity of each container↔agent channel direction.
 const CONTAINER_CHANNEL_CAP: usize = 1 << 21; // 2 MiB
+
+/// How many times a full wire is retried before the message is nacked
+/// with [`status::TIMEOUT`]. The peer pump drains the wire, so a healthy
+/// link clears in a handful of yields; exhausting the budget means the
+/// peer is wedged or gone.
+const WIRE_SEND_RETRIES: usize = 256;
+
+/// How long a relayed request may stay unanswered before the agent
+/// synthesizes a [`status::TIMEOUT`] nack to its local source.
+const DEFAULT_RELAY_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Identity of one in-flight relayed request awaiting its reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RelayKey {
+    /// Originating endpoint (the local container's QP).
+    src: WireEp,
+    /// Remote endpoint the request targets.
+    dst: WireEp,
+    /// `wr_id` for Send/Write, `req_id` for ReadReq.
+    id: u64,
+    /// Whether the reply is a ReadResp (vs. Ack/Nack).
+    is_read: bool,
+}
 
 /// Forwarding counters.
 #[derive(Debug, Default)]
@@ -71,6 +95,12 @@ pub struct Agent {
     /// Whether large local deliveries use arena handoff (ablation A3
     /// toggles this off to measure the copy cost).
     zero_copy: AtomicBool,
+    /// Relayed requests awaiting a reply from a remote host, with their
+    /// expiry deadlines. A lost reply (dead wire, crashed peer) becomes a
+    /// synthesized [`status::TIMEOUT`] nack instead of a hung QP.
+    in_flight: Mutex<HashMap<RelayKey, Instant>>,
+    /// Relay timeout in nanoseconds (see [`Agent::set_relay_timeout`]).
+    relay_timeout_ns: AtomicU64,
 }
 
 /// What a container holds after attaching: its channel to the agent and
@@ -98,6 +128,8 @@ impl Agent {
             }),
             stats: AgentStats::default(),
             zero_copy: AtomicBool::new(true),
+            in_flight: Mutex::new(HashMap::new()),
+            relay_timeout_ns: AtomicU64::new(DEFAULT_RELAY_TIMEOUT.as_nanos() as u64),
         })
     }
 
@@ -125,7 +157,10 @@ impl Agent {
     pub fn attach_container(self: &Arc<Self>, ip: OverlayIp) -> Result<AgentHandle> {
         let mut inner = self.inner.lock();
         if inner.containers.contains_key(&ip) {
-            return Err(Error::already_exists(format!("container {ip} on {}", self.host)));
+            return Err(Error::already_exists(format!(
+                "container {ip} on {}",
+                self.host
+            )));
         }
         let (to_ctr_tx, to_ctr_rx) = freeflow_shmem::channel_pair(CONTAINER_CHANNEL_CAP);
         let (to_agent_tx, to_agent_rx) = freeflow_shmem::channel_pair(CONTAINER_CHANNEL_CAP);
@@ -187,6 +222,54 @@ impl Agent {
         self.inner.lock().wires.get(idx).map(|w| w.kind)
     }
 
+    /// Wire index for the peer agent on `host` over a specific transport.
+    pub fn wire_of_kind(&self, host: HostId, kind: TransportKind) -> Option<usize> {
+        self.inner
+            .lock()
+            .wires
+            .iter()
+            .position(|w| w.peer_host == host && w.kind == kind)
+    }
+
+    /// Best *live* wire to `host`: the up wire whose transport ranks
+    /// fastest (RDMA before DPDK before TCP). `None` when every wire to
+    /// the host is down or none exists.
+    pub fn best_wire_to(&self, host: HostId) -> Option<usize> {
+        let inner = self.inner.lock();
+        inner
+            .wires
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.peer_host == host && w.is_up())
+            .min_by_key(|(_, w)| w.kind.rank())
+            .map(|(i, _)| i)
+    }
+
+    /// Bring wire `idx` down or back up (fault injection; the state is
+    /// shared with the remote endpoint).
+    pub fn set_wire_up(&self, idx: usize, up: bool) -> Result<()> {
+        let inner = self.inner.lock();
+        match inner.wires.get(idx) {
+            Some(w) => {
+                w.set_up(up);
+                Ok(())
+            }
+            None => Err(Error::not_found(format!("wire {idx}"))),
+        }
+    }
+
+    /// Set how long a relayed request may wait for its reply before the
+    /// agent nacks it back to the local source with [`status::TIMEOUT`].
+    pub fn set_relay_timeout(&self, timeout: Duration) {
+        self.relay_timeout_ns
+            .store(timeout.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of relayed requests currently awaiting a reply.
+    pub fn relay_in_flight(&self) -> usize {
+        self.in_flight.lock().len()
+    }
+
     // --- forwarding engine -------------------------------------------------
 
     /// Drain pending work once. Returns the number of messages processed.
@@ -225,7 +308,113 @@ impl Agent {
             self.stats.relayed_in.fetch_add(1, Ordering::Relaxed);
             self.deliver_from_wire(raw);
         }
+        // Expire after draining, so replies that just arrived clear their
+        // entries before the deadline check.
+        work += self.expire_relays();
         work
+    }
+
+    /// Time out relayed requests whose replies never came back. Returns
+    /// how many were expired.
+    fn expire_relays(&self) -> usize {
+        let now = Instant::now();
+        let expired: Vec<RelayKey> = {
+            let mut map = self.in_flight.lock();
+            if map.is_empty() {
+                return 0;
+            }
+            let keys: Vec<RelayKey> = map
+                .iter()
+                .filter(|(_, deadline)| **deadline <= now)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in &keys {
+                map.remove(k);
+            }
+            keys
+        };
+        for k in &expired {
+            // Reconstruct just enough of the original request for nack()
+            // to synthesize the right reply shape toward the source.
+            let skeleton = if k.is_read {
+                RelayMsg::ReadReq {
+                    src: k.src,
+                    dst: k.dst,
+                    req_id: k.id,
+                    addr: 0,
+                    rkey: 0,
+                    len: 0,
+                }
+            } else {
+                RelayMsg::Send {
+                    src: k.src,
+                    dst: k.dst,
+                    wr_id: k.id,
+                    imm: None,
+                    payload: RelayPayload::Inline(Bytes::new()),
+                }
+            };
+            self.nack(&skeleton, status::TIMEOUT);
+        }
+        expired.len()
+    }
+
+    /// Record a relayed request so a lost reply times out, keyed by the
+    /// identity its Ack/Nack/ReadResp will echo back.
+    fn track_relay(&self, msg: &RelayMsg) {
+        let key = match msg {
+            RelayMsg::Send {
+                src, dst, wr_id, ..
+            }
+            | RelayMsg::Write {
+                src, dst, wr_id, ..
+            } => RelayKey {
+                src: *src,
+                dst: *dst,
+                id: *wr_id,
+                is_read: false,
+            },
+            RelayMsg::ReadReq {
+                src, dst, req_id, ..
+            } => RelayKey {
+                src: *src,
+                dst: *dst,
+                id: *req_id,
+                is_read: true,
+            },
+            // Replies are terminal: nothing further comes back for them.
+            _ => return,
+        };
+        let timeout = Duration::from_nanos(self.relay_timeout_ns.load(Ordering::Relaxed));
+        self.in_flight.lock().insert(key, Instant::now() + timeout);
+    }
+
+    /// Clear the in-flight entry a reply settles. Replies carry the
+    /// original endpoints swapped (`src` = responder, `dst` = requester).
+    fn settle_relay(&self, msg: &RelayMsg) {
+        let key = match msg {
+            RelayMsg::Ack {
+                src, dst, wr_id, ..
+            }
+            | RelayMsg::Nack {
+                src, dst, wr_id, ..
+            } => RelayKey {
+                src: *dst,
+                dst: *src,
+                id: *wr_id,
+                is_read: false,
+            },
+            RelayMsg::ReadResp {
+                src, dst, req_id, ..
+            } => RelayKey {
+                src: *dst,
+                dst: *src,
+                id: *req_id,
+                is_read: true,
+            },
+            _ => return,
+        };
+        self.in_flight.lock().remove(&key);
     }
 
     /// Spawn a pump thread that polls until the returned stop flag is set.
@@ -261,13 +450,13 @@ impl Agent {
         let wire_idx = { self.inner.lock().routes.get(&dst_ip).copied() };
         match wire_idx {
             Some(idx) => {
-                let nack_src = msg.src();
-                let nack_dst = msg.dst();
                 let outbound = self.materialize_for_wire(msg);
                 let bytes = outbound.encode();
-                // The peer pump drains the wire; retry briefly on a full
-                // queue rather than dropping a reliable-transport message.
-                loop {
+                // The peer pump drains the wire; retry with backoff on a
+                // full queue, but *bounded* — a wire that never drains
+                // (wedged or dead peer) must surface as a failed
+                // completion, not a hung forwarding thread.
+                for attempt in 0..WIRE_SEND_RETRIES {
                     let sent = {
                         let inner = self.inner.lock();
                         inner.wires[idx].send(bytes.clone())
@@ -275,14 +464,21 @@ impl Agent {
                     match sent {
                         Ok(()) => {
                             self.stats.relayed_out.fetch_add(1, Ordering::Relaxed);
+                            self.track_relay(&outbound);
                             return;
                         }
-                        Err(Error::Exhausted(_)) => std::thread::yield_now(),
-                        Err(_) => break, // peer gone
+                        Err(Error::Exhausted(_)) => {
+                            if attempt < 32 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        }
+                        // Wire down or peer gone: fail over immediately.
+                        Err(_) => break,
                     }
                 }
-                let _ = (nack_src, nack_dst);
-                self.nack(&outbound, status::REMOTE_OP);
+                self.nack(&outbound, status::TIMEOUT);
             }
             None => self.nack(&msg, status::REMOTE_OP),
         }
@@ -305,7 +501,9 @@ impl Agent {
                         ..
                     } = msg
                     {
-                        self.stats.zero_copy_bytes.fetch_add(*len, Ordering::Relaxed);
+                        self.stats
+                            .zero_copy_bytes
+                            .fetch_add(*len, Ordering::Relaxed);
                     }
                 }
                 true
@@ -393,6 +591,8 @@ impl Agent {
             Ok(m) => m,
             Err(_) => return,
         };
+        // A returning reply settles the request we relayed out earlier.
+        self.settle_relay(&msg);
         let dst_ip = msg.dst().ip;
         let use_arena = self.zero_copy.load(Ordering::Relaxed);
         let (restaged, zero_copied) = if use_arena {
@@ -517,8 +717,12 @@ impl Agent {
     /// Send a Nack for an unroutable operation back toward its source.
     fn nack(&self, msg: &RelayMsg, code: u8) {
         let reply = match msg {
-            RelayMsg::Send { src, dst, wr_id, .. }
-            | RelayMsg::Write { src, dst, wr_id, .. } => RelayMsg::Nack {
+            RelayMsg::Send {
+                src, dst, wr_id, ..
+            }
+            | RelayMsg::Write {
+                src, dst, wr_id, ..
+            } => RelayMsg::Nack {
                 src: *dst,
                 dst: *src,
                 wr_id: *wr_id,
@@ -611,7 +815,10 @@ mod tests {
         let agent = Agent::new(HostId::new(0), 1 << 20);
         let a = agent.attach_container(ip(1)).unwrap();
         let b = agent.attach_container(ip(2)).unwrap();
-        a.channel.tx.send(&send_msg(1, 2, 7, b"hi").encode()).unwrap();
+        a.channel
+            .tx
+            .send(&send_msg(1, 2, 7, b"hi").encode())
+            .unwrap();
         assert!(agent.poll() > 0);
         let got = recv_inline(&b);
         assert_eq!(got, send_msg(1, 2, 7, b"hi"));
@@ -804,6 +1011,113 @@ mod tests {
             .unwrap();
         agent.poll();
         assert!(matches!(recv_inline(&a), RelayMsg::Nack { .. }));
+    }
+
+    #[test]
+    fn downed_wire_nacks_timeout_to_source() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let _dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        a0.set_wire_up(w0, false).unwrap();
+        src.channel
+            .tx
+            .send(&send_msg(1, 2, 11, b"doomed").encode())
+            .unwrap();
+        a0.poll();
+        match recv_inline(&src) {
+            RelayMsg::Nack { wr_id, status, .. } => {
+                assert_eq!(wr_id, 11);
+                assert_eq!(status, status::TIMEOUT);
+            }
+            other => panic!("expected timeout nack, got {other:?}"),
+        }
+        // Nothing left pending: the failure already surfaced.
+        assert_eq!(a0.relay_in_flight(), 0);
+    }
+
+    #[test]
+    fn unanswered_relay_times_out_with_nack() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        a0.set_relay_timeout(Duration::from_millis(10));
+        src.channel
+            .tx
+            .send(&send_msg(1, 2, 21, b"lost").encode())
+            .unwrap();
+        a0.poll(); // relays out and starts the timer
+        assert_eq!(a0.relay_in_flight(), 1);
+        // The remote agent is never polled: the reply will never come.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(a0.poll() > 0);
+        assert_eq!(a0.relay_in_flight(), 0);
+        match recv_inline(&src) {
+            RelayMsg::Nack { wr_id, status, .. } => {
+                assert_eq!(wr_id, 21);
+                assert_eq!(status, status::TIMEOUT);
+            }
+            other => panic!("expected timeout nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn returning_reply_settles_in_flight_relay() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let (w0, w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        a1.install_route(ip(1), w1).unwrap();
+        src.channel
+            .tx
+            .send(&send_msg(1, 2, 31, b"answered").encode())
+            .unwrap();
+        a0.poll();
+        assert_eq!(a0.relay_in_flight(), 1);
+        a1.poll();
+        let _ = recv_inline(&dst);
+        // The destination container acks the receive.
+        dst.channel
+            .tx
+            .send(
+                &RelayMsg::Ack {
+                    src: ep(2, 1),
+                    dst: ep(1, 1),
+                    wr_id: 31,
+                    byte_len: 8,
+                }
+                .encode(),
+            )
+            .unwrap();
+        a1.poll(); // relay ack back
+        a0.poll(); // deliver ack, settling the entry
+        assert_eq!(a0.relay_in_flight(), 0);
+        assert!(matches!(recv_inline(&src), RelayMsg::Ack { wr_id: 31, .. }));
+    }
+
+    #[test]
+    fn best_wire_prefers_fastest_live_transport() {
+        let a0 = Agent::new(HostId::new(0), 1 << 16);
+        let a1 = Agent::new(HostId::new(1), 1 << 16);
+        let (rdma0, _) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let (tcp0, _) = connect_agents(&a0, &a1, TransportKind::TcpHost);
+        assert_eq!(a0.best_wire_to(HostId::new(1)), Some(rdma0));
+        assert_eq!(
+            a0.wire_of_kind(HostId::new(1), TransportKind::TcpHost),
+            Some(tcp0)
+        );
+        // RDMA NIC dies: the best live wire falls back to TCP.
+        a0.set_wire_up(rdma0, false).unwrap();
+        assert_eq!(a0.best_wire_to(HostId::new(1)), Some(tcp0));
+        a0.set_wire_up(tcp0, false).unwrap();
+        assert_eq!(a0.best_wire_to(HostId::new(1)), None);
+        assert!(a0.set_wire_up(99, true).is_err());
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub mod status {
     pub const REMOTE_OP: u8 = 2;
     /// Receiver posted too small a buffer.
     pub const LOCAL_LENGTH: u8 = 3;
+    /// The relay gave up on the operation — the wire to the peer host is
+    /// down or stayed full past the retry budget, or no reply arrived
+    /// within the relay timeout. Endpoints map this onto
+    /// `IBV_WC_RETRY_EXC_ERR` and re-path the QP.
+    pub const TIMEOUT: u8 = 4;
 }
 
 /// The relay operations.
@@ -594,10 +599,7 @@ mod tests {
 
     #[test]
     fn payload_length_accessor() {
-        assert_eq!(
-            RelayPayload::Inline(Bytes::from_static(b"abc")).len(),
-            3
-        );
+        assert_eq!(RelayPayload::Inline(Bytes::from_static(b"abc")).len(), 3);
         assert_eq!(RelayPayload::Arena { offset: 0, len: 64 }.len(), 64);
         assert!(RelayPayload::Inline(Bytes::new()).is_empty());
     }

@@ -10,16 +10,29 @@
 
 use bytes::Bytes;
 use freeflow_types::{Error, HostId, Result, TransportKind};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Counters shared by both endpoints of a wire.
-#[derive(Debug, Default)]
+/// Counters and link state shared by both endpoints of a wire.
+#[derive(Debug)]
 pub struct WireStats {
     /// Messages sent a → b plus b → a.
     pub msgs: AtomicU64,
     /// Payload bytes carried.
     pub bytes: AtomicU64,
+    /// Link state — one flag per wire, shared by both ends, because a
+    /// physical NIC/link failure takes out both directions at once.
+    up: AtomicBool,
+}
+
+impl Default for WireStats {
+    fn default() -> Self {
+        Self {
+            msgs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            up: AtomicBool::new(true),
+        }
+    }
 }
 
 /// One agent's endpoint of a peer link.
@@ -63,8 +76,25 @@ impl PeerWire {
         )
     }
 
+    /// Whether the link is up (both directions share the state).
+    pub fn is_up(&self) -> bool {
+        self.stats.up.load(Ordering::Acquire)
+    }
+
+    /// Bring the link down or back up, for both endpoints at once —
+    /// the fault-injection hook that models a NIC or link dying.
+    pub fn set_up(&self, up: bool) {
+        self.stats.up.store(up, Ordering::Release);
+    }
+
     /// Send an encoded message to the peer agent.
     pub fn send(&self, msg: Bytes) -> Result<()> {
+        if !self.is_up() {
+            return Err(Error::disconnected(format!(
+                "{} wire to {} is down",
+                self.kind, self.peer_host
+            )));
+        }
         let len = msg.len() as u64;
         self.tx.try_send(msg).map_err(|e| match e {
             crossbeam::channel::TrySendError::Full(_) => {
@@ -110,12 +140,7 @@ mod tests {
 
     #[test]
     fn pair_is_cross_connected() {
-        let (a, b) = PeerWire::pair(
-            HostId::new(0),
-            HostId::new(1),
-            TransportKind::Rdma,
-            16,
-        );
+        let (a, b) = PeerWire::pair(HostId::new(0), HostId::new(1), TransportKind::Rdma, 16);
         assert_eq!(a.peer_host, HostId::new(1));
         assert_eq!(b.peer_host, HostId::new(0));
         a.send(Bytes::from_static(b"ping")).unwrap();
@@ -141,6 +166,24 @@ mod tests {
             a.send(Bytes::from_static(b"y")),
             Err(Error::Exhausted(_))
         ));
+    }
+
+    #[test]
+    fn downed_wire_rejects_sends_from_both_ends() {
+        let (a, b) = PeerWire::pair(HostId::new(0), HostId::new(1), TransportKind::Rdma, 4);
+        assert!(a.is_up() && b.is_up());
+        a.set_up(false);
+        assert!(!b.is_up(), "link state is shared");
+        assert!(matches!(
+            a.send(Bytes::from_static(b"x")),
+            Err(Error::Disconnected(_))
+        ));
+        assert!(matches!(
+            b.send(Bytes::from_static(b"x")),
+            Err(Error::Disconnected(_))
+        ));
+        b.set_up(true);
+        assert!(a.send(Bytes::from_static(b"x")).is_ok());
     }
 
     #[test]

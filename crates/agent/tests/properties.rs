@@ -14,22 +14,26 @@ fn arb_payload() -> impl Strategy<Value = RelayPayload> {
     prop_oneof![
         prop::collection::vec(any::<u8>(), 0..300)
             .prop_map(|v| RelayPayload::Inline(Bytes::from(v))),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(offset, len)| RelayPayload::Arena { offset, len }),
+        (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| RelayPayload::Arena { offset, len }),
     ]
 }
 
 fn arb_msg() -> impl Strategy<Value = RelayMsg> {
     prop_oneof![
-        (arb_ep(), arb_ep(), any::<u64>(), any::<Option<u32>>(), arb_payload()).prop_map(
-            |(src, dst, wr_id, imm, payload)| RelayMsg::Send {
+        (
+            arb_ep(),
+            arb_ep(),
+            any::<u64>(),
+            any::<Option<u32>>(),
+            arb_payload()
+        )
+            .prop_map(|(src, dst, wr_id, imm, payload)| RelayMsg::Send {
                 src,
                 dst,
                 wr_id,
                 imm,
                 payload
-            }
-        ),
+            }),
         (
             arb_ep(),
             arb_ep(),
@@ -39,25 +43,33 @@ fn arb_msg() -> impl Strategy<Value = RelayMsg> {
             any::<Option<u32>>(),
             arb_payload()
         )
-            .prop_map(|(src, dst, wr_id, addr, rkey, imm, payload)| RelayMsg::Write {
-                src,
-                dst,
-                wr_id,
-                addr,
-                rkey,
-                imm,
-                payload
-            }),
-        (arb_ep(), arb_ep(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
-            |(src, dst, req_id, addr, rkey, len)| RelayMsg::ReadReq {
+            .prop_map(
+                |(src, dst, wr_id, addr, rkey, imm, payload)| RelayMsg::Write {
+                    src,
+                    dst,
+                    wr_id,
+                    addr,
+                    rkey,
+                    imm,
+                    payload
+                }
+            ),
+        (
+            arb_ep(),
+            arb_ep(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(|(src, dst, req_id, addr, rkey, len)| RelayMsg::ReadReq {
                 src,
                 dst,
                 req_id,
                 addr,
                 rkey,
                 len
-            }
-        ),
+            }),
         (arb_ep(), arb_ep(), any::<u64>(), any::<u8>(), arb_payload()).prop_map(
             |(src, dst, req_id, status, payload)| RelayMsg::ReadResp {
                 src,
@@ -67,22 +79,22 @@ fn arb_msg() -> impl Strategy<Value = RelayMsg> {
                 payload
             }
         ),
-        (arb_ep(), arb_ep(), any::<u64>(), any::<u64>()).prop_map(
-            |(src, dst, wr_id, byte_len)| RelayMsg::Ack {
+        (arb_ep(), arb_ep(), any::<u64>(), any::<u64>()).prop_map(|(src, dst, wr_id, byte_len)| {
+            RelayMsg::Ack {
                 src,
                 dst,
                 wr_id,
-                byte_len
+                byte_len,
             }
-        ),
-        (arb_ep(), arb_ep(), any::<u64>(), any::<u8>()).prop_map(
-            |(src, dst, wr_id, status)| RelayMsg::Nack {
+        }),
+        (arb_ep(), arb_ep(), any::<u64>(), any::<u8>()).prop_map(|(src, dst, wr_id, status)| {
+            RelayMsg::Nack {
                 src,
                 dst,
                 wr_id,
-                status
+                status,
             }
-        ),
+        }),
     ]
 }
 
@@ -116,6 +128,39 @@ proptest! {
                 // the original (it lost bytes).
                 Ok(other) => prop_assert_ne!(other, msg),
             }
+        }
+    }
+
+    /// Flipping bits anywhere in a valid encoding never panics the
+    /// decoder: it returns Err or some (different or even identical-tag)
+    /// valid message, but the process survives. This is the fault-injection
+    /// contract — a corrupted wire frame must degrade into an error, not
+    /// take the agent down.
+    #[test]
+    fn corruption_never_panics(
+        msg in arb_msg(),
+        flips in prop::collection::vec((any::<u16>(), 0u8..8), 1..16),
+    ) {
+        let mut wire = msg.encode().to_vec();
+        for (pos, bit) in flips {
+            let idx = (pos as usize) % wire.len();
+            wire[idx] ^= 1 << bit;
+        }
+        let _ = RelayMsg::decode(Bytes::from(wire)); // must not panic
+    }
+
+    /// Single-byte corruption is *detected or harmless*: decoding either
+    /// fails, or produces a message that still re-encodes canonically
+    /// (decode → encode → decode is stable), so a corrupt frame can never
+    /// put the relay into a state it cannot serialize back out of.
+    #[test]
+    fn corrupted_frames_stay_canonical(msg in arb_msg(), pos in any::<u16>(), bit in 0u8..8) {
+        let mut wire = msg.encode().to_vec();
+        let idx = (pos as usize) % wire.len();
+        wire[idx] ^= 1 << bit;
+        if let Ok(decoded) = RelayMsg::decode(Bytes::from(wire)) {
+            let re = RelayMsg::decode(decoded.encode()).unwrap();
+            prop_assert_eq!(re, decoded);
         }
     }
 }

@@ -12,5 +12,7 @@ fn main() {
     for table in freeflow_bench::figures::all_sim_figures() {
         println!("{table}");
     }
-    println!("(real-data-path figures F8/A1/A2/A3: `cargo bench -p freeflow-bench --bench realpath`)");
+    println!(
+        "(real-data-path figures F8/A1/A2/A3: `cargo bench -p freeflow-bench --bench realpath`)"
+    );
 }

@@ -34,7 +34,7 @@ fn bench_channel(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("send_recv", size), &size, |b, &size| {
             let (tx, rx) = channel_pair(1 << 16);
-            let data = vec!(1u8; size);
+            let data = vec![1u8; size];
             b.iter(|| {
                 tx.send(&data).unwrap();
                 match rx.try_recv().unwrap() {
@@ -67,8 +67,13 @@ fn bench_verbs(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("write", size), &size, |b, &size| {
             b.iter(|| {
-                qp_a.post_send(SendWr::write(1, mr_a.sge(0, size), mr_b.addr(), mr_b.rkey()))
-                    .unwrap();
+                qp_a.post_send(SendWr::write(
+                    1,
+                    mr_a.sge(0, size),
+                    mr_b.addr(),
+                    mr_b.rkey(),
+                ))
+                .unwrap();
                 assert!(cq_a.poll_one().unwrap().status.is_ok());
             });
         });

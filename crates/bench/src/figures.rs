@@ -111,7 +111,13 @@ pub fn fig3_baremetal_latency() -> Table {
     let mut t = Table::new(
         "F3",
         "eval_baremetal_latency: intra-host RTT by message size (+4KiB components)",
-        &["channel", "rtt_4k_us", "rtt_64k_us", "rtt_1m_us", "breakdown_4k"],
+        &[
+            "channel",
+            "rtt_4k_us",
+            "rtt_64k_us",
+            "rtt_1m_us",
+            "breakdown_4k",
+        ],
     );
     for (name, transport) in [
         ("tcp-bridge", TransportKind::TcpBridge),
@@ -298,10 +304,7 @@ pub fn fig7_deploy_cases() -> Table {
     };
     push("none", run(PolicyConfig::default(), true, false));
     push("w/o trust", run(PolicyConfig::default(), true, true));
-    push(
-        "w/o RDMA NIC",
-        run(PolicyConfig::default(), false, false),
-    );
+    push("w/o RDMA NIC", run(PolicyConfig::default(), false, false));
     t.note("paper table: SharedMem/RDMA/SharedMem/RDMA; TCP row without trust; SharedMem+TCP without RDMA NICs");
     t
 }
@@ -311,7 +314,12 @@ pub fn fig9_interhost() -> Table {
     let mut t = Table::new(
         "F9",
         "inter-host: throughput / latency / CPU by transport",
-        &["transport", "throughput_gbps", "rtt_us", "cpu_percent_total"],
+        &[
+            "transport",
+            "throughput_gbps",
+            "rtt_us",
+            "cpu_percent_total",
+        ],
     );
     for (name, transport) in [
         ("tcp-overlay", TransportKind::TcpOverlay),
@@ -365,7 +373,10 @@ pub fn fig10_freeflow_e2e() -> Table {
         let ff_thr = run(ff_transport, Workload::bulk(1, BULK_MSGS));
         let ff_lat = run(ff_transport, Workload::rtt(RTT_BYTES, RTT_ITERS));
         let ov_thr = run(TransportKind::TcpOverlay, Workload::bulk(1, BULK_MSGS));
-        let ov_lat = run(TransportKind::TcpOverlay, Workload::rtt(RTT_BYTES, RTT_ITERS));
+        let ov_lat = run(
+            TransportKind::TcpOverlay,
+            Workload::rtt(RTT_BYTES, RTT_ITERS),
+        );
         let speedup = gbps(&ff_thr, 0) / gbps(&ov_thr, 0);
         t.row(vec![
             placement.into(),
@@ -445,7 +456,10 @@ mod tests {
         let t = fig5_host_vs_bridge();
         assert!((t.value("host-mode", 1) - 38.0).abs() < 2.0, "{t}");
         assert!(t.value("host-mode", 1) > t.value("bridge-mode", 1), "{t}");
-        assert!(t.value("bridge-mode", 1) > t.value("overlay-mode", 1), "{t}");
+        assert!(
+            t.value("bridge-mode", 1) > t.value("overlay-mode", 1),
+            "{t}"
+        );
     }
 
     #[test]
@@ -462,7 +476,10 @@ mod tests {
         // RDMA plateaus at line rate.
         assert!((agg("16", "rdma") - 40.0).abs() < 3.0, "{t}");
         // TCP cannot scale 16x from one pair (CPU-bound).
-        assert!(agg("16", "tcp-bridge") < agg("1", "tcp-bridge") * 4.0, "{t}");
+        assert!(
+            agg("16", "tcp-bridge") < agg("1", "tcp-bridge") * 4.0,
+            "{t}"
+        );
         // shm aggregate far above NIC rate, but below the raw bus.
         assert!(agg("16", "shared-memory") > 100.0, "{t}");
         assert!(agg("16", "shared-memory") < 410.0, "{t}");
@@ -475,11 +492,7 @@ mod tests {
         let t = fig7_deploy_cases();
         let row = |k: &str| t.row_by_key(k).unwrap();
         assert_eq!(row("none")[1..], ["shm", "rdma", "shm", "rdma"]);
-        assert_eq!(
-            row("w/o trust")[1..],
-            vec!["tcp-overlay"; 4][..],
-            "{t}"
-        );
+        assert_eq!(row("w/o trust")[1..], vec!["tcp-overlay"; 4][..], "{t}");
         assert_eq!(
             row("w/o RDMA NIC")[1..],
             ["shm", "tcp-host", "shm", "tcp-host"]

@@ -243,7 +243,10 @@ pub fn ablation_location_cache() -> Table {
         t.row(vec![
             label.into(),
             format!("{per:.0}"),
-            stats.hits.load(std::sync::atomic::Ordering::Relaxed).to_string(),
+            stats
+                .hits
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .to_string(),
             stats
                 .misses
                 .load(std::sync::atomic::Ordering::Relaxed)
@@ -275,13 +278,10 @@ pub fn ablation_zero_copy() -> Table {
         for i in 0..COUNT as u64 {
             loop {
                 match p.qp_a.post_send(
-                    SendWr::write(i, p.mr_a.sge(0, MSG), p.mr_b.addr(), p.mr_b.rkey())
-                        .unsignaled(),
+                    SendWr::write(i, p.mr_a.sge(0, MSG), p.mr_b.addr(), p.mr_b.rkey()).unsignaled(),
                 ) {
                     Ok(()) => break,
-                    Err(freeflow_verbs::VerbsError::QueueFull { .. }) => {
-                        std::thread::yield_now()
-                    }
+                    Err(freeflow_verbs::VerbsError::QueueFull { .. }) => std::thread::yield_now(),
                     Err(e) => panic!("{e}"),
                 }
             }
@@ -347,13 +347,24 @@ mod tests {
     }
 
     #[test]
-    fn a2_cache_is_cheaper_and_hits() {
+    fn a2_cache_hits_and_skips_orchestrator() {
+        // Asserting `ns(cache on) < ns(cache off)` is flaky under the
+        // unoptimized test profile (both sides are a few µs and noise
+        // dominates); the release-mode bench binary still prints the
+        // timing ablation. Here we assert the structural claim instead:
+        // the cache absorbs every warm resolve, and disabling it forces
+        // an orchestrator query per resolve.
         let t = ablation_location_cache();
-        let on: f64 = t.value("cache on", 1);
-        let off: f64 = t.value("cache off", 1);
-        assert!(on < off, "cached resolve must be cheaper: {t}");
-        let hits: u64 = t.row_by_key("cache on").unwrap()[2].parse().unwrap();
+        let on = t.row_by_key("cache on").unwrap();
+        let hits: u64 = on[2].parse().unwrap();
+        let misses: u64 = on[3].parse().unwrap();
         assert!(hits > 0, "{t}");
+        assert_eq!(misses, 1, "only the cold resolve may miss: {t}");
+        let off = t.row_by_key("cache off").unwrap();
+        let off_hits: u64 = off[2].parse().unwrap();
+        let off_misses: u64 = off[3].parse().unwrap();
+        assert_eq!(off_hits, 0, "{t}");
+        assert!(off_misses > 20_000, "every resolve must miss: {t}");
     }
 
     #[test]

@@ -44,10 +44,9 @@ impl Table {
 
     /// Cell value parsed as f64 (for assertions in tests).
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
-        self.rows[row][col]
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+        self.rows[row][col].trim().parse().unwrap_or_else(|_| {
+            panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+        })
     }
 
     /// Find a row whose first cell equals `key`.

@@ -96,6 +96,12 @@ impl LocationCache {
         self.entries.lock().remove(&ip);
     }
 
+    /// Invalidate every entry resolving to `host` — its NIC died or the
+    /// machine crashed, so all paths toward it must be re-selected.
+    pub fn invalidate_host(&self, host: HostId) {
+        self.entries.lock().retain(|_, e| e.host != host);
+    }
+
     /// Whether a connection resolved at `generation` for `ip` is still
     /// current. A missing entry (invalidated) counts as stale.
     pub fn is_current(&self, ip: OverlayIp, generation: u64) -> bool {
@@ -112,7 +118,8 @@ mod tests {
 
     fn orch_with_one() -> (std::sync::Arc<Orchestrator>, OverlayIp) {
         let orch = Orchestrator::with_defaults();
-        orch.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
         let ip = orch
             .register_container(
                 ContainerId::new(1),
@@ -163,8 +170,6 @@ mod tests {
     fn unknown_ip_is_error() {
         let (orch, _) = orch_with_one();
         let cache = LocationCache::new();
-        assert!(cache
-            .resolve("10.0.99.99".parse().unwrap(), &orch)
-            .is_err());
+        assert!(cache.resolve("10.0.99.99".parse().unwrap(), &orch).is_err());
     }
 }

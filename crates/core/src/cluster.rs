@@ -12,9 +12,7 @@ use crate::library::NetLibrary;
 use freeflow_agent::{connect_agents, Agent};
 use freeflow_orchestrator::registry::ContainerLocation;
 use freeflow_orchestrator::{IpAssign, Orchestrator, PolicyConfig};
-use freeflow_types::{
-    ContainerId, Error, HostCaps, HostId, Result, TenantId, TransportKind, VmId,
-};
+use freeflow_types::{ContainerId, Error, HostCaps, HostId, Result, TenantId, TransportKind, VmId};
 use freeflow_verbs::VerbsNetwork;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,29 +69,33 @@ impl FreeFlowCluster {
         &self.orchestrator
     }
 
-    /// Best transport both hosts' NICs support, for their agent wire.
-    fn wire_kind(a: &HostCaps, b: &HostCaps) -> TransportKind {
+    /// Every transport class both hosts' NICs support. One wire per class
+    /// is stood up so that when a kernel-bypass NIC dies, the kernel TCP
+    /// wire is already in place to fail over onto.
+    fn wire_kinds(a: &HostCaps, b: &HostCaps) -> Vec<TransportKind> {
+        let mut kinds = Vec::new();
         if a.nic.kind.supports_rdma() && b.nic.kind.supports_rdma() {
-            TransportKind::Rdma
-        } else if a.nic.kind.supports_dpdk() && b.nic.kind.supports_dpdk() {
-            TransportKind::Dpdk
-        } else {
-            TransportKind::TcpHost
+            kinds.push(TransportKind::Rdma);
         }
+        if a.nic.kind.supports_dpdk() && b.nic.kind.supports_dpdk() {
+            kinds.push(TransportKind::Dpdk);
+        }
+        // Kernel TCP always works while the host is alive.
+        kinds.push(TransportKind::TcpHost);
+        kinds
     }
 
     /// Add a physical host. Stands up agent + verbs fabric + wires.
     pub fn add_host(&self, caps: HostCaps) -> HostId {
         let mut inner = self.inner.lock();
         let id = HostId::new(inner.hosts.len() as u64);
-        self.orchestrator
-            .add_host(id, caps)
-            .expect("fresh host id");
+        self.orchestrator.add_host(id, caps).expect("fresh host id");
         let agent = Agent::new(id, self.arena_size);
-        // Pairwise wires to every existing host.
+        // Pairwise wires to every existing host, one per transport class.
         for node in &inner.hosts {
-            let kind = Self::wire_kind(&caps, &node.caps);
-            connect_agents(&agent, &node.agent, kind);
+            for kind in Self::wire_kinds(&caps, &node.caps) {
+                connect_agents(&agent, &node.agent, kind);
+            }
         }
         let (pump_stop, pump) = agent.spawn_pump();
         inner.hosts.push(HostNode {
@@ -181,11 +183,52 @@ impl FreeFlowCluster {
         let inner = self.inner.lock();
         for node in &inner.hosts {
             for (ip, peer_host) in self.orchestrator.routes_for(node.id) {
-                if let Some(wire) = node.agent.wire_to(peer_host) {
+                // Route over the fastest wire that is still up.
+                if let Some(wire) = node.agent.best_wire_to(peer_host) {
                     let _ = node.agent.install_route(ip, wire);
                 }
             }
         }
+    }
+
+    /// Kill `host`'s kernel-bypass NIC: the orchestrator records the
+    /// failure and every RDMA/DPDK wire touching the host goes down (the
+    /// link state is shared, so both endpoints see it). Forwarding tables
+    /// are *not* rebuilt here — traffic in flight fails, QPs observe
+    /// `RETRY_EXC_ERR` and re-path through the orchestrator; call
+    /// [`FreeFlowCluster::refresh_routes`] to converge the agents onto the
+    /// surviving TCP wires.
+    pub fn fail_nic(&self, host: HostId) -> Result<()> {
+        self.orchestrator.mark_nic_down(host)?;
+        self.set_bypass_wires(host, false)
+    }
+
+    /// Bring `host`'s kernel-bypass NIC back: health is restored and its
+    /// RDMA/DPDK wires come back up. Call
+    /// [`FreeFlowCluster::refresh_routes`] to move traffic back onto them.
+    pub fn restore_nic(&self, host: HostId) -> Result<()> {
+        self.orchestrator.mark_nic_up(host)?;
+        self.set_bypass_wires(host, true)
+    }
+
+    fn set_bypass_wires(&self, host: HostId, up: bool) -> Result<()> {
+        let inner = self.inner.lock();
+        let node = inner
+            .hosts
+            .iter()
+            .find(|h| h.id == host)
+            .ok_or_else(|| Error::not_found(format!("{host}")))?;
+        for peer in &inner.hosts {
+            if peer.id == host {
+                continue;
+            }
+            for kind in [TransportKind::Rdma, TransportKind::Dpdk] {
+                if let Some(idx) = node.agent.wire_of_kind(peer.id, kind) {
+                    let _ = node.agent.set_wire_up(idx, up);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Stop a container: release its IP, detach it everywhere.
@@ -234,8 +277,8 @@ impl FreeFlowCluster {
             }
         }
         drop(container.into_lib()); // stop the old library pump
-        // Move in the control plane (publishes ContainerMoved → peers'
-        // caches invalidate).
+                                    // Move in the control plane (publishes ContainerMoved → peers'
+                                    // caches invalidate).
         self.orchestrator
             .move_container(id, ContainerLocation::BareMetal(to_host))?;
         // Attach on the new host.

@@ -62,13 +62,13 @@
 
 pub mod cache;
 pub mod cluster;
-#[cfg(test)]
-mod tests;
 pub mod container;
 pub mod endpoint;
 pub mod library;
 pub mod migrate;
 pub mod qp;
+#[cfg(test)]
+mod tests;
 
 pub use cluster::FreeFlowCluster;
 pub use container::Container;

@@ -178,8 +178,23 @@ impl NetLibrary {
                             | OrchestratorEvent::ContainerDown { ip, .. } => {
                                 shared.cache.invalidate(ip);
                             }
+                            OrchestratorEvent::HostHealthChanged { host, .. } => {
+                                // Paths through this host may have changed
+                                // transport (NIC death) or died entirely
+                                // (crash): drop every cached entry for it.
+                                shared.cache.invalidate_host(host);
+                            }
                             OrchestratorEvent::ContainerUp { .. } => {}
                         }
+                    }
+                    // Transport-death backstop: expire remote ops whose
+                    // replies never arrived, failing the QP over.
+                    let qps: Vec<Arc<FfQp>> = {
+                        let map = shared.qps.lock();
+                        map.values().filter_map(Weak::upgrade).collect()
+                    };
+                    for qp in qps {
+                        qp.sweep_timeouts();
                     }
                 }
             })

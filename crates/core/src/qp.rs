@@ -31,7 +31,16 @@ use freeflow_verbs::wr::{RecvWr, SendWr, Sge, WcOpcode, WorkCompletion, WrOpcode
 use freeflow_verbs::{CompletionQueue, QpState, QueuePair, VerbsError, VerbsResult, WcStatus};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bound on how long a remote operation may stay unanswered
+/// before the QP declares the transport dead (see
+/// [`FfQp::set_relay_timeout`]). Deliberately longer than the agent's
+/// own relay timeout: the agent nacking first is the normal path, this
+/// sweep is the backstop for a dead agent.
+const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Which data plane this QP is bound to (after RTR).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,12 +76,16 @@ struct PendingSend {
     wr_id: u64,
     signaled: bool,
     opcode: WcOpcode,
+    /// When the op counts as lost if still unanswered.
+    deadline: Instant,
 }
 
 struct PendingRead {
     wr_id: u64,
     signaled: bool,
     sge: Vec<Sge>,
+    /// When the op counts as lost if still unanswered.
+    deadline: Instant,
 }
 
 struct InboundSend {
@@ -108,6 +121,11 @@ pub struct FfQp {
     sq_depth: usize,
     rq_depth: usize,
     inner: Mutex<QpInner>,
+    /// Per-op answer timeout in nanoseconds.
+    op_timeout_ns: AtomicU64,
+    /// How many times this QP re-established its path after a transport
+    /// failure (tests/diagnostics).
+    failovers: AtomicU64,
 }
 
 impl FfQp {
@@ -136,6 +154,8 @@ impl FfQp {
                 pending_reads: HashMap::new(),
                 next_op_id: 1,
             }),
+            op_timeout_ns: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_nanos() as u64),
+            failovers: AtomicU64::new(0),
         })
     }
 
@@ -188,11 +208,12 @@ impl FfQp {
     /// `INIT → RTR`: resolve the peer's location through the library's
     /// cache + the orchestrator, and bind the data plane.
     pub fn modify_to_rtr(&self, peer: FfEndpoint) -> VerbsResult<()> {
-        let resolved = self.lib.resolve(peer.ip).map_err(|e| {
-            VerbsError::PeerUnreachable {
+        let resolved = self
+            .lib
+            .resolve(peer.ip)
+            .map_err(|e| VerbsError::PeerUnreachable {
                 detail: e.to_string(),
-            }
-        })?;
+            })?;
         let mut inner = self.inner.lock();
         if inner.state != QpState::Init {
             return Err(VerbsError::InvalidQpState {
@@ -279,6 +300,119 @@ impl FfQp {
             FfPath::Unbound => return true,
         };
         self.lib.cache.is_current(peer_ip, inner.generation)
+    }
+
+    /// Bound how long a remote operation may stay unanswered before the
+    /// QP declares the transport dead and fails over (backstop behind the
+    /// agent's own relay timeout).
+    pub fn set_relay_timeout(&self, timeout: Duration) {
+        self.op_timeout_ns
+            .store(timeout.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// How many times this QP survived a transport failure by re-pathing.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    fn op_deadline(&self) -> Instant {
+        Instant::now() + Duration::from_nanos(self.op_timeout_ns.load(Ordering::Relaxed))
+    }
+
+    // --- transport failure & failover ---------------------------------------
+
+    /// Called from the library pump: if any pending remote op outlived its
+    /// deadline, treat the transport as dead (no partial expiry — RC
+    /// semantics are ordered, so one lost op means the path is gone).
+    pub fn sweep_timeouts(&self) {
+        let now = Instant::now();
+        let expired = {
+            let inner = self.inner.lock();
+            inner.pending_sends.values().any(|p| p.deadline <= now)
+                || inner.pending_reads.values().any(|p| p.deadline <= now)
+        };
+        if expired {
+            self.on_transport_failure();
+        }
+    }
+
+    /// The path to the peer died. Every outstanding send/write/read
+    /// completes with [`WcStatus::RetryExcError`] — mirroring what a real
+    /// RC QP reports when transport retries exhaust — and the QP asks the
+    /// orchestrator for a fresh path. Posted receives survive: after a
+    /// successful re-path the connection keeps working; only if no path
+    /// remains does the QP fall into the error state.
+    fn on_transport_failure(&self) {
+        let (sends, reads) = {
+            let mut inner = self.inner.lock();
+            (
+                std::mem::take(&mut inner.pending_sends),
+                std::mem::take(&mut inner.pending_reads),
+            )
+        };
+        // Settle the QP first (re-path or error state), *then* deliver the
+        // failed completions: a consumer that observes RETRY_EXC_ERR must
+        // be able to rely on the QP having already reached its post-fault
+        // state, exactly as a hardware NIC transitions the QP to error
+        // before flushing its WRs.
+        if !self.try_repath() {
+            self.enter_error();
+        }
+        for (_, p) in sends {
+            self.send_cq.push(WorkCompletion {
+                wr_id: p.wr_id,
+                status: WcStatus::RetryExcError,
+                opcode: p.opcode,
+                byte_len: 0,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+        for (_, p) in reads {
+            self.send_cq.push(WorkCompletion {
+                wr_id: p.wr_id,
+                status: WcStatus::RetryExcError,
+                opcode: WcOpcode::RdmaRead,
+                byte_len: 0,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+    }
+
+    /// Re-run path selection for the current peer (FreeFlow's failover:
+    /// the orchestrator knows which transports still work). Returns
+    /// whether a usable remote path was bound.
+    fn try_repath(&self) -> bool {
+        let peer = {
+            let inner = self.inner.lock();
+            match (inner.state, inner.path) {
+                (QpState::Rts | QpState::Rtr, FfPath::Remote { peer, .. }) => peer,
+                // Local paths ride the verbs fabric (no wire to fail
+                // over), unbound/errored QPs have nothing to rebind.
+                _ => return false,
+            }
+        };
+        // Drop the stale location entry so resolve() asks the
+        // orchestrator, which has the current health picture.
+        self.lib.cache.invalidate(peer.ip);
+        let resolved = match self.lib.resolve(peer.ip) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        if resolved.local {
+            // The peer migrated onto this host; binding the shared-memory
+            // path needs a fresh connection (crate::migrate's domain).
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        inner.path = FfPath::Remote {
+            peer,
+            transport: resolved.transport,
+        };
+        inner.generation = resolved.generation;
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     // --- data path ----------------------------------------------------------
@@ -437,6 +571,7 @@ impl FfQp {
         let me = self.endpoint().wire();
         let dst = peer.wire();
 
+        let deadline = self.op_deadline();
         let (msg, pending) = match &wr.opcode {
             WrOpcode::Send => (
                 RelayMsg::Send {
@@ -450,6 +585,7 @@ impl FfQp {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::Send,
+                    deadline,
                 },
             ),
             WrOpcode::Write { remote_addr, rkey } => (
@@ -466,6 +602,7 @@ impl FfQp {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
+                    deadline,
                 },
             ),
             WrOpcode::WriteWithImm {
@@ -486,6 +623,7 @@ impl FfQp {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
+                    deadline,
                 },
             ),
             WrOpcode::Read { remote_addr, rkey } => {
@@ -504,6 +642,7 @@ impl FfQp {
                         wr_id: wr.wr_id,
                         signaled: wr.signaled,
                         sge: wr.sge.clone(),
+                        deadline,
                     },
                 );
                 self.lib.send_to_agent(&msg);
@@ -599,6 +738,7 @@ impl FfQp {
             st::OK => WcStatus::Success,
             st::REMOTE_ACCESS => WcStatus::RemoteAccessError,
             st::LOCAL_LENGTH => WcStatus::LocalLengthError,
+            st::TIMEOUT => WcStatus::RetryExcError,
             _ => WcStatus::RemoteOperationError,
         }
     }
@@ -791,6 +931,15 @@ impl FfQp {
     }
 
     fn inbound_read_resp(&self, req_id: u64, status: u8, payload: Bytes) {
+        if status == st::TIMEOUT {
+            // The relay gave up on this READ: the transport is dead.
+            // Flush everything outstanding (the request included) and
+            // fail over instead of erroring out.
+            if self.inner.lock().pending_reads.contains_key(&req_id) {
+                self.on_transport_failure();
+            }
+            return;
+        }
         let pending = self.inner.lock().pending_reads.remove(&req_id);
         let Some(p) = pending else { return };
         let wc_status = if status == st::OK {
@@ -832,6 +981,15 @@ impl FfQp {
     }
 
     fn inbound_nack(&self, op_id: u64, status: u8) {
+        if status == st::TIMEOUT {
+            // The relay declared the path dead (downed wire / no reply).
+            // Flush everything outstanding (this op included) with
+            // RETRY_EXC_ERR and re-path instead of erroring out.
+            if self.inner.lock().pending_sends.contains_key(&op_id) {
+                self.on_transport_failure();
+            }
+            return;
+        }
         let pending = self.inner.lock().pending_sends.remove(&op_id);
         let Some(p) = pending else { return };
         self.send_cq.push(WorkCompletion {

@@ -81,7 +81,9 @@ fn inter_host_path_is_rdma_on_testbed_nics() {
 fn send_recv_intra_host() {
     let cluster = FreeFlowCluster::with_defaults();
     let p = connected_pair(&cluster, true);
-    p.qp_b.post_recv(RecvWr::new(1, p.mr_b.sge(0, 1 << 16))).unwrap();
+    p.qp_b
+        .post_recv(RecvWr::new(1, p.mr_b.sge(0, 1 << 16)))
+        .unwrap();
     p.mr_a.write(0, b"shm send").unwrap();
     p.qp_a.post_send(SendWr::send(2, p.mr_a.sge(0, 8))).unwrap();
     let wc = p.cq_b.wait_one(T).expect("recv completion");
@@ -97,7 +99,9 @@ fn send_recv_intra_host() {
 fn send_recv_inter_host() {
     let cluster = FreeFlowCluster::with_defaults();
     let p = connected_pair(&cluster, false);
-    p.qp_b.post_recv(RecvWr::new(1, p.mr_b.sge(0, 1 << 16))).unwrap();
+    p.qp_b
+        .post_recv(RecvWr::new(1, p.mr_b.sge(0, 1 << 16)))
+        .unwrap();
     p.mr_a.write(0, b"wire send").unwrap();
     p.qp_a.post_send(SendWr::send(2, p.mr_a.sge(0, 9))).unwrap();
     let wc = p.cq_b.wait_one(T).expect("recv completion");
@@ -116,7 +120,10 @@ fn paper_fig5_rdma_write_intra_host_via_shm() {
     // receiver's CPU sees nothing until it looks at its buffer.
     let cluster = FreeFlowCluster::with_defaults();
     let p = connected_pair(&cluster, true);
-    assert!(p.mr_b.is_arena_backed(), "intra-host MRs live in the host segment");
+    assert!(
+        p.mr_b.is_arena_backed(),
+        "intra-host MRs live in the host segment"
+    );
     p.mr_a.write(0, b"write via shm").unwrap();
     p.qp_a
         .post_send(SendWr::write(
@@ -128,7 +135,10 @@ fn paper_fig5_rdma_write_intra_host_via_shm() {
         .unwrap();
     let wc = p.cq_a.wait_one(T).expect("write completion");
     assert!(wc.status.is_ok());
-    assert!(p.cq_b.poll_one().is_none(), "one-sided: no receiver completion");
+    assert!(
+        p.cq_b.poll_one().is_none(),
+        "one-sided: no receiver completion"
+    );
     let mut out = [0u8; 13];
     p.mr_b.read(64, &mut out).unwrap();
     assert_eq!(&out, b"write via shm");
@@ -204,7 +214,9 @@ fn rnr_parking_inter_host() {
     let cluster = FreeFlowCluster::with_defaults();
     let p = connected_pair(&cluster, false);
     p.mr_a.write(0, b"early bird").unwrap();
-    p.qp_a.post_send(SendWr::send(1, p.mr_a.sge(0, 10))).unwrap();
+    p.qp_a
+        .post_send(SendWr::send(1, p.mr_a.sge(0, 10)))
+        .unwrap();
     // Give the relay time: message must be parked, not completed.
     std::thread::sleep(Duration::from_millis(50));
     assert!(p.cq_b.poll_one().is_none());
@@ -256,7 +268,9 @@ fn no_bypass_policy_keeps_verbs_api_working() {
     }
     p.qp_b.post_recv(RecvWr::new(1, p.mr_b.sge(0, 64))).unwrap();
     p.mr_a.write(0, b"slow but works").unwrap();
-    p.qp_a.post_send(SendWr::send(2, p.mr_a.sge(0, 14))).unwrap();
+    p.qp_a
+        .post_send(SendWr::send(2, p.mr_a.sge(0, 14)))
+        .unwrap();
     assert!(p.cq_b.wait_one(T).unwrap().status.is_ok());
 }
 
@@ -411,8 +425,12 @@ fn three_hosts_mixed_paths_share_one_container() {
     qp_l.post_recv(RecvWr::new(1, mr_l.sge(0, 4096))).unwrap();
     qp_r.post_recv(RecvWr::new(2, mr_r.sge(0, 4096))).unwrap();
     mr_s.write(0, b"fanout").unwrap();
-    qp_to_local.post_send(SendWr::send(3, mr_s.sge(0, 6))).unwrap();
-    qp_to_remote.post_send(SendWr::send(4, mr_s.sge(0, 6))).unwrap();
+    qp_to_local
+        .post_send(SendWr::send(3, mr_s.sge(0, 6)))
+        .unwrap();
+    qp_to_remote
+        .post_send(SendWr::send(4, mr_s.sge(0, 6)))
+        .unwrap();
     assert!(cq_l.wait_one(T).unwrap().status.is_ok());
     assert!(cq_r.wait_one(T).unwrap().status.is_ok());
 }
@@ -528,7 +546,12 @@ fn unsignaled_remote_writes_complete_silently() {
     }
     // A final signaled write flushes; no stray completions before it.
     p.qp_a
-        .post_send(SendWr::write(99, p.mr_a.sge(0, 5), p.mr_b.addr(), p.mr_b.rkey()))
+        .post_send(SendWr::write(
+            99,
+            p.mr_a.sge(0, 5),
+            p.mr_b.addr(),
+            p.mr_b.rkey(),
+        ))
         .unwrap();
     let wc = p.cq_a.wait_one(T).unwrap();
     assert_eq!(wc.wr_id, 99, "only the signaled WR completes");
@@ -542,7 +565,10 @@ fn arena_exhaustion_falls_back_to_private_mrs() {
     let a = cluster.launch(tenant(), h).unwrap();
     // Grab nearly the whole 256 MiB host arena...
     let big = a
-        .register((cluster_arena_size() - (1 << 20)) as u64, AccessFlags::all())
+        .register(
+            (cluster_arena_size() - (1 << 20)) as u64,
+            AccessFlags::all(),
+        )
         .unwrap();
     assert!(big.is_arena_backed());
     // ...so the next big registration cannot be arena-backed, yet works.

@@ -132,13 +132,8 @@ fn unaligned_arena_staging_does_not_leak() {
     let baseline0 = cluster.agent_of(h0).unwrap().fabric().arena().allocated();
     let baseline1 = cluster.agent_of(h1).unwrap().fabric().arena().allocated();
     for i in 0..200u64 {
-        qp_a.post_send(SendWr::write(
-            i,
-            mr_a.sge(0, len),
-            mr_b.addr(),
-            mr_b.rkey(),
-        ))
-        .unwrap();
+        qp_a.post_send(SendWr::write(i, mr_a.sge(0, len), mr_b.addr(), mr_b.rkey()))
+            .unwrap();
         assert!(cq_a.wait_one(T).unwrap().status.is_ok());
     }
     assert_eq!(

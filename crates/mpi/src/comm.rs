@@ -370,7 +370,10 @@ fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
 
 fn bytes_to_f64s(b: &[u8]) -> Result<Vec<f64>> {
     if b.len() % 8 != 0 {
-        return Err(Error::parse(format!("{} bytes is not f64-aligned", b.len())));
+        return Err(Error::parse(format!(
+            "{} bytes is not f64-aligned",
+            b.len()
+        )));
     }
     Ok(b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
@@ -479,8 +482,7 @@ mod tests {
     fn scatter_distributes_rank_ordered_slices() {
         run_all(world_of_four(), |r| {
             let piece = if r.rank() == 1 {
-                let bufs: Vec<Vec<u8>> =
-                    (0..r.size()).map(|j| vec![j as u8; j + 1]).collect();
+                let bufs: Vec<Vec<u8>> = (0..r.size()).map(|j| vec![j as u8; j + 1]).collect();
                 r.scatter(1, Some(&bufs)).unwrap()
             } else {
                 r.scatter(1, None).unwrap()

@@ -97,6 +97,10 @@ pub struct CostParams {
     pub wire_propagation: Nanos,
     /// Switch forwarding latency.
     pub switch_latency: Nanos,
+    /// How long the stack takes to notice a dead kernel-bypass NIC and
+    /// re-establish traffic on the fallback transport (retry exhaustion +
+    /// orchestrator re-path).
+    pub failover_detect: Nanos,
 }
 
 impl Default for CostParams {
@@ -152,6 +156,7 @@ impl CostParams {
 
             wire_propagation: Nanos::from_nanos(500),
             switch_latency: Nanos::from_nanos(300),
+            failover_detect: Nanos::from_micros(100),
         }
     }
 
@@ -477,8 +482,7 @@ mod tests {
     fn calibration_overlay_router_is_the_bottleneck() {
         let p = CostParams::paper_testbed();
         assert!(
-            p.router_effective_per_byte_ns()
-                > p.tcp_side_per_byte_ns() + p.bridge_per_byte_ns,
+            p.router_effective_per_byte_ns() > p.tcp_side_per_byte_ns() + p.bridge_per_byte_ns,
             "router must be slower than a bridged stack side"
         );
         let gbps = 8.0 / p.router_effective_per_byte_ns();

@@ -32,6 +32,17 @@ pub enum Event {
         /// Index into the simulator's flow table.
         flow: usize,
     },
+    /// An injected fault from the simulator's fault plan fires.
+    Fault {
+        /// Index into the fault plan's fault list.
+        fault: usize,
+    },
+    /// A flow re-emits messages lost to a fault (after failover detection
+    /// or link restoration).
+    Resend {
+        /// Index into the simulator's flow table.
+        flow: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -101,7 +112,11 @@ impl EventQueue {
 
     /// Schedule `event` at absolute time `at` (must not be in the past).
     pub fn schedule_at(&mut self, at: Nanos, event: Event) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled {

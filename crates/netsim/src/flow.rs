@@ -93,6 +93,20 @@ pub struct Flow {
     pub category_ns: [u64; StageCategory::ALL.len()],
     /// Chunk granularity for this flow.
     pub chunk_size: ByteSize,
+    /// Fault epoch: bumped whenever a fault invalidates in-flight chunks.
+    /// Chunks stamped with an older epoch are dropped on their next event.
+    pub epoch: u32,
+    /// Pipelines retired by past epochs, indexed by epoch, so draining
+    /// stale chunks can still resolve their stages.
+    pub retired: Vec<(Pipeline, Pipeline)>,
+    /// Transport failovers this flow performed (NIC death → TCP fallback).
+    pub failovers: u32,
+    /// Messages whose in-flight chunks were lost to faults.
+    pub lost_msgs: u64,
+    /// Whether a host crash killed the flow (no further traffic).
+    pub killed: bool,
+    /// Lost messages waiting for the scheduled `Resend` event.
+    pub pending_resend: u32,
 }
 
 impl Flow {
@@ -113,6 +127,12 @@ impl Flow {
             rtt_started: Nanos::ZERO,
             category_ns: [0; StageCategory::ALL.len()],
             chunk_size,
+            epoch: 0,
+            retired: Vec::new(),
+            failovers: 0,
+            lost_msgs: 0,
+            killed: false,
+            pending_resend: 0,
         }
     }
 
@@ -131,7 +151,11 @@ impl Flow {
     }
 
     /// Whether the flow has finished all deliveries it ever will.
+    /// A killed flow delivers nothing more, so it counts as finished.
     pub fn finished(&self) -> bool {
+        if self.killed {
+            return true;
+        }
         match self.spec.workload {
             Workload::Stream { messages, .. } => messages != 0 && self.delivered_fwd >= messages,
             Workload::PingPong { iterations, .. } => self.rtt_samples.len() as u64 >= iterations,
@@ -209,7 +233,11 @@ mod tests {
         assert_eq!(f.chunks_for(ByteSize::from_kib(65)), 2);
         assert_eq!(f.chunks_for(ByteSize::from_mib(1)), 16);
         assert_eq!(f.chunks_for(ByteSize::from_bytes(1)), 1);
-        assert_eq!(f.chunks_for(ByteSize::ZERO), 1, "empty message is one chunk");
+        assert_eq!(
+            f.chunks_for(ByteSize::ZERO),
+            1,
+            "empty message is one chunk"
+        );
     }
 
     #[test]

@@ -39,15 +39,19 @@
 
 pub mod costmodel;
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod metrics;
 pub mod pipeline;
+pub mod rng;
 pub mod server;
 pub mod sim;
 pub mod workload;
 
 pub use costmodel::CostParams;
+pub use fault::{Fault, FaultKind, FaultPlan, FaultRecord};
 pub use flow::{FlowSpec, Placement};
 pub use metrics::{FlowReport, HostCpuReport, SimReport};
+pub use rng::SimRng;
 pub use sim::NetSim;
 pub use workload::Workload;

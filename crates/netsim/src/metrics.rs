@@ -5,6 +5,7 @@
 //! utilization. Reports are plain serializable data so the bench harness
 //! can print tables or dump them for offline plotting.
 
+use crate::fault::FaultRecord;
 use freeflow_types::{Bandwidth, ByteSize, Nanos, TransportKind};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +32,14 @@ pub struct FlowReport {
     /// `(category name, avg ns)` — the stacked latency bars. For ping-pong
     /// flows this is per round trip (both directions).
     pub latency_breakdown: Vec<(String, Nanos)>,
+    /// Transport failovers performed (e.g. RDMA → TCP after NIC death).
+    /// `transport` above reflects the transport the flow *ended* on.
+    pub failovers: u32,
+    /// Messages whose in-flight chunks were lost to injected faults
+    /// (each was retransmitted unless the flow was killed).
+    pub lost_msgs: u64,
+    /// Whether a host crash killed the flow before it could finish.
+    pub killed: bool,
 }
 
 impl FlowReport {
@@ -76,6 +85,8 @@ pub struct SimReport {
     pub flows: Vec<FlowReport>,
     /// Per-host utilization, in host-creation order.
     pub hosts: Vec<HostCpuReport>,
+    /// Faults that fired during the run, in firing order.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl SimReport {
@@ -113,6 +124,9 @@ mod tests {
                         ("copy".into(), Nanos::from_micros(3)),
                         ("wakeup".into(), Nanos::from_micros(2)),
                     ],
+                    failovers: 0,
+                    lost_msgs: 0,
+                    killed: false,
                 },
                 FlowReport {
                     flow: 1,
@@ -124,6 +138,9 @@ mod tests {
                     p50_rtt: None,
                     p99_rtt: None,
                     latency_breakdown: vec![],
+                    failovers: 1,
+                    lost_msgs: 2,
+                    killed: false,
                 },
             ],
             hosts: vec![HostCpuReport {
@@ -137,12 +154,14 @@ mod tests {
                 nic_rx_util: 0.0,
                 membus_util: 0.4,
             }],
+            faults: vec![FaultRecord {
+                at: Nanos::from_millis(5),
+                kind: crate::fault::FaultKind::NicDown { host: 0 },
+                flows_affected: 1,
+            }],
         };
         assert_eq!(report.aggregate_throughput(), Bandwidth::from_gbps(40));
         assert_eq!(report.total_cpu_percent(), 150.0);
-        assert_eq!(
-            report.flows[0].breakdown_total(),
-            Nanos::from_micros(5)
-        );
+        assert_eq!(report.flows[0].breakdown_total(), Nanos::from_micros(5));
     }
 }

@@ -6,9 +6,10 @@
 
 use crate::costmodel::{build_pipeline, CostParams, HostResources};
 use crate::engine::{Event, EventQueue};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord};
 use crate::flow::{Direction, Flow, FlowSpec, MessageState, Placement};
 use crate::metrics::{FlowReport, HostCpuReport, SimReport};
-use crate::pipeline::StageCategory;
+use crate::pipeline::{Pipeline, StageCategory};
 use crate::server::{Server, ServerKind};
 use crate::workload::Workload;
 use freeflow_types::{ByteSize, ContainerId, HostCaps, Nanos, TransportKind};
@@ -25,6 +26,9 @@ struct Chunk {
     enqueued_at: Nanos,
     /// Slot is live (false = recyclable).
     active: bool,
+    /// Fault epoch of the owning flow at emission time; a mismatch with
+    /// the flow's current epoch marks the chunk as lost to a fault.
+    epoch: u32,
 }
 
 /// The discrete-event cluster simulator.
@@ -39,6 +43,8 @@ pub struct NetSim {
     chunks: Vec<Chunk>,
     free_chunks: Vec<usize>,
     started: bool,
+    plan: Option<FaultPlan>,
+    fault_records: Vec<FaultRecord>,
 }
 
 impl NetSim {
@@ -54,6 +60,8 @@ impl NetSim {
             chunks: Vec::new(),
             free_chunks: Vec::new(),
             started: false,
+            plan: None,
+            fault_records: Vec::new(),
         }
     }
 
@@ -142,12 +150,28 @@ impl NetSim {
         self.flows.len() - 1
     }
 
+    /// Install a fault plan; must be called before the sim starts.
+    /// Faults are scheduled on the same event queue as traffic, so the
+    /// run (and its report) stays fully deterministic.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before starting");
+        for f in plan.faults() {
+            assert!(f.kind.host() < self.hosts.len(), "fault on unknown host");
+        }
+        self.plan = Some(plan);
+    }
+
     /// Schedule the initial workload emissions.
     fn start(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
+        if let Some(plan) = &self.plan {
+            for (i, f) in plan.faults().iter().enumerate() {
+                self.queue.schedule_at(f.at, Event::Fault { fault: i });
+            }
+        }
         for f in 0..self.flows.len() {
             let n = match self.flows[f].spec.workload {
                 Workload::Stream {
@@ -163,7 +187,8 @@ impl NetSim {
                 Workload::PingPong { .. } => 1,
             };
             for _ in 0..n {
-                self.queue.schedule(Nanos::ZERO, Event::FlowSend { flow: f });
+                self.queue
+                    .schedule(Nanos::ZERO, Event::FlowSend { flow: f });
             }
         }
     }
@@ -212,12 +237,158 @@ impl NetSim {
             Event::ChunkArrive { chunk } => self.on_chunk_arrive(now, chunk),
             Event::ServerDone { server } => self.on_server_done(now, server),
             Event::ChunkDelivered { chunk } => self.on_chunk_delivered(now, chunk),
+            Event::Fault { fault } => self.on_fault(now, fault),
+            Event::Resend { flow } => self.on_resend(now, flow),
+        }
+    }
+
+    // --- fault injection -------------------------------------------------
+
+    /// Zero every in-flight message (they will never complete on the old
+    /// path), retire the current pipelines under the old epoch so stale
+    /// chunks can still drain through their servers, and bump the epoch.
+    /// Returns how many messages were lost.
+    fn invalidate_in_flight(&mut self, flow: usize) -> u32 {
+        let f = &mut self.flows[flow];
+        let mut lost = 0u32;
+        for m in &mut f.messages {
+            if m.chunks_remaining > 0 {
+                lost += 1;
+                m.chunks_remaining = 0;
+            }
+        }
+        let fwd = f.forward.clone();
+        let rev = f.reverse.clone();
+        f.retired.push((fwd, rev));
+        f.epoch += 1;
+        lost
+    }
+
+    /// Rebuild a flow's pipelines on the kernel TCP fallback path (the
+    /// best transport that survives a kernel-bypass NIC death).
+    fn rebuild_on_fallback(&mut self, flow: usize) {
+        let spec = self.flows[flow].spec;
+        let fallback = TransportKind::TcpHost;
+        let sh = self.hosts[spec.placement.src_host].clone();
+        let dh = self.hosts[spec.placement.dst_host].clone();
+        let fwd = build_pipeline(
+            &self.params,
+            fallback,
+            &sh,
+            &dh,
+            spec.placement.src.raw(),
+            spec.placement.dst.raw(),
+        );
+        let rev = build_pipeline(
+            &self.params,
+            fallback,
+            &dh,
+            &sh,
+            spec.placement.dst.raw(),
+            spec.placement.src.raw(),
+        );
+        let f = &mut self.flows[flow];
+        f.spec.transport = fallback;
+        f.forward = fwd;
+        f.reverse = rev;
+        f.failovers += 1;
+    }
+
+    fn on_fault(&mut self, now: Nanos, fault: usize) {
+        let f = self
+            .plan
+            .as_ref()
+            .expect("fault event without plan")
+            .faults()[fault];
+        let mut affected = 0u32;
+        match f.kind {
+            FaultKind::NicDown { host } => {
+                self.hosts[host].nic_rdma = false;
+                self.hosts[host].nic_dpdk = false;
+                for i in 0..self.flows.len() {
+                    let spec = self.flows[i].spec;
+                    let touches =
+                        spec.placement.src_host == host || spec.placement.dst_host == host;
+                    let on_nic =
+                        matches!(spec.transport, TransportKind::Rdma | TransportKind::Dpdk);
+                    if !touches || !on_nic || self.flows[i].killed {
+                        continue;
+                    }
+                    affected += 1;
+                    let lost = self.invalidate_in_flight(i);
+                    self.rebuild_on_fallback(i);
+                    let fl = &mut self.flows[i];
+                    fl.lost_msgs += lost as u64;
+                    if lost > 0 {
+                        fl.pending_resend += lost;
+                        self.queue
+                            .schedule(self.params.failover_detect, Event::Resend { flow: i });
+                    }
+                }
+            }
+            FaultKind::LinkFlap { host, duration } => {
+                for i in 0..self.flows.len() {
+                    let spec = self.flows[i].spec;
+                    let crosses_wire = spec.placement.src_host != spec.placement.dst_host
+                        && (spec.placement.src_host == host || spec.placement.dst_host == host);
+                    if !crosses_wire || self.flows[i].killed {
+                        continue;
+                    }
+                    affected += 1;
+                    let lost = self.invalidate_in_flight(i);
+                    let fl = &mut self.flows[i];
+                    fl.lost_msgs += lost as u64;
+                    if lost > 0 {
+                        fl.pending_resend += lost;
+                        // Retransmission waits for the link to return.
+                        self.queue.schedule(duration, Event::Resend { flow: i });
+                    }
+                }
+            }
+            FaultKind::HostCrash { host } => {
+                self.hosts[host].nic_rdma = false;
+                self.hosts[host].nic_dpdk = false;
+                for i in 0..self.flows.len() {
+                    let spec = self.flows[i].spec;
+                    let touches =
+                        spec.placement.src_host == host || spec.placement.dst_host == host;
+                    if !touches || self.flows[i].killed {
+                        continue;
+                    }
+                    affected += 1;
+                    let lost = self.invalidate_in_flight(i);
+                    let fl = &mut self.flows[i];
+                    fl.lost_msgs += lost as u64;
+                    fl.killed = true;
+                    fl.pending_resend = 0;
+                }
+            }
+        }
+        self.fault_records.push(FaultRecord {
+            at: now,
+            kind: f.kind,
+            flows_affected: affected,
+        });
+    }
+
+    /// Re-emit messages lost to a fault. The retry restarts whole
+    /// messages (a lost ping-pong response retries the full round trip),
+    /// so RTT samples spanning a fault include the outage — which is the
+    /// latency a real application would observe.
+    fn on_resend(&mut self, now: Nanos, flow: usize) {
+        if self.flows[flow].killed {
+            self.flows[flow].pending_resend = 0;
+            return;
+        }
+        let n = std::mem::take(&mut self.flows[flow].pending_resend);
+        for _ in 0..n {
+            self.emit_message(now, flow, Direction::Forward);
         }
     }
 
     /// Emit one message on a flow in the given direction.
     fn emit_message(&mut self, now: Nanos, flow: usize, direction: Direction) {
-        let (msg_size, msg_idx, nchunks) = {
+        let (msg_size, msg_idx, nchunks, epoch) = {
             let f = &mut self.flows[flow];
             let msg_size = f.spec.workload.msg_size();
             let nchunks = f.chunks_for(msg_size);
@@ -226,7 +397,7 @@ impl NetSim {
                 chunks_remaining: nchunks,
                 direction,
             });
-            (msg_size, f.messages.len() - 1, nchunks)
+            (msg_size, f.messages.len() - 1, nchunks, f.epoch)
         };
         // Split into chunks; the last chunk carries the remainder.
         let cs = self.params.chunk_size.as_bytes().max(1);
@@ -246,13 +417,15 @@ impl NetSim {
                 direction,
                 enqueued_at: now,
                 active: true,
+                epoch,
             });
-            self.queue.schedule(Nanos::ZERO, Event::ChunkArrive { chunk: idx });
+            self.queue
+                .schedule(Nanos::ZERO, Event::ChunkArrive { chunk: idx });
         }
     }
 
     fn on_flow_send(&mut self, now: Nanos, flow: usize) {
-        if self.flows[flow].emission_done() {
+        if self.flows[flow].killed || self.flows[flow].emission_done() {
             return;
         }
         {
@@ -266,25 +439,44 @@ impl NetSim {
         self.emit_message(now, flow, Direction::Forward);
     }
 
-    fn pipeline_stage(&self, chunk: &Chunk) -> crate::pipeline::Stage {
+    /// The pipeline a chunk traverses, resolved through its emission-time
+    /// epoch: chunks from a retired epoch still drain their old stages.
+    fn chunk_pipeline(&self, chunk: &Chunk) -> &Pipeline {
         let f = &self.flows[chunk.flow];
-        let pl = match chunk.direction {
-            Direction::Forward => &f.forward,
-            Direction::Reverse => &f.reverse,
+        let (fwd, rev) = if chunk.epoch == f.epoch {
+            (&f.forward, &f.reverse)
+        } else {
+            let (fwd, rev) = &f.retired[chunk.epoch as usize];
+            (fwd, rev)
         };
-        pl.stages[chunk.stage]
+        match chunk.direction {
+            Direction::Forward => fwd,
+            Direction::Reverse => rev,
+        }
+    }
+
+    /// Whether a fault invalidated the chunk after it was emitted.
+    fn chunk_is_stale(&self, chunk: usize) -> bool {
+        let c = &self.chunks[chunk];
+        c.epoch != self.flows[c.flow].epoch
+    }
+
+    fn pipeline_stage(&self, chunk: &Chunk) -> crate::pipeline::Stage {
+        self.chunk_pipeline(chunk).stages[chunk.stage]
     }
 
     fn pipeline_len(&self, chunk: &Chunk) -> usize {
-        let f = &self.flows[chunk.flow];
-        match chunk.direction {
-            Direction::Forward => f.forward.len(),
-            Direction::Reverse => f.reverse.len(),
-        }
+        self.chunk_pipeline(chunk).len()
     }
 
     fn on_chunk_arrive(&mut self, now: Nanos, chunk: usize) {
         debug_assert!(self.chunks[chunk].active);
+        if self.chunk_is_stale(chunk) {
+            // Lost to a fault between stages: vanish without accounting.
+            self.chunks[chunk].active = false;
+            self.free_chunks.push(chunk);
+            return;
+        }
         let plen = self.pipeline_len(&self.chunks[chunk]);
         if self.chunks[chunk].stage >= plen {
             // Pipeline exhausted (or empty): delivered.
@@ -313,7 +505,8 @@ impl NetSim {
                 self.chunks[chunk].enqueued_at = now;
                 if self.servers[srv].enqueue(chunk) {
                     let service = stage.law.service_time(self.chunks[chunk].bytes);
-                    self.queue.schedule(service, Event::ServerDone { server: srv });
+                    self.queue
+                        .schedule(service, Event::ServerDone { server: srv });
                 }
             }
         }
@@ -326,10 +519,13 @@ impl NetSim {
         debug_assert_eq!(done_stage.server, Some(server));
         let service = done_stage.law.service_time(self.chunks[done].bytes);
         self.servers[server].charge(service);
-        // Account queueing + service to the stage's latency bucket.
-        let waited = now - self.chunks[done].enqueued_at;
-        self.flows[self.chunks[done].flow].category_ns[done_stage.category.index()] +=
-            waited.as_nanos();
+        let stale = self.chunk_is_stale(done);
+        if !stale {
+            // Account queueing + service to the stage's latency bucket.
+            let waited = now - self.chunks[done].enqueued_at;
+            self.flows[self.chunks[done].flow].category_ns[done_stage.category.index()] +=
+                waited.as_nanos();
+        }
         // Start the next queued chunk, if any.
         if let Some(nc) = next {
             let next_stage = self.pipeline_stage(&self.chunks[nc]);
@@ -337,6 +533,13 @@ impl NetSim {
             let next_service = next_stage.law.service_time(self.chunks[nc].bytes);
             self.queue
                 .schedule(next_service, Event::ServerDone { server });
+        }
+        if stale {
+            // A faulted chunk still occupied the server (the queue has to
+            // drain) but goes no further.
+            self.chunks[done].active = false;
+            self.free_chunks.push(done);
+            return;
         }
         // Advance the completed chunk.
         let plen = self.pipeline_len(&self.chunks[done]);
@@ -350,6 +553,7 @@ impl NetSim {
     }
 
     fn on_chunk_delivered(&mut self, now: Nanos, chunk: usize) {
+        let stale = self.chunk_is_stale(chunk);
         let (flow, msg, direction) = {
             let c = &mut self.chunks[chunk];
             debug_assert!(c.active);
@@ -357,6 +561,11 @@ impl NetSim {
             (c.flow, c.msg, c.direction)
         };
         self.free_chunks.push(chunk);
+        if stale {
+            // The fault struck after the chunk cleared its last stage but
+            // before delivery accounting: it is still lost.
+            return;
+        }
 
         let whole_message_done = {
             let f = &mut self.flows[flow];
@@ -456,6 +665,9 @@ impl NetSim {
                     p50_rtt: f.rtt_percentile(0.50),
                     p99_rtt: f.rtt_percentile(0.99),
                     latency_breakdown,
+                    failovers: f.failovers,
+                    lost_msgs: f.lost_msgs,
+                    killed: f.killed,
                 }
             })
             .collect();
@@ -495,6 +707,7 @@ impl NetSim {
             elapsed,
             flows,
             hosts,
+            faults: self.fault_records.clone(),
         }
     }
 }
@@ -603,8 +816,7 @@ mod tests {
         let r = one_host_pair(TransportKind::TcpHost, Workload::rtt(4096, 50));
         let total = r.flows[0].breakdown_total();
         let rtt = r.flows[0].mean_rtt.unwrap();
-        let err =
-            (total.as_nanos() as f64 - rtt.as_nanos() as f64).abs() / rtt.as_nanos() as f64;
+        let err = (total.as_nanos() as f64 - rtt.as_nanos() as f64).abs() / rtt.as_nanos() as f64;
         assert!(err < 0.05, "breakdown {total} vs rtt {rtt}");
     }
 
@@ -697,6 +909,92 @@ mod tests {
             },
         );
         assert_eq!(r.flows[0].delivered_msgs, 5);
+    }
+
+    #[test]
+    fn nic_death_fails_flow_over_to_tcp() {
+        use crate::fault::FaultPlan;
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 100));
+        sim.set_fault_plan(FaultPlan::new(1).nic_down(Nanos::from_micros(200), h1));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert!(sim.all_finished(), "flow must converge after failover");
+        assert_eq!(r.flows[0].delivered_msgs, 100);
+        assert_eq!(r.flows[0].failovers, 1);
+        assert!(
+            r.flows[0].lost_msgs > 0,
+            "mid-traffic fault loses in-flight data"
+        );
+        assert_eq!(r.flows[0].transport, TransportKind::TcpHost);
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].flows_affected, 1);
+    }
+
+    #[test]
+    fn host_crash_kills_only_local_flows() {
+        use crate::fault::FaultPlan;
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let h2 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        let c = sim.add_container(h0);
+        let d = sim.add_container(h2);
+        sim.add_flow(a, b, TransportKind::TcpHost, Workload::bulk(1, 50));
+        sim.add_flow(c, d, TransportKind::TcpHost, Workload::bulk(1, 50));
+        sim.set_fault_plan(FaultPlan::new(2).host_crash(Nanos::from_micros(100), h2));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert!(!r.flows[0].killed);
+        assert_eq!(r.flows[0].delivered_msgs, 50, "survivor completes");
+        assert!(r.flows[1].killed);
+        assert!(r.flows[1].delivered_msgs < 50);
+        assert!(sim.all_finished(), "killed flows count as finished");
+    }
+
+    #[test]
+    fn link_flap_recovers_on_same_transport() {
+        use crate::fault::FaultPlan;
+        let flap_at = Nanos::from_micros(300);
+        let outage = Nanos::from_millis(2);
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 60));
+        sim.set_fault_plan(FaultPlan::new(3).link_flap(flap_at, h0, outage));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert_eq!(r.flows[0].delivered_msgs, 60);
+        assert_eq!(r.flows[0].failovers, 0, "flap does not change transport");
+        assert_eq!(r.flows[0].transport, TransportKind::Rdma);
+        assert!(r.flows[0].lost_msgs > 0);
+        assert!(
+            r.elapsed >= flap_at + outage,
+            "completion waits out the outage: {} < {}",
+            r.elapsed,
+            flap_at + outage
+        );
+    }
+
+    #[test]
+    fn faulted_runs_reproduce_byte_identical_reports() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 40));
+            sim.set_fault_plan(FaultPlan::randomized(77, 2, 2, Nanos::from_millis(1)));
+            sim.run_to_completion(Nanos::from_secs(10))
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! * [`Workload::PingPong`] — strictly alternating request/response of one
 //!   message each way; measures round-trip latency (the latency figures).
 
+use crate::rng::SimRng;
 use freeflow_types::ByteSize;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,24 @@ impl Workload {
     pub fn is_latency(&self) -> bool {
         matches!(self, Workload::PingPong { .. })
     }
+
+    /// Draw a bounded workload from an explicit seeded generator — the
+    /// only sanctioned source of workload randomness, so every
+    /// simulation-backed test is reproducible from a logged seed.
+    pub fn random(rng: &mut SimRng) -> Self {
+        if rng.index(2) == 0 {
+            Workload::Stream {
+                msg_size: ByteSize::from_kib(rng.gen_range(4, 1025)),
+                window: rng.gen_range(1, 9) as u32,
+                messages: rng.gen_range(5, 51),
+            }
+        } else {
+            Workload::PingPong {
+                msg_size: ByteSize::from_bytes(rng.gen_range(64, 8193)),
+                iterations: rng.gen_range(5, 31),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +100,30 @@ mod tests {
         let p = Workload::rtt(4096, 50);
         assert_eq!(p.msg_size(), ByteSize::from_bytes(4096));
         assert!(p.is_latency());
+    }
+
+    #[test]
+    fn random_workloads_reproduce_from_seed() {
+        let draw = |seed| {
+            let mut rng = SimRng::new(seed);
+            (0..16)
+                .map(|_| Workload::random(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+        for w in draw(7) {
+            match w {
+                Workload::Stream {
+                    window, messages, ..
+                } => {
+                    assert!((1..=8).contains(&window));
+                    assert!((5..=50).contains(&messages));
+                }
+                Workload::PingPong { iterations, .. } => {
+                    assert!((5..=30).contains(&iterations));
+                }
+            }
+        }
     }
 }

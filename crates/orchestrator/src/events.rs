@@ -44,6 +44,18 @@ pub enum OrchestratorEvent {
         /// The IP it released.
         ip: OverlayIp,
     },
+    /// A host's health changed (NIC failure, crash, or recovery).
+    /// Libraries must invalidate cached paths through this host and
+    /// re-run path selection; with the kernel-bypass NIC down the
+    /// orchestrator will now steer traffic onto host TCP.
+    HostHealthChanged {
+        /// The affected host.
+        host: HostId,
+        /// Whether its kernel-bypass NIC still works.
+        nic_up: bool,
+        /// Whether the host is reachable at all.
+        alive: bool,
+    },
 }
 
 const FEED_DEPTH: usize = 1024;

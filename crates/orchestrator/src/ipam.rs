@@ -85,10 +85,18 @@ impl Ipam {
                 let mut candidate = self.cursor;
                 loop {
                     if self.allocated.insert(candidate) {
-                        self.cursor = if candidate == last { first } else { OverlayIp(candidate.raw() + 1) };
+                        self.cursor = if candidate == last {
+                            first
+                        } else {
+                            OverlayIp(candidate.raw() + 1)
+                        };
                         return Ok(candidate);
                     }
-                    candidate = if candidate == last { first } else { OverlayIp(candidate.raw() + 1) };
+                    candidate = if candidate == last {
+                        first
+                    } else {
+                        OverlayIp(candidate.raw() + 1)
+                    };
                 }
             }
         }

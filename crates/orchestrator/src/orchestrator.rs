@@ -5,7 +5,7 @@
 use crate::events::{EventFeed, OrchestratorEvent};
 use crate::ipam::{IpAssign, Ipam};
 use crate::policy::{PolicyConfig, PolicyEngine};
-use crate::registry::{ContainerLocation, ContainerRecord, Registry};
+use crate::registry::{ContainerLocation, ContainerRecord, HostHealth, Registry};
 use freeflow_types::transport::PathDecision;
 use freeflow_types::{
     ContainerId, Error, HostCaps, HostId, OverlayCidr, OverlayIp, Result, TenantId, VmId,
@@ -40,7 +40,10 @@ impl Orchestrator {
 
     /// Orchestrator with the default overlay (`10.0.0.0/16`) and policy.
     pub fn with_defaults() -> Arc<Self> {
-        Self::new("10.0.0.0/16".parse().expect("static"), PolicyConfig::default())
+        Self::new(
+            "10.0.0.0/16".parse().expect("static"),
+            PolicyConfig::default(),
+        )
     }
 
     // --- infrastructure ---------------------------------------------------
@@ -58,6 +61,51 @@ impl Orchestrator {
     /// Host capabilities.
     pub fn host_caps(&self, id: HostId) -> Result<HostCaps> {
         self.state.read().registry.host_caps(id).copied()
+    }
+
+    // --- health -------------------------------------------------------------
+
+    /// Current health of a host.
+    pub fn host_health(&self, id: HostId) -> HostHealth {
+        self.state.read().registry.host_health(id)
+    }
+
+    /// Record that `host`'s kernel-bypass NIC died. Path decisions through
+    /// this host stop offering RDMA/DPDK; host TCP keeps working.
+    pub fn mark_nic_down(&self, host: HostId) -> Result<()> {
+        self.set_health(host, |h| h.nic_up = false)
+    }
+
+    /// Record that `host`'s kernel-bypass NIC recovered.
+    pub fn mark_nic_up(&self, host: HostId) -> Result<()> {
+        self.set_health(host, |h| h.nic_up = true)
+    }
+
+    /// Record that `host` crashed. Its containers become unreachable and
+    /// drop out of every other host's routing view.
+    pub fn mark_host_down(&self, host: HostId) -> Result<()> {
+        self.set_health(host, |h| h.alive = false)
+    }
+
+    /// Record that `host` came back.
+    pub fn mark_host_up(&self, host: HostId) -> Result<()> {
+        self.set_health(host, |h| h.alive = true)
+    }
+
+    fn set_health(&self, host: HostId, update: impl FnOnce(&mut HostHealth)) -> Result<()> {
+        let health = {
+            let mut st = self.state.write();
+            let mut health = st.registry.host_health(host);
+            update(&mut health);
+            st.registry.set_host_health(host, health)?;
+            health
+        };
+        self.feed.publish(OrchestratorEvent::HostHealthChanged {
+            host,
+            nic_up: health.nic_up,
+            alive: health.alive,
+        });
+        Ok(())
     }
 
     // --- container lifecycle ----------------------------------------------
@@ -122,7 +170,8 @@ impl Orchestrator {
             st.ipam.release(rec.ip)?;
             rec.ip
         };
-        self.feed.publish(OrchestratorEvent::ContainerDown { id, ip });
+        self.feed
+            .publish(OrchestratorEvent::ContainerDown { id, ip });
         Ok(())
     }
 
@@ -162,12 +211,14 @@ impl Orchestrator {
 
     /// Per-host routing view: every remote container's `(ip, physical
     /// host)` — what an agent installs into its forwarding table.
+    /// Containers on crashed hosts are excluded: there is no point
+    /// routing toward a machine that cannot answer.
     pub fn routes_for(&self, host: HostId) -> Vec<(OverlayIp, HostId)> {
         let st = self.state.read();
         let mut routes: Vec<(OverlayIp, HostId)> = st
             .registry
             .host_ids()
-            .filter(|h| *h != host)
+            .filter(|h| *h != host && st.registry.host_health(*h).alive)
             .flat_map(|h| {
                 st.registry
                     .containers_on(h)
@@ -230,8 +281,10 @@ mod tests {
 
     fn setup() -> Arc<Orchestrator> {
         let orch = Orchestrator::with_defaults();
-        orch.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
-        orch.add_host(HostId::new(1), HostCaps::paper_testbed()).unwrap();
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
+        orch.add_host(HostId::new(1), HostCaps::paper_testbed())
+            .unwrap();
         orch
     }
 
@@ -374,6 +427,121 @@ mod tests {
             .unwrap();
         let routes = orch.routes_for(HostId::new(0));
         assert_eq!(routes, vec![(ip2, HostId::new(1))]);
+    }
+
+    #[test]
+    fn nic_death_steers_paths_onto_host_tcp() {
+        let orch = setup();
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        orch.register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(
+            orch.decide_path(ContainerId::new(1), ContainerId::new(2))
+                .unwrap()
+                .transport(),
+            Some(TransportKind::Rdma)
+        );
+        let feed = orch.subscribe();
+        orch.mark_nic_down(HostId::new(1)).unwrap();
+        assert!(!orch.host_health(HostId::new(1)).nic_up);
+        assert!(matches!(
+            feed.try_recv().unwrap(),
+            OrchestratorEvent::HostHealthChanged {
+                host,
+                nic_up: false,
+                alive: true,
+            } if host == HostId::new(1)
+        ));
+        // Kernel bypass is gone but the kernel TCP path survives.
+        let t = orch
+            .decide_path(ContainerId::new(1), ContainerId::new(2))
+            .unwrap()
+            .transport();
+        assert!(matches!(
+            t,
+            Some(TransportKind::TcpHost | TransportKind::TcpBridge | TransportKind::TcpOverlay)
+        ));
+        // Recovery restores the fast path.
+        orch.mark_nic_up(HostId::new(1)).unwrap();
+        assert_eq!(
+            orch.decide_path(ContainerId::new(1), ContainerId::new(2))
+                .unwrap()
+                .transport(),
+            Some(TransportKind::Rdma)
+        );
+    }
+
+    #[test]
+    fn crashed_host_is_unreachable_and_unrouted() {
+        let orch = setup();
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip2 = orch
+            .register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(orch.routes_for(HostId::new(0)), vec![(ip2, HostId::new(1))]);
+        orch.mark_host_down(HostId::new(1)).unwrap();
+        assert!(orch
+            .decide_path(ContainerId::new(1), ContainerId::new(2))
+            .unwrap()
+            .transport()
+            .is_none());
+        assert!(orch.routes_for(HostId::new(0)).is_empty());
+        orch.mark_host_up(HostId::new(1)).unwrap();
+        assert_eq!(orch.routes_for(HostId::new(0)), vec![(ip2, HostId::new(1))]);
+    }
+
+    #[test]
+    fn health_marks_on_unknown_host_error() {
+        let orch = setup();
+        assert!(orch.mark_nic_down(HostId::new(99)).is_err());
+        assert!(orch.mark_host_down(HostId::new(99)).is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion_is_a_clean_error() {
+        // A /29 has 6 usable addresses.
+        let orch = Orchestrator::new("10.9.0.0/29".parse().unwrap(), PolicyConfig::default());
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
+        for i in 0..6u64 {
+            orch.register_container(ContainerId::new(i), TenantId::new(1), bm(0), IpAssign::Auto)
+                .unwrap();
+        }
+        let err = orch
+            .register_container(ContainerId::new(6), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap_err();
+        assert!(matches!(err, Error::Exhausted(_)));
+        // The failed registration left no partial state behind.
+        assert_eq!(orch.container_count(), 6);
+        assert!(orch.container(ContainerId::new(6)).is_err());
+    }
+
+    #[test]
+    fn deregistered_ip_is_reusable_after_exhaustion() {
+        let orch = Orchestrator::new("10.9.0.0/29".parse().unwrap(), PolicyConfig::default());
+        orch.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
+        let mut ips = Vec::new();
+        for i in 0..6u64 {
+            ips.push(
+                orch.register_container(
+                    ContainerId::new(i),
+                    TenantId::new(1),
+                    bm(0),
+                    IpAssign::Auto,
+                )
+                .unwrap(),
+            );
+        }
+        orch.deregister_container(ContainerId::new(3)).unwrap();
+        assert!(!orch.ip_in_use(ips[3]));
+        // The freed address is the only one left: Auto must find it.
+        let reused = orch
+            .register_container(ContainerId::new(7), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        assert_eq!(reused, ips[3]);
     }
 
     #[test]

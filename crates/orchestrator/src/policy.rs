@@ -74,6 +74,19 @@ impl PolicyEngine {
         let dh = registry.physical_host(d.location)?;
         let same_host = sh == dh;
 
+        // Health gate: a crashed host is unreachable on every transport; a
+        // dead kernel-bypass NIC removes RDMA/DPDK but leaves the kernel
+        // TCP path (and intra-host shared memory) available.
+        let s_health = registry.host_health(sh);
+        let d_health = registry.host_health(dh);
+        if !s_health.alive {
+            return Ok(PathDecision::unreachable(format!("{sh} is down")));
+        }
+        if !d_health.alive {
+            return Ok(PathDecision::unreachable(format!("{dh} is down")));
+        }
+        let nics_up = s_health.nic_up && d_health.nic_up;
+
         // Trust gate: kernel bypass relaxes isolation, so only between
         // mutually trusting (same-tenant) containers, and only when the
         // operator allows bypass at all.
@@ -98,8 +111,7 @@ impl PolicyEngine {
                 (ContainerLocation::BareMetal(_), ContainerLocation::BareMetal(_)) => true,
                 _ => false,
             };
-            let shm_ok =
-                caps.allow_shared_memory && (same_vm || self.config.allow_cross_vm_shm);
+            let shm_ok = caps.allow_shared_memory && (same_vm || self.config.allow_cross_vm_shm);
             if shm_ok {
                 return Ok(PathDecision::selected(
                     TransportKind::SharedMemory,
@@ -107,8 +119,8 @@ impl PolicyEngine {
                 ));
             }
             // Same host but shm unavailable: intra-host RDMA hairpin still
-            // beats the bridge path when the NIC offers it.
-            if caps.nic.kind.supports_rdma() {
+            // beats the bridge path when the NIC offers it (and works).
+            if caps.nic.kind.supports_rdma() && nics_up {
                 return Ok(PathDecision::selected(
                     TransportKind::Rdma,
                     format!("co-located on {sh}, shm unavailable; NIC-hairpin RDMA"),
@@ -124,21 +136,26 @@ impl PolicyEngine {
         // support.
         let s_caps = registry.host_caps(sh)?;
         let d_caps = registry.host_caps(dh)?;
-        if s_caps.nic.kind.supports_rdma() && d_caps.nic.kind.supports_rdma() {
+        if s_caps.nic.kind.supports_rdma() && d_caps.nic.kind.supports_rdma() && nics_up {
             return Ok(PathDecision::selected(
                 TransportKind::Rdma,
                 format!("{sh} → {dh}: both NICs RDMA-capable"),
             ));
         }
-        if s_caps.nic.kind.supports_dpdk() && d_caps.nic.kind.supports_dpdk() {
+        if s_caps.nic.kind.supports_dpdk() && d_caps.nic.kind.supports_dpdk() && nics_up {
             return Ok(PathDecision::selected(
                 TransportKind::Dpdk,
                 format!("{sh} → {dh}: DPDK-capable NICs, no RDMA"),
             ));
         }
+        let why = if nics_up {
+            "plain NICs"
+        } else {
+            "kernel-bypass NIC down"
+        };
         Ok(PathDecision::selected(
             TransportKind::TcpHost,
-            format!("{sh} → {dh}: plain NICs; agent-managed host TCP"),
+            format!("{sh} → {dh}: {why}; agent-managed host TCP"),
         ))
     }
 }
@@ -154,8 +171,10 @@ mod tests {
     /// vm10/vm11 on host0, vm12 on host1.
     fn cluster() -> Registry {
         let mut r = Registry::new();
-        r.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
-        r.add_host(HostId::new(1), HostCaps::paper_testbed()).unwrap();
+        r.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
+        r.add_host(HostId::new(1), HostCaps::paper_testbed())
+            .unwrap();
         r.add_host(HostId::new(2), HostCaps::commodity()).unwrap();
         r.add_host(
             HostId::new(3),
@@ -192,16 +211,40 @@ mod tests {
     #[test]
     fn case_a_same_baremetal_host_shm() {
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            2,
+        );
         assert_eq!(decide(&r, 1, 2), TransportKind::SharedMemory);
     }
 
     #[test]
     fn case_b_different_hosts_rdma() {
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(1)), 2);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(1)),
+            2,
+        );
         assert_eq!(decide(&r, 1, 2), TransportKind::Rdma);
     }
 
@@ -225,9 +268,27 @@ mod tests {
     fn without_trust_everything_is_tcp() {
         // Different tenants: all four cases degrade to overlay TCP.
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
-        add(&mut r, 2, 2, ContainerLocation::BareMetal(HostId::new(0)), 2);
-        add(&mut r, 3, 2, ContainerLocation::BareMetal(HostId::new(1)), 3);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            2,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            2,
+        );
+        add(
+            &mut r,
+            3,
+            2,
+            ContainerLocation::BareMetal(HostId::new(1)),
+            3,
+        );
         assert_eq!(decide(&r, 1, 2), TransportKind::TcpOverlay);
         assert_eq!(decide(&r, 1, 3), TransportKind::TcpOverlay);
     }
@@ -235,8 +296,20 @@ mod tests {
     #[test]
     fn operator_bypass_off_is_tcp() {
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            2,
+        );
         let engine = PolicyEngine::new(PolicyConfig {
             allow_kernel_bypass: false,
             ..Default::default()
@@ -251,9 +324,27 @@ mod tests {
     fn without_rdma_nic_intra_host_still_shm_inter_host_tcp() {
         // The "w/o RDMA NIC" row: host2 has a plain NIC.
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(2)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(2)), 2);
-        add(&mut r, 3, 1, ContainerLocation::BareMetal(HostId::new(0)), 3);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(2)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(2)),
+            2,
+        );
+        add(
+            &mut r,
+            3,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            3,
+        );
         assert_eq!(decide(&r, 1, 2), TransportKind::SharedMemory);
         assert_eq!(decide(&r, 1, 3), TransportKind::TcpHost);
     }
@@ -261,8 +352,20 @@ mod tests {
     #[test]
     fn dpdk_when_both_support_it_but_not_rdma() {
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(3)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(0)), 2);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(3)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            2,
+        );
         // host3 is DPDK-only, host0 is RDMA (⊃ DPDK): best common is DPDK.
         assert_eq!(decide(&r, 1, 2), TransportKind::Dpdk);
     }
@@ -309,8 +412,20 @@ mod tests {
     #[test]
     fn decisions_carry_reasons() {
         let mut r = cluster();
-        add(&mut r, 1, 1, ContainerLocation::BareMetal(HostId::new(0)), 1);
-        add(&mut r, 2, 1, ContainerLocation::BareMetal(HostId::new(1)), 2);
+        add(
+            &mut r,
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            1,
+        );
+        add(
+            &mut r,
+            2,
+            1,
+            ContainerLocation::BareMetal(HostId::new(1)),
+            2,
+        );
         let d = PolicyEngine::default()
             .decide(&r, ContainerId::new(1), ContainerId::new(2))
             .unwrap();

@@ -31,10 +31,34 @@ pub struct ContainerRecord {
     pub ip: OverlayIp,
 }
 
+/// Liveness of a host's resources, as observed by the control plane.
+///
+/// Health is tracked separately from [`freeflow_types::HostCaps`]: caps say
+/// what the hardware *can* do, health says what currently *works*. A dead
+/// kernel-bypass NIC leaves the kernel TCP path usable; a dead host leaves
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostHealth {
+    /// Whether the kernel-bypass NIC (RDMA/DPDK functions) is operational.
+    pub nic_up: bool,
+    /// Whether the host is reachable at all.
+    pub alive: bool,
+}
+
+impl Default for HostHealth {
+    fn default() -> Self {
+        Self {
+            nic_up: true,
+            alive: true,
+        }
+    }
+}
+
 /// The cluster state store.
 #[derive(Debug, Default)]
 pub struct Registry {
     hosts: HashMap<HostId, HostCaps>,
+    health: HashMap<HostId, HostHealth>,
     vms: HashMap<VmId, HostId>,
     containers: HashMap<ContainerId, ContainerRecord>,
     by_ip: HashMap<OverlayIp, ContainerId>,
@@ -70,6 +94,20 @@ impl Registry {
         self.hosts
             .get(&id)
             .ok_or_else(|| Error::not_found(format!("{id}")))
+    }
+
+    /// Current health of a host (fully up unless marked otherwise).
+    pub fn host_health(&self, id: HostId) -> HostHealth {
+        self.health.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Update a host's health; errors on unknown hosts.
+    pub fn set_host_health(&mut self, id: HostId, health: HostHealth) -> Result<()> {
+        if !self.hosts.contains_key(&id) {
+            return Err(Error::not_found(format!("{id}")));
+        }
+        self.health.insert(id, health);
+        Ok(())
     }
 
     /// Resolve a location to the physical machine.
@@ -179,7 +217,8 @@ mod tests {
 
     fn registry_with_hosts() -> Registry {
         let mut r = Registry::new();
-        r.add_host(HostId::new(0), HostCaps::paper_testbed()).unwrap();
+        r.add_host(HostId::new(0), HostCaps::paper_testbed())
+            .unwrap();
         r.add_host(HostId::new(1), HostCaps::commodity()).unwrap();
         r.add_vm(VmId::new(10), HostId::new(0)).unwrap();
         r
@@ -189,14 +228,18 @@ mod tests {
     fn host_and_vm_resolution() {
         let r = registry_with_hosts();
         assert_eq!(
-            r.physical_host(ContainerLocation::BareMetal(HostId::new(1))).unwrap(),
+            r.physical_host(ContainerLocation::BareMetal(HostId::new(1)))
+                .unwrap(),
             HostId::new(1)
         );
         assert_eq!(
-            r.physical_host(ContainerLocation::InVm(VmId::new(10))).unwrap(),
+            r.physical_host(ContainerLocation::InVm(VmId::new(10)))
+                .unwrap(),
             HostId::new(0)
         );
-        assert!(r.physical_host(ContainerLocation::InVm(VmId::new(99))).is_err());
+        assert!(r
+            .physical_host(ContainerLocation::InVm(VmId::new(99)))
+            .is_err());
         assert!(r
             .physical_host(ContainerLocation::BareMetal(HostId::new(9)))
             .is_err());
@@ -211,14 +254,28 @@ mod tests {
     #[test]
     fn container_lifecycle() {
         let mut r = registry_with_hosts();
-        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
-            .unwrap();
+        r.insert_container(rec(
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            "10.0.0.1",
+        ))
+        .unwrap();
         assert_eq!(r.container_count(), 1);
-        assert_eq!(r.by_ip("10.0.0.1".parse().unwrap()).unwrap().id, ContainerId::new(1));
+        assert_eq!(
+            r.by_ip("10.0.0.1".parse().unwrap()).unwrap().id,
+            ContainerId::new(1)
+        );
         // Move to the other host; IP unchanged.
-        r.move_container(ContainerId::new(1), ContainerLocation::BareMetal(HostId::new(1)))
-            .unwrap();
-        assert_eq!(r.by_ip("10.0.0.1".parse().unwrap()).unwrap().ip.to_string(), "10.0.0.1");
+        r.move_container(
+            ContainerId::new(1),
+            ContainerLocation::BareMetal(HostId::new(1)),
+        )
+        .unwrap();
+        assert_eq!(
+            r.by_ip("10.0.0.1".parse().unwrap()).unwrap().ip.to_string(),
+            "10.0.0.1"
+        );
         let gone = r.remove_container(ContainerId::new(1)).unwrap();
         assert_eq!(gone.id, ContainerId::new(1));
         assert!(r.by_ip("10.0.0.1".parse().unwrap()).is_err());
@@ -227,25 +284,55 @@ mod tests {
     #[test]
     fn duplicate_container_and_ip_rejected() {
         let mut r = registry_with_hosts();
-        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
-            .unwrap();
+        r.insert_container(rec(
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            "10.0.0.1",
+        ))
+        .unwrap();
         assert!(r
-            .insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.2"))
+            .insert_container(rec(
+                1,
+                1,
+                ContainerLocation::BareMetal(HostId::new(0)),
+                "10.0.0.2"
+            ))
             .is_err());
         assert!(r
-            .insert_container(rec(2, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
+            .insert_container(rec(
+                2,
+                1,
+                ContainerLocation::BareMetal(HostId::new(0)),
+                "10.0.0.1"
+            ))
             .is_err());
     }
 
     #[test]
     fn containers_on_host_includes_vm_residents() {
         let mut r = registry_with_hosts();
-        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
-            .unwrap();
-        r.insert_container(rec(2, 1, ContainerLocation::InVm(VmId::new(10)), "10.0.0.2"))
-            .unwrap();
-        r.insert_container(rec(3, 1, ContainerLocation::BareMetal(HostId::new(1)), "10.0.0.3"))
-            .unwrap();
+        r.insert_container(rec(
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            "10.0.0.1",
+        ))
+        .unwrap();
+        r.insert_container(rec(
+            2,
+            1,
+            ContainerLocation::InVm(VmId::new(10)),
+            "10.0.0.2",
+        ))
+        .unwrap();
+        r.insert_container(rec(
+            3,
+            1,
+            ContainerLocation::BareMetal(HostId::new(1)),
+            "10.0.0.3",
+        ))
+        .unwrap();
         let on0: Vec<u64> = r
             .containers_on(HostId::new(0))
             .iter()
@@ -258,10 +345,18 @@ mod tests {
     #[test]
     fn move_to_unknown_location_fails_without_corruption() {
         let mut r = registry_with_hosts();
-        r.insert_container(rec(1, 1, ContainerLocation::BareMetal(HostId::new(0)), "10.0.0.1"))
-            .unwrap();
+        r.insert_container(rec(
+            1,
+            1,
+            ContainerLocation::BareMetal(HostId::new(0)),
+            "10.0.0.1",
+        ))
+        .unwrap();
         assert!(r
-            .move_container(ContainerId::new(1), ContainerLocation::BareMetal(HostId::new(77)))
+            .move_container(
+                ContainerId::new(1),
+                ContainerLocation::BareMetal(HostId::new(77))
+            )
             .is_err());
         // Record untouched.
         assert_eq!(

@@ -96,10 +96,7 @@ impl Bridge {
     pub fn input(&self, frame: Frame) -> Result<()> {
         let (dst, uplink) = {
             let inner = self.inner.lock();
-            (
-                inner.ports.get(&frame.dst).cloned(),
-                inner.uplink.clone(),
-            )
+            (inner.ports.get(&frame.dst).cloned(), inner.uplink.clone())
         };
         if let Some(port) = dst {
             port.try_send(frame).map_err(|e| match e {
@@ -156,9 +153,7 @@ impl BridgePort {
     pub fn try_recv(&self) -> Result<Frame> {
         self.rx.try_recv().map_err(|e| match e {
             crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
-            crossbeam::channel::TryRecvError::Disconnected => {
-                Error::disconnected("bridge dropped")
-            }
+            crossbeam::channel::TryRecvError::Disconnected => Error::disconnected("bridge dropped"),
         })
     }
 

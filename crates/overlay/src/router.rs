@@ -102,7 +102,9 @@ impl OverlayRouter {
         }
         inner.routes.push((cidr, wire_idx));
         // Longest prefix first so lookup can take the first hit.
-        inner.routes.sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+        inner
+            .routes
+            .sort_by_key(|r| std::cmp::Reverse(r.0.prefix_len));
         Ok(())
     }
 
@@ -236,8 +238,13 @@ mod tests {
         let h = two_hosts(1, 1);
         let a = h.bridge_a.attach(ip(1, 1)).unwrap();
         let b = h.bridge_b.attach(ip(2, 1)).unwrap();
-        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"over")))
-            .unwrap();
+        a.send(Frame::new(
+            ip(1, 1),
+            ip(2, 1),
+            proto::DATA,
+            Bytes::from_static(b"over"),
+        ))
+        .unwrap();
         // Pump both routers: encap at A, decap at B.
         assert!(h.router_a.poll() > 0);
         assert!(h.router_b.poll() > 0);
@@ -251,8 +258,13 @@ mod tests {
     fn no_route_is_counted() {
         let h = two_hosts(1, 1);
         let a = h.bridge_a.attach(ip(1, 1)).unwrap();
-        a.send(Frame::new(ip(1, 1), OverlayIp::from_octets(192, 168, 0, 1), proto::DATA, Bytes::new()))
-            .unwrap();
+        a.send(Frame::new(
+            ip(1, 1),
+            OverlayIp::from_octets(192, 168, 0, 1),
+            proto::DATA,
+            Bytes::new(),
+        ))
+        .unwrap();
         h.router_a.poll();
         assert_eq!(h.router_a.stats().no_route.load(Ordering::Relaxed), 1);
     }
@@ -263,8 +275,13 @@ mod tests {
         let h = two_hosts(1, 2);
         let a = h.bridge_a.attach(ip(1, 1)).unwrap();
         let b = h.bridge_b.attach(ip(2, 1)).unwrap();
-        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"spy")))
-            .unwrap();
+        a.send(Frame::new(
+            ip(1, 1),
+            ip(2, 1),
+            proto::DATA,
+            Bytes::from_static(b"spy"),
+        ))
+        .unwrap();
         h.router_a.poll();
         h.router_b.poll();
         assert!(matches!(b.try_recv(), Err(Error::WouldBlock)));
@@ -279,8 +296,12 @@ mod tests {
         let (w1, w1_peer) = WireLink::pair(16);
         let i0 = router.attach_wire(w0);
         let i1 = router.attach_wire(w1);
-        router.add_route("10.0.0.0/16".parse().unwrap(), i0).unwrap();
-        router.add_route("10.0.2.0/24".parse().unwrap(), i1).unwrap();
+        router
+            .add_route("10.0.0.0/16".parse().unwrap(), i0)
+            .unwrap();
+        router
+            .add_route("10.0.2.0/24".parse().unwrap(), i1)
+            .unwrap();
         let a = bridge.attach(ip(1, 1)).unwrap();
         a.send(Frame::new(ip(1, 1), ip(2, 9), proto::DATA, Bytes::new()))
             .unwrap();
@@ -293,9 +314,7 @@ mod tests {
     fn add_route_to_missing_wire_fails() {
         let bridge = Bridge::new(16);
         let router = OverlayRouter::new(bridge, 1);
-        assert!(router
-            .add_route("10.0.0.0/16".parse().unwrap(), 3)
-            .is_err());
+        assert!(router.add_route("10.0.0.0/16".parse().unwrap(), 3).is_err());
     }
 
     #[test]
@@ -307,16 +326,26 @@ mod tests {
         let a = h.bridge_a.attach(ip(1, 1)).unwrap();
         {
             let b = h.bridge_b.attach(ip(2, 1)).unwrap();
-            a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"v1")))
-                .unwrap();
+            a.send(Frame::new(
+                ip(1, 1),
+                ip(2, 1),
+                proto::DATA,
+                Bytes::from_static(b"v1"),
+            ))
+            .unwrap();
             h.router_a.poll();
             h.router_b.poll();
             assert_eq!(&b.try_recv().unwrap().payload[..], b"v1");
         } // container departs host B
-        // ... and reappears on host A with the same IP.
+          // ... and reappears on host A with the same IP.
         let migrated = h.bridge_a.attach(ip(2, 1)).unwrap();
-        a.send(Frame::new(ip(1, 1), ip(2, 1), proto::DATA, Bytes::from_static(b"v2")))
-            .unwrap();
+        a.send(Frame::new(
+            ip(1, 1),
+            ip(2, 1),
+            proto::DATA,
+            Bytes::from_static(b"v2"),
+        ))
+        .unwrap();
         // Local now: no router hop needed at all.
         assert_eq!(&migrated.try_recv().unwrap().payload[..], b"v2");
     }

@@ -130,9 +130,7 @@ impl SharedArena {
         }
         let mut inner = self.inner.lock();
         // Insert position by offset.
-        let idx = inner
-            .free
-            .partition_point(|b| b.offset < handle.offset);
+        let idx = inner.free.partition_point(|b| b.offset < handle.offset);
         // Overlap checks against neighbours.
         if idx > 0 {
             let prev = inner.free[idx - 1];

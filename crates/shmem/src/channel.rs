@@ -13,10 +13,10 @@
 //! Senders block (or return [`Error::WouldBlock`] in `try_` forms) when the
 //! ring is full — backpressure, not unbounded buffering.
 
+use crate::arena::ArenaHandle;
 use crate::doorbell::Doorbell;
 use crate::ring::SpscRing;
 use crate::stats::ChannelStats;
-use crate::arena::ArenaHandle;
 use bytes::Bytes;
 use freeflow_types::{Error, Result};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -201,8 +201,7 @@ impl ShmReceiver {
     pub fn try_recv(&self) -> Result<ShmMessage> {
         let mut hdr = [0u8; HDR];
         if !self.shared.ring.peek(&mut hdr) {
-            return if self.shared.tx_closed.load(Ordering::Acquire) && self.shared.ring.is_empty()
-            {
+            return if self.shared.tx_closed.load(Ordering::Acquire) && self.shared.ring.is_empty() {
                 Err(Error::disconnected("sender dropped"))
             } else {
                 Err(Error::WouldBlock)

@@ -72,11 +72,7 @@ impl Doorbell {
             if now > seen {
                 return Some(now);
             }
-            if self
-                .condvar
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
+            if self.condvar.wait_until(&mut guard, deadline).timed_out() {
                 // One final check: the ring may have raced the timeout.
                 let now = self.current();
                 return (now > seen).then_some(now);

@@ -116,9 +116,7 @@ impl ShmListener {
     pub fn try_accept(&self) -> Result<ShmDuplex> {
         self.incoming.try_recv().map_err(|e| match e {
             crossbeam::channel::TryRecvError::Empty => Error::WouldBlock,
-            crossbeam::channel::TryRecvError::Disconnected => {
-                Error::disconnected("fabric dropped")
-            }
+            crossbeam::channel::TryRecvError::Disconnected => Error::disconnected("fabric dropped"),
         })
     }
 
@@ -199,10 +197,10 @@ mod tests {
     fn accept_timeout_expires_empty() {
         let fabric = ShmFabric::new(1 << 12);
         let l = fabric.bind("quiet").unwrap();
-        assert_eq!(
-            l.accept_timeout(Duration::from_millis(5)).unwrap().is_some(),
-            false
-        );
+        assert!(l
+            .accept_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -231,7 +229,10 @@ mod tests {
         let server = listener.try_accept().unwrap();
 
         let block = fabric.arena().alloc(1024).unwrap();
-        fabric.arena().write(block, 0, b"zero copy payload").unwrap();
+        fabric
+            .arena()
+            .write(block, 0, b"zero copy payload")
+            .unwrap();
         client.tx.send_handle(block).unwrap();
 
         match server.rx.recv().unwrap() {

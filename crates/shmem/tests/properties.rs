@@ -2,7 +2,7 @@
 //! operations must preserve stream integrity (rings), allocator soundness
 //! (arena) and framing fidelity (channels).
 
-use freeflow_shmem::{channel_pair, ShmMessage, SharedArena, SpscRing};
+use freeflow_shmem::{channel_pair, SharedArena, ShmMessage, SpscRing};
 use proptest::prelude::*;
 
 proptest! {

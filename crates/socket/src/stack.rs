@@ -113,7 +113,11 @@ impl FfListener {
     /// `container` must be the same container the listener was bound on
     /// (the accept-side QP is created on its virtual NIC).
     pub fn accept(&self, container: &Container, timeout: Duration) -> Result<FfStream> {
-        debug_assert_eq!(container.ip(), self.addr.ip, "accept on the bound container");
+        debug_assert_eq!(
+            container.ip(),
+            self.addr.ip,
+            "accept on the bound container"
+        );
         let req = self
             .incoming
             .recv_timeout(timeout)
@@ -254,10 +258,7 @@ mod tests {
         let (_cluster, a, _b) = two_containers(true);
         let stack = SocketStack::new();
         let _l = stack.bind(&a, 80).unwrap();
-        assert!(matches!(
-            stack.bind(&a, 80),
-            Err(Error::AlreadyExists(_))
-        ));
+        assert!(matches!(stack.bind(&a, 80), Err(Error::AlreadyExists(_))));
     }
 
     #[test]

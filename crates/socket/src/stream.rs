@@ -146,9 +146,11 @@ impl FfStream {
                 self.pending_credit_return += 1;
             }
             Some(TAG_CREDIT) => {
-                let n = u32::from_le_bytes(frame[1..5].try_into().map_err(|_| {
-                    Error::parse("short credit frame")
-                })?);
+                let n = u32::from_le_bytes(
+                    frame[1..5]
+                        .try_into()
+                        .map_err(|_| Error::parse("short credit frame"))?,
+                );
                 self.credits += n as usize;
                 // A credit frame consumed one of *our* receive slots; that
                 // credit goes straight back (it carries no app data).
@@ -178,7 +180,10 @@ impl FfStream {
         let mut frame = vec![tag];
         frame.extend_from_slice(&arg.to_le_bytes());
         loop {
-            match self.qp.post_send(SendWr::send_inline(u64::MAX, frame.clone()).unsignaled()) {
+            match self
+                .qp
+                .post_send(SendWr::send_inline(u64::MAX, frame.clone()).unsignaled())
+            {
                 Ok(()) => return Ok(()),
                 Err(VerbsError::QueueFull { .. }) => {
                     self.reap_send_completions()?;
@@ -219,10 +224,10 @@ impl FfStream {
                 .map_err(|e| Error::config(e.to_string()))?;
             self.credits -= 1;
             loop {
-                match self
-                    .qp
-                    .post_send(SendWr::send(slot, self.send_mr.sge(base, (chunk + 1) as u32)))
-                {
+                match self.qp.post_send(SendWr::send(
+                    slot,
+                    self.send_mr.sge(base, (chunk + 1) as u32),
+                )) {
                     Ok(()) => break,
                     Err(VerbsError::QueueFull { .. }) => {
                         self.reap_send_completions()?;

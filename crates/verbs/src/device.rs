@@ -241,8 +241,6 @@ impl Device {
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Device")
-            .field("addr", &self.addr)
-            .finish()
+        f.debug_struct("Device").field("addr", &self.addr).finish()
     }
 }

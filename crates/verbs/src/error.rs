@@ -97,6 +97,9 @@ pub enum WcStatus {
     RemoteOperationError,
     /// Receiver-not-ready retries exhausted.
     RnrRetryExceeded,
+    /// Transport retries exhausted — the path to the peer died
+    /// (`IBV_WC_RETRY_EXC_ERR`). FreeFlow's trigger to re-path the QP.
+    RetryExcError,
     /// Work request flushed because the QP entered the error state.
     WrFlushError,
 }
@@ -117,6 +120,7 @@ impl fmt::Display for WcStatus {
             WcStatus::RemoteAccessError => "remote access error",
             WcStatus::RemoteOperationError => "remote operation error",
             WcStatus::RnrRetryExceeded => "RNR retry exceeded",
+            WcStatus::RetryExcError => "transport retry exceeded",
             WcStatus::WrFlushError => "WR flushed",
         };
         f.write_str(s)

@@ -135,11 +135,11 @@ impl MemoryRegion {
                 Ok(())
             }
             Storage::Arena { arena, handle } => {
-                arena.write(*handle, offset, data).map_err(|e| {
-                    VerbsError::OutOfBounds {
+                arena
+                    .write(*handle, offset, data)
+                    .map_err(|e| VerbsError::OutOfBounds {
                         detail: e.to_string(),
-                    }
-                })
+                    })
             }
         }
     }
@@ -149,17 +149,15 @@ impl MemoryRegion {
         self.check_range(offset, out.len() as u64)?;
         match &self.storage {
             Storage::Private(buf) => {
-                out.copy_from_slice(
-                    &buf.lock()[offset as usize..offset as usize + out.len()],
-                );
+                out.copy_from_slice(&buf.lock()[offset as usize..offset as usize + out.len()]);
                 Ok(())
             }
             Storage::Arena { arena, handle } => {
-                arena.read(*handle, offset, out).map_err(|e| {
-                    VerbsError::OutOfBounds {
+                arena
+                    .read(*handle, offset, out)
+                    .map_err(|e| VerbsError::OutOfBounds {
                         detail: e.to_string(),
-                    }
-                })
+                    })
             }
         }
     }
@@ -281,7 +279,8 @@ mod tests {
     fn arena_backed_region_aliases_segment() {
         let arena = SharedArena::new(4096);
         let handle = arena.alloc(256).unwrap();
-        let mr = MemoryRegion::new_arena(0x20_0000, 3, 4, AccessFlags::all(), arena.clone(), handle);
+        let mr =
+            MemoryRegion::new_arena(0x20_0000, 3, 4, AccessFlags::all(), arena.clone(), handle);
         assert!(mr.is_arena_backed());
         mr.write(0, b"shared").unwrap();
         // Visible straight through the arena — no copy happened.

@@ -37,7 +37,11 @@ impl VerbsNetwork {
     }
 
     /// Create a device with explicit limits.
-    pub fn create_device_with_attr(self: &Arc<Self>, addr: OverlayIp, attr: DeviceAttr) -> Arc<Device> {
+    pub fn create_device_with_attr(
+        self: &Arc<Self>,
+        addr: OverlayIp,
+        attr: DeviceAttr,
+    ) -> Arc<Device> {
         let mut devices = self.devices.lock();
         devices.retain(|_, w| w.strong_count() > 0);
         assert!(
@@ -131,9 +135,13 @@ mod tests {
     fn send_recv_roundtrip() {
         let net = VerbsNetwork::new();
         let p = connected_pair(&net);
-        p.qp_b.post_recv(RecvWr::new(10, p.mr_b.sge(0, 4096))).unwrap();
+        p.qp_b
+            .post_recv(RecvWr::new(10, p.mr_b.sge(0, 4096)))
+            .unwrap();
         p.mr_a.write(0, b"two-sided").unwrap();
-        p.qp_a.post_send(SendWr::send(20, p.mr_a.sge(0, 9))).unwrap();
+        p.qp_a
+            .post_send(SendWr::send(20, p.mr_a.sge(0, 9)))
+            .unwrap();
 
         let rwc = p.cq_b.poll_one().expect("recv completion");
         assert_eq!(rwc.wr_id, 10);
@@ -165,6 +173,40 @@ mod tests {
         let mut out = [0u8; 5];
         p.mr_b.read(0, &mut out).unwrap();
         assert_eq!(&out, b"early");
+    }
+
+    #[test]
+    fn error_entry_flushes_parked_sends_with_retry_exc() {
+        let net = VerbsNetwork::new();
+        let p = connected_pair(&net);
+        p.mr_a.write(0, b"stuck").unwrap();
+        // Two sends park at the receiver (no receives posted).
+        p.qp_a.post_send(SendWr::send(1, p.mr_a.sge(0, 5))).unwrap();
+        p.qp_a.post_send(SendWr::send(2, p.mr_a.sge(0, 5))).unwrap();
+        assert!(p.cq_a.poll_one().is_none());
+        // The transport dies: the sender QP is forced into error.
+        p.qp_a.enter_error();
+        // Both parked sends flush with RETRY_EXC_ERR — nothing hangs.
+        let wc1 = p.cq_a.poll_one().expect("first flushed send");
+        let wc2 = p.cq_a.poll_one().expect("second flushed send");
+        assert_eq!(wc1.status, WcStatus::RetryExcError);
+        assert_eq!(wc2.status, WcStatus::RetryExcError);
+        assert_eq!(
+            {
+                let mut ids = [wc1.wr_id, wc2.wr_id];
+                ids.sort_unstable();
+                ids
+            },
+            [1, 2]
+        );
+        // If the receiver matches the parked data afterwards, the sender
+        // must NOT see a second completion for the same WRs.
+        p.qp_b.post_recv(RecvWr::new(9, p.mr_b.sge(0, 64))).unwrap();
+        assert!(p.cq_b.poll_one().is_some(), "receiver still consumes");
+        assert!(
+            p.cq_a.poll_one().is_none(),
+            "no duplicate sender completion"
+        );
     }
 
     #[test]
@@ -292,10 +334,7 @@ mod tests {
         mr_a.write(0, b"z").unwrap();
         qp_a.post_send(SendWr::write(1, mr_a.sge(0, 1), mr_b.addr(), mr_b.rkey()))
             .unwrap();
-        assert_eq!(
-            cq_a.poll_one().unwrap().status,
-            WcStatus::RemoteAccessError
-        );
+        assert_eq!(cq_a.poll_one().unwrap().status, WcStatus::RemoteAccessError);
     }
 
     #[test]
@@ -318,7 +357,10 @@ mod tests {
         let pd = dev.alloc_pd();
         let cq = dev.create_cq(8);
         let qp = pd.create_qp(&cq, &cq, 8, 8).unwrap();
-        assert!(qp.post_recv(RecvWr::empty(1)).is_err(), "RESET refuses recvs");
+        assert!(
+            qp.post_recv(RecvWr::empty(1)).is_err(),
+            "RESET refuses recvs"
+        );
         qp.modify_to_init().unwrap();
         assert!(qp.post_recv(RecvWr::empty(1)).is_ok());
     }
@@ -375,7 +417,9 @@ mod tests {
         let net = VerbsNetwork::new();
         let p = connected_pair(&net);
         p.qp_b.post_recv(RecvWr::new(5, p.mr_b.sge(0, 64))).unwrap();
-        p.qp_b.post_recv(RecvWr::new(6, p.mr_b.sge(64, 64))).unwrap();
+        p.qp_b
+            .post_recv(RecvWr::new(6, p.mr_b.sge(64, 64)))
+            .unwrap();
         p.qp_b.enter_error();
         let w1 = p.cq_b.poll_one().unwrap();
         let w2 = p.cq_b.poll_one().unwrap();
@@ -403,7 +447,9 @@ mod tests {
         let p = connected_pair(&net);
         p.qp_b.post_recv(RecvWr::new(1, p.mr_b.sge(0, 4))).unwrap();
         p.mr_a.write(0, b"too long for four").unwrap();
-        p.qp_a.post_send(SendWr::send(2, p.mr_a.sge(0, 17))).unwrap();
+        p.qp_a
+            .post_send(SendWr::send(2, p.mr_a.sge(0, 17)))
+            .unwrap();
         let rwc = p.cq_b.poll_one().unwrap();
         assert_eq!(rwc.status, WcStatus::LocalLengthError);
         assert_eq!(p.qp_b.state(), crate::qp::QpState::Error);
@@ -413,9 +459,8 @@ mod tests {
     fn duplicate_address_panics() {
         let net = VerbsNetwork::new();
         let _a = net.create_device(ip(230));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            net.create_device(ip(230))
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.create_device(ip(230))));
         assert!(result.is_err());
     }
 

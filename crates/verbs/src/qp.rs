@@ -91,6 +91,11 @@ struct QpInner {
     rq: VecDeque<RecvWr>,
     inbound_pending: VecDeque<PendingInbound>,
     sq_outstanding: usize,
+    /// Sends parked at the peer waiting for a receive (`wr_id`,
+    /// `signaled`). Tracked so that a QP entering the error state can
+    /// flush them — otherwise a dead transport leaves them in limbo and
+    /// the application hangs waiting for completions.
+    sq_deferred: Vec<(u64, bool)>,
 }
 
 /// A reliable-connected queue pair.
@@ -129,6 +134,7 @@ impl QueuePair {
                 rq: VecDeque::new(),
                 inbound_pending: VecDeque::new(),
                 sq_outstanding: 0,
+                sq_deferred: Vec::new(),
             }),
         });
         device.register_qp(&qp)?;
@@ -218,17 +224,38 @@ impl QueuePair {
         self.modify_to_rts()
     }
 
-    /// Force the QP into the error state, flushing posted receives.
+    /// Force the QP into the error state, flushing posted receives and
+    /// any sends still parked at the peer.
+    ///
+    /// Receives flush with [`WcStatus::WrFlushError`] as in real verbs.
+    /// Parked sends flush with [`WcStatus::RetryExcError`] — from the
+    /// sender's perspective the transport stopped responding, which is
+    /// exactly what `IBV_WC_RETRY_EXC_ERR` reports, and it is the signal
+    /// FreeFlow's router uses to re-path the connection.
     pub fn enter_error(&self) {
-        let flushed: Vec<RecvWr> = {
+        let (flushed_recvs, flushed_sends) = {
             let mut inner = self.inner.lock();
             if inner.state == QpState::Error {
                 return;
             }
             inner.state = QpState::Error;
-            inner.rq.drain(..).collect()
+            let sends: Vec<(u64, bool)> = inner.sq_deferred.drain(..).collect();
+            inner.sq_outstanding = inner.sq_outstanding.saturating_sub(sends.len());
+            let recvs: Vec<RecvWr> = inner.rq.drain(..).collect();
+            (recvs, sends)
         };
-        for wr in flushed {
+        for (wr_id, _signaled) in flushed_sends {
+            // Failed sends always complete, signaled or not.
+            self.send_cq.push(WorkCompletion {
+                wr_id,
+                status: WcStatus::RetryExcError,
+                opcode: WcOpcode::Send,
+                byte_len: 0,
+                imm: None,
+                qp_num: self.qpn,
+            });
+        }
+        for wr in flushed_recvs {
             self.recv_cq.push(WorkCompletion {
                 wr_id: wr.wr_id,
                 status: WcStatus::WrFlushError,
@@ -345,6 +372,15 @@ impl QueuePair {
     fn finish_deferred_send(&self, wr_id: u64, signaled: bool, status: WcStatus) {
         {
             let mut inner = self.inner.lock();
+            match inner.sq_deferred.iter().position(|&(id, _)| id == wr_id) {
+                Some(i) => {
+                    inner.sq_deferred.remove(i);
+                }
+                // Already flushed by enter_error(): the failed completion
+                // was delivered there, don't complete a second time.
+                None if inner.state == QpState::Error => return,
+                None => {}
+            }
             inner.sq_outstanding = inner.sq_outstanding.saturating_sub(1);
         }
         if signaled || !status.is_ok() {
@@ -423,7 +459,13 @@ impl QueuePair {
                 }
                 Ok(())
             }
-            Ok(SendOutcome::Deferred) => Ok(()), // completes at RNR match
+            Ok(SendOutcome::Deferred) => {
+                // Completes at the RNR match — or flushes if this QP
+                // enters the error state first.
+                let mut inner = self.inner.lock();
+                inner.sq_deferred.push((wr.wr_id, wr.signaled));
+                Ok(())
+            }
             Err(ExecError::Local(e)) => {
                 let mut inner = self.inner.lock();
                 inner.sq_outstanding -= 1;
@@ -449,11 +491,7 @@ impl QueuePair {
         }
     }
 
-    fn execute_send(
-        &self,
-        wr: &SendWr,
-        peer: QpEndpoint,
-    ) -> Result<SendOutcome, ExecError> {
+    fn execute_send(&self, wr: &SendWr, peer: QpEndpoint) -> Result<SendOutcome, ExecError> {
         // Local gather errors are synchronous (documented deviation).
         let payload = self.gather(wr).map_err(ExecError::Local)?;
         let remote = self
@@ -465,13 +503,7 @@ impl QueuePair {
         match &wr.opcode {
             WrOpcode::Send => {
                 let byte_len = payload.len() as u64;
-                match remote.deliver_send(
-                    self.endpoint(),
-                    wr.wr_id,
-                    wr.signaled,
-                    payload,
-                    None,
-                ) {
+                match remote.deliver_send(self.endpoint(), wr.wr_id, wr.signaled, payload, None) {
                     Delivery::Matched => Ok(SendOutcome::Completed {
                         opcode: WcOpcode::Send,
                         byte_len,

@@ -97,10 +97,13 @@ fn main() {
     let h1 = cluster.add_host(HostCaps::paper_testbed());
     println!("4 workers on 2 hosts; links mix shared memory and the RDMA wire");
 
-    let ranks = World::create(&cluster, TenantId::new(1), &[h0, h0, h1, h1])
-        .expect("build MPI world");
+    let ranks =
+        World::create(&cluster, TenantId::new(1), &[h0, h0, h1, h1]).expect("build MPI world");
     let results: Vec<_> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranks.into_iter().map(|r| s.spawn(move || worker(r))).collect();
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|r| s.spawn(move || worker(r)))
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
@@ -111,7 +114,10 @@ fn main() {
             println!("  rank {rank}: final shard loss {loss:.6}, |w - w*| = {extra:.4}");
         }
     }
-    let converged = results.iter().filter(|(r, _, e)| *r != 0 && *e < 0.5).count();
+    let converged = results
+        .iter()
+        .filter(|(r, _, e)| *r != 0 && *e < 0.5)
+        .count();
     println!(
         "model converged on {converged}/3 reporting ranks — synchronous SGD over mixed transports works."
     );

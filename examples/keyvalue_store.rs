@@ -123,7 +123,9 @@ fn main() {
     // --- Phase 2: one-sided RDMA READs of the same slots ----------------
     let s_cq = server.create_cq(64);
     let one_sided = |client: &freeflow::Container| -> f64 {
-        let mr = client.register(VALUE_SIZE as u64, AccessFlags::all()).unwrap();
+        let mr = client
+            .register(VALUE_SIZE as u64, AccessFlags::all())
+            .unwrap();
         let cq = client.create_cq(32);
         let qp = client.create_qp(&cq, &cq, 16, 16).unwrap();
         let s_qp = server.create_qp(&s_cq, &s_cq, 16, 16).unwrap();

@@ -55,7 +55,11 @@ fn main() {
     for i in 0..10u64 {
         qp_c.post_send(SendWr::write(i, mr_c.sge(0, 21), mr_s.addr(), mr_s.rkey()))
             .unwrap();
-        assert!(cq_c.wait_one(Duration::from_secs(5)).unwrap().status.is_ok());
+        assert!(cq_c
+            .wait_one(Duration::from_secs(5))
+            .unwrap()
+            .status
+            .is_ok());
     }
     println!("streamed 10 writes over {}", path_name(&qp_c));
 
@@ -94,13 +98,25 @@ fn main() {
     mr_c.write(0, b"post-migration payload").unwrap();
     for i in 0..10u64 {
         qp_c2
-            .post_send(SendWr::write(i, mr_c.sge(0, 22), mr_s2.addr(), mr_s2.rkey()))
+            .post_send(SendWr::write(
+                i,
+                mr_c.sge(0, 22),
+                mr_s2.addr(),
+                mr_s2.rkey(),
+            ))
             .unwrap();
-        assert!(cq_c.wait_one(Duration::from_secs(5)).unwrap().status.is_ok());
+        assert!(cq_c
+            .wait_one(Duration::from_secs(5))
+            .unwrap()
+            .status
+            .is_ok());
     }
     let mut out = [0u8; 22];
     mr_s2.read(0, &mut out).unwrap();
     assert_eq!(&out, b"post-migration payload");
-    println!("streamed 10 writes over {} — payload verified", path_name(&qp_c2));
+    println!(
+        "streamed 10 writes over {} — payload verified",
+        path_name(&qp_c2)
+    );
     println!("the overlay IP never changed; peers only re-dialed. portability preserved.");
 }

@@ -37,14 +37,25 @@ fn talk(cluster: &FreeFlowCluster, h_client: HostId, h_server: HostId, label: &s
     assert!(wc.status.is_ok());
     // Reap our own send completion too — every signaled WR completes, and
     // leaving it queued would alias the next wait.
-    let wc = cq_c.wait_one(Duration::from_secs(5)).expect("send completion");
+    let wc = cq_c
+        .wait_one(Duration::from_secs(5))
+        .expect("send completion");
     assert!(wc.status.is_ok());
 
     // One-sided WRITE straight into the server's memory.
     mr_c.write(100, b"one-sided").unwrap();
-    qp_c.post_send(SendWr::write(3, mr_c.sge(100, 9), mr_s.addr() + 512, mr_s.rkey()))
-        .unwrap();
-    assert!(cq_c.wait_one(Duration::from_secs(5)).unwrap().status.is_ok());
+    qp_c.post_send(SendWr::write(
+        3,
+        mr_c.sge(100, 9),
+        mr_s.addr() + 512,
+        mr_s.rkey(),
+    ))
+    .unwrap();
+    assert!(cq_c
+        .wait_one(Duration::from_secs(5))
+        .unwrap()
+        .status
+        .is_ok());
     let mut out = [0u8; 9];
     mr_s.read(512, &mut out).unwrap();
     assert_eq!(&out, b"one-sided");

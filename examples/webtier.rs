@@ -63,7 +63,11 @@ fn main() {
     let cache_thread = std::thread::spawn(move || {
         let mut conns = Vec::new();
         for _ in 0..2 {
-            conns.push(cache_listener.accept(&cache, Duration::from_secs(10)).unwrap());
+            conns.push(
+                cache_listener
+                    .accept(&cache, Duration::from_secs(10))
+                    .unwrap(),
+            );
         }
         let mut workers = Vec::new();
         for mut conn in conns {
@@ -131,7 +135,10 @@ fn main() {
         send_msg(&mut conn, format!("item-{}", i % 16).as_bytes());
         let resp = recv_msg(&mut conn).expect("response");
         let text = String::from_utf8_lossy(&resp).to_string();
-        assert!(text.contains(&format!("value-of-item-{}", i % 16)), "{text}");
+        assert!(
+            text.contains(&format!("value-of-item-{}", i % 16)),
+            "{text}"
+        );
         if text.contains("web-0") {
             hits[0] += 1;
         } else {

@@ -27,8 +27,12 @@ fn overlay_baseline_pays_four_hops_per_packet() {
     let (wa, wb) = WireLink::pair(64);
     let ia = router_a.attach_wire(wa);
     let ib = router_b.attach_wire(wb);
-    router_a.add_route("10.0.2.0/24".parse().unwrap(), ia).unwrap();
-    router_b.add_route("10.0.1.0/24".parse().unwrap(), ib).unwrap();
+    router_a
+        .add_route("10.0.2.0/24".parse().unwrap(), ia)
+        .unwrap();
+    router_b
+        .add_route("10.0.1.0/24".parse().unwrap(), ib)
+        .unwrap();
 
     let src = bridge_a.attach("10.0.1.1".parse().unwrap()).unwrap();
     let dst = bridge_b.attach("10.0.2.1".parse().unwrap()).unwrap();
@@ -158,7 +162,10 @@ fn port_80_contention_baseline_vs_freeflow() {
     // Baseline host mode.
     let host_ports = freeflow_overlay::HostPortSpace::new();
     let _first = host_ports.bind(80).unwrap();
-    assert!(host_ports.bind(80).is_err(), "host mode: one port 80 per host");
+    assert!(
+        host_ports.bind(80).is_err(),
+        "host mode: one port 80 per host"
+    );
 
     // FreeFlow: every container has its own port space.
     let cluster = FreeFlowCluster::with_defaults();
@@ -190,10 +197,17 @@ fn baseline_overlay_handles_migration_with_route_update() {
     let peer = bridge_a.attach("10.0.1.1".parse().unwrap()).unwrap();
 
     // Phase 1: mover on host B, reachable through the wire.
-    router_a.add_route("10.0.2.0/24".parse().unwrap(), ia).unwrap();
-    let port_b = bridge_b.attach(mover).unwrap();
-    peer.send(Frame::new(peer.ip(), mover, proto::DATA, Bytes::from_static(b"v1")))
+    router_a
+        .add_route("10.0.2.0/24".parse().unwrap(), ia)
         .unwrap();
+    let port_b = bridge_b.attach(mover).unwrap();
+    peer.send(Frame::new(
+        peer.ip(),
+        mover,
+        proto::DATA,
+        Bytes::from_static(b"v1"),
+    ))
+    .unwrap();
     router_a.poll();
     router_b.poll();
     assert_eq!(&port_b.try_recv().unwrap().payload[..], b"v1");
@@ -201,8 +215,13 @@ fn baseline_overlay_handles_migration_with_route_update() {
     // Phase 2: mover migrates to host A; same IP, now a local bridge port.
     drop(port_b);
     let port_a = bridge_a.attach(mover).unwrap();
-    peer.send(Frame::new(peer.ip(), mover, proto::DATA, Bytes::from_static(b"v2")))
-        .unwrap();
+    peer.send(Frame::new(
+        peer.ip(),
+        mover,
+        proto::DATA,
+        Bytes::from_static(b"v2"),
+    ))
+    .unwrap();
     // Local delivery — no router involvement at all this time.
     assert_eq!(&port_a.try_recv().unwrap().payload[..], b"v2");
 }

@@ -1,0 +1,271 @@
+//! Chaos suite: deterministic fault injection across both halves of the
+//! reproduction.
+//!
+//! * **Simulator**: seeded [`FaultPlan`]s inject NIC death, link flaps and
+//!   host crashes mid-traffic; scenarios must converge (every surviving
+//!   flow finishes) and the same seed must produce a byte-identical
+//!   [`freeflow_netsim::SimReport`].
+//! * **Runtime**: a live cluster loses a kernel-bypass NIC under an open
+//!   QP. The QP must never hang — outstanding work requests complete with
+//!   `RETRY_EXC_ERR` within the configured timeout, the QP re-paths
+//!   through the orchestrator, and the next send succeeds over host TCP.
+
+use freeflow::qp::FfPath;
+use freeflow::FreeFlowCluster;
+use freeflow_netsim::{FaultPlan, NetSim, SimRng, Workload};
+use freeflow_types::{HostCaps, Nanos, TenantId, TransportKind};
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
+use freeflow_verbs::WcStatus;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(15);
+
+// --- simulator scenarios ---------------------------------------------------
+
+/// NIC death mid-stream: in-flight messages are lost, the flow re-paths
+/// onto host TCP and still delivers everything.
+#[test]
+fn chaos_nic_death_converges_on_tcp() {
+    let mut sim = NetSim::testbed();
+    let h0 = sim.add_host(HostCaps::paper_testbed());
+    let h1 = sim.add_host(HostCaps::paper_testbed());
+    let a = sim.add_container(h0);
+    let b = sim.add_container(h1);
+    sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 200));
+    sim.set_fault_plan(FaultPlan::new(11).nic_down(Nanos::from_micros(300), h0));
+    let r = sim.run_to_completion(Nanos::from_secs(30));
+    assert!(sim.all_finished(), "flow must converge after NIC death");
+    let f = &r.flows[0];
+    assert_eq!(f.delivered_msgs, 200);
+    assert_eq!(f.failovers, 1);
+    assert!(f.lost_msgs > 0, "a mid-stream fault loses in-flight data");
+    assert_eq!(f.transport, TransportKind::TcpHost);
+    assert!(!f.killed);
+    assert_eq!(r.faults.len(), 1);
+    assert_eq!(r.faults[0].flows_affected, 1);
+}
+
+/// Link flap: traffic pauses for the outage, resumes on the *same*
+/// transport (no failover), and everything is delivered.
+#[test]
+fn chaos_link_flap_recovers_without_failover() {
+    let mut sim = NetSim::testbed();
+    let h0 = sim.add_host(HostCaps::paper_testbed());
+    let h1 = sim.add_host(HostCaps::paper_testbed());
+    let a = sim.add_container(h0);
+    let b = sim.add_container(h1);
+    sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 80));
+    let flap_at = Nanos::from_micros(250);
+    let outage = Nanos::from_millis(1);
+    sim.set_fault_plan(FaultPlan::new(12).link_flap(flap_at, h1, outage));
+    let r = sim.run_to_completion(Nanos::from_secs(30));
+    assert!(sim.all_finished());
+    let f = &r.flows[0];
+    assert_eq!(f.delivered_msgs, 80);
+    assert_eq!(f.failovers, 0, "a flap is transient: same transport");
+    assert_eq!(f.transport, TransportKind::Rdma);
+    assert!(f.lost_msgs > 0);
+    assert!(
+        sim.now() >= flap_at + outage,
+        "completion cannot predate the outage end"
+    );
+}
+
+/// Host crash: flows touching the dead host are killed (and count as
+/// finished so the sim converges); everyone else completes untouched.
+#[test]
+fn chaos_host_crash_partitions_cleanly() {
+    let mut sim = NetSim::testbed();
+    let h0 = sim.add_host(HostCaps::paper_testbed());
+    let h1 = sim.add_host(HostCaps::paper_testbed());
+    let h2 = sim.add_host(HostCaps::paper_testbed());
+    let a = sim.add_container(h0);
+    let b = sim.add_container(h1);
+    let c = sim.add_container(h0);
+    let d = sim.add_container(h2);
+    sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 60));
+    sim.add_flow(c, d, TransportKind::Rdma, Workload::bulk(1, 60));
+    sim.set_fault_plan(FaultPlan::new(13).host_crash(Nanos::from_micros(400), h2));
+    let r = sim.run_to_completion(Nanos::from_secs(30));
+    assert!(sim.all_finished(), "killed flows must not wedge the sim");
+    assert!(!r.flows[0].killed);
+    assert_eq!(r.flows[0].delivered_msgs, 60);
+    assert!(r.flows[1].killed);
+    assert!(r.flows[1].delivered_msgs < 60);
+}
+
+/// The reproducibility contract: a randomized fault plan over randomized
+/// workloads, run twice from the same seed, yields byte-identical reports.
+/// A different seed yields a different schedule.
+#[test]
+fn chaos_same_seed_reproduces_byte_identical_reports() {
+    let run = |seed: u64| {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let h2 = sim.add_host(HostCaps::paper_testbed());
+        let mut rng = SimRng::new(seed);
+        for (src_h, dst_h) in [(h0, h1), (h1, h2), (h0, h2), (h2, h0)] {
+            let a = sim.add_container(src_h);
+            let b = sim.add_container(dst_h);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::random(&mut rng));
+        }
+        sim.set_fault_plan(FaultPlan::randomized(seed, 3, 2, Nanos::from_millis(2)));
+        let report = sim.run_to_completion(Nanos::from_secs(60));
+        assert!(sim.all_finished(), "seed {seed} failed to converge");
+        format!("{report:?}")
+    };
+    assert_eq!(run(2024), run(2024), "same seed, same bytes");
+    assert_ne!(run(2024), run(2025), "different seed, different schedule");
+}
+
+/// Every fault class drawn from one randomized plan is recorded in the
+/// report with the fault's scheduled time, in order.
+#[test]
+fn chaos_fault_records_match_the_plan() {
+    let plan = FaultPlan::randomized(7, 2, 6, Nanos::from_millis(3));
+    // Records surface in firing (time) order; the plan is in insertion order.
+    let mut expected: Vec<_> = plan.faults().iter().map(|f| (f.at, f.kind)).collect();
+    expected.sort_by_key(|(at, _)| *at);
+    let mut sim = NetSim::testbed();
+    let h0 = sim.add_host(HostCaps::paper_testbed());
+    let h1 = sim.add_host(HostCaps::paper_testbed());
+    let a = sim.add_container(h0);
+    let b = sim.add_container(h1);
+    sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 100));
+    sim.set_fault_plan(plan);
+    let r = sim.run_to_completion(Nanos::from_secs(60));
+    assert_eq!(r.faults.len(), expected.len());
+    for (rec, (at, kind)) in r.faults.iter().zip(expected) {
+        assert_eq!(rec.at, at);
+        assert_eq!(rec.kind, kind);
+    }
+}
+
+// --- runtime failover ------------------------------------------------------
+
+/// The acceptance scenario for the live stack: a QP riding RDMA loses its
+/// NIC mid-connection. The outstanding send completes with
+/// `RETRY_EXC_ERR` (it does NOT hang), the QP transparently re-paths via
+/// the orchestrator, and once the agents' routes converge the next send
+/// arrives over host TCP — same QP, same API.
+#[test]
+fn chaos_qp_fails_over_from_rdma_to_tcp() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+    let a = cluster.launch(tenant, h0).unwrap();
+    let b = cluster.launch(tenant, h1).unwrap();
+
+    // Tight timeouts so the failure surfaces quickly.
+    cluster
+        .agent_of(h0)
+        .unwrap()
+        .set_relay_timeout(Duration::from_millis(200));
+
+    let mr_a = a.register(4096, AccessFlags::all()).unwrap();
+    let mr_b = b.register(4096, AccessFlags::all()).unwrap();
+    let cq_a = a.create_cq(16);
+    let cq_b = b.create_cq(16);
+    let qp_a = a.create_qp(&cq_a, &cq_a, 8, 8).unwrap();
+    let qp_b = b.create_qp(&cq_b, &cq_b, 8, 8).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+    qp_a.set_relay_timeout(Duration::from_secs(1));
+    match qp_a.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::Rdma),
+        other => panic!("expected remote RDMA path, got {other:?}"),
+    }
+
+    // Send #1: healthy RDMA path.
+    qp_b.post_recv(RecvWr::new(1, mr_b.sge(0, 4096))).unwrap();
+    mr_a.write(0, b"before").unwrap();
+    qp_a.post_send(SendWr::send(101, mr_a.sge(0, 6))).unwrap();
+    assert!(cq_b.wait_one(T).unwrap().status.is_ok());
+    assert!(cq_a.wait_one(T).unwrap().status.is_ok());
+
+    // The RDMA NIC dies. Routes are NOT refreshed yet: the forwarding
+    // plane still points at the dead wire, exactly the window where a
+    // naive implementation hangs.
+    cluster.fail_nic(h0).unwrap();
+
+    // Send #2: must fail loudly within the timeout, not hang.
+    qp_b.post_recv(RecvWr::new(2, mr_b.sge(0, 4096))).unwrap();
+    mr_a.write(0, b"doomed").unwrap();
+    qp_a.post_send(SendWr::send(102, mr_a.sge(0, 6))).unwrap();
+    let wc = cq_a
+        .wait_one(Duration::from_secs(5))
+        .expect("failure must surface as a completion, not a hang");
+    assert_eq!(wc.wr_id, 102);
+    assert_eq!(wc.status, WcStatus::RetryExcError);
+
+    // The QP re-pathed itself through the orchestrator, which already
+    // knows the NIC is dead: the new path is host TCP.
+    assert_eq!(qp_a.failover_count(), 1);
+    match qp_a.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::TcpHost),
+        other => panic!("expected re-pathed remote QP, got {other:?}"),
+    }
+
+    // Forwarding converges onto the surviving TCP wires; send #3 works.
+    cluster.refresh_routes();
+    mr_a.write(0, b"after!").unwrap();
+    qp_a.post_send(SendWr::send(103, mr_a.sge(0, 6))).unwrap();
+    let wc_b = cq_b.wait_one(T).unwrap();
+    assert!(wc_b.status.is_ok(), "post-failover delivery: {wc_b:?}");
+    let wc_a = cq_a.wait_one(T).unwrap();
+    assert_eq!(wc_a.wr_id, 103);
+    assert!(wc_a.status.is_ok(), "post-failover send: {wc_a:?}");
+    let mut got = [0u8; 6];
+    mr_b.read(0, &mut got).unwrap();
+    assert_eq!(&got, b"after!");
+}
+
+/// A crashed peer host: the orchestrator marks it down, pending work
+/// errors out, and re-pathing fails (nothing survives) — the QP lands in
+/// the error state instead of hanging, and later sends are rejected.
+#[test]
+fn chaos_host_crash_errors_qp_without_hanging() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+    let a = cluster.launch(tenant, h0).unwrap();
+    let b = cluster.launch(tenant, h1).unwrap();
+
+    cluster
+        .agent_of(h0)
+        .unwrap()
+        .set_relay_timeout(Duration::from_millis(200));
+
+    let mr_a = a.register(4096, AccessFlags::all()).unwrap();
+    let cq_a = a.create_cq(16);
+    let cq_b = b.create_cq(16);
+    let qp_a = a.create_qp(&cq_a, &cq_a, 8, 8).unwrap();
+    let qp_b = b.create_qp(&cq_b, &cq_b, 8, 8).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+    qp_a.set_relay_timeout(Duration::from_secs(1));
+
+    // Host 1 crashes: every transport toward it is gone. Down the wires
+    // and tell the control plane.
+    cluster.fail_nic(h1).unwrap();
+    let a1 = cluster.agent_of(h1).unwrap();
+    if let Some(idx) = a1.wire_of_kind(h0, TransportKind::TcpHost) {
+        a1.set_wire_up(idx, false).unwrap();
+    }
+    cluster.orchestrator().mark_host_down(h1).unwrap();
+
+    // The send must surface RETRY_EXC_ERR; with no path left the QP
+    // enters the error state.
+    mr_a.write(0, b"lost").unwrap();
+    qp_a.post_send(SendWr::send(7, mr_a.sge(0, 4))).unwrap();
+    let wc = cq_a
+        .wait_one(Duration::from_secs(5))
+        .expect("crash must produce an error completion, not a hang");
+    assert_eq!(wc.wr_id, 7);
+    assert_eq!(wc.status, WcStatus::RetryExcError);
+    assert_eq!(qp_a.failover_count(), 0, "no surviving path to fail onto");
+    assert!(qp_a.post_send(SendWr::send(8, mr_a.sge(0, 4))).is_err());
+}

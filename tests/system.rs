@@ -120,12 +120,7 @@ fn mpi_allreduce_across_heterogeneous_hosts() {
         ..HostCaps::paper_testbed()
     });
     let h2 = cluster.add_host(HostCaps::commodity());
-    let ranks = World::create(
-        &cluster,
-        TenantId::new(1),
-        &[h0, h0, h1, h1, h2, h2],
-    )
-    .unwrap();
+    let ranks = World::create(&cluster, TenantId::new(1), &[h0, h0, h1, h1, h2, h2]).unwrap();
     let n = ranks.len();
     std::thread::scope(|s| {
         for mut rank in ranks {
@@ -174,11 +169,7 @@ fn policy_choice_is_simulator_optimal() {
     .into_iter()
     .map(|t| (t, measure(t, true)))
     .collect();
-    let best_intra = intra
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
+    let best_intra = intra.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     assert_eq!(best_intra, TransportKind::SharedMemory);
 
     // Inter-host feasible set.
@@ -191,11 +182,7 @@ fn policy_choice_is_simulator_optimal() {
     .into_iter()
     .map(|t| (t, measure(t, false)))
     .collect();
-    let best_inter = inter
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
+    let best_inter = inter.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     // RDMA and DPDK tie at line rate; policy prefers RDMA (no burnt core).
     assert!(matches!(
         best_inter,
@@ -280,7 +267,7 @@ fn many_containers_fan_in() {
         released.push(th);
     }
     let mut total = 0u64;
-    let client_keepalive: Vec<_> = released.into_iter().map(|th| th.join().unwrap()).collect();
+    let _client_keepalive: Vec<_> = released.into_iter().map(|th| th.join().unwrap()).collect();
     // Drain all completions.
     while total < (SENDERS as u64) * PER_SENDER {
         let wc = cq_sink.wait_one(T).expect("fan-in completion");

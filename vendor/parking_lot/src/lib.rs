@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives with parking_lot's poison-free API (lock
+//! methods return guards directly). Only `Mutex`, `RwLock`, and `Condvar`
+//! surface the workspace actually touches.
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
+use std::time::Duration;
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-free mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consume, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock (ignores poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.inner.try_lock().ok()
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Poison-free reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Shared read lock (ignores poisoning).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive write lock (ignores poisoning).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// New condvar.
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wait on `guard` (parking_lot mutates the guard in place; emulated by
+    /// replacing it with the re-acquired one).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let reacquired = self.inner.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wait until an absolute deadline; returns whether it timed out.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return WaitTimeoutResult(true);
+        }
+        self.wait_for(guard, deadline - now)
+    }
+
+    /// Wait with a timeout; returns whether it timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let (reacquired, res) = self
+                .inner
+                .wait_timeout(taken, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+            WaitTimeoutResult(res.timed_out())
+        }
+    }
+}
+
+/// Result of a timed wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_rwlock() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(5);
+        assert_eq!(*rw.read(), 5);
+        *rw.write() = 6;
+        assert_eq!(*rw.read(), 6);
+    }
+}

@@ -1,0 +1,20 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no actual
+//! serialization happens anywhere), so the traits are markers with blanket
+//! impls and the derives (re-exported from the stub `serde_derive`) expand
+//! to nothing.
+
+/// Marker for "serializable" types. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "deserializable" types. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
