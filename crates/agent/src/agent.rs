@@ -186,6 +186,23 @@ impl Agent {
         self.inner.lock().containers.remove(&ip);
     }
 
+    /// Quiesce a container that is about to migrate away: forget every
+    /// in-flight relayed request it originated or targets. Returns how
+    /// many entries were dropped.
+    ///
+    /// Without this, a reply arriving *after* the container detached (or
+    /// a timeout firing for one) would synthesize a nack toward a channel
+    /// that no longer exists — harmless but noisy, and on the new host the
+    /// same `(src, dst, id)` identity could collide with a fresh request.
+    /// The migrating library re-drives anything genuinely unanswered via
+    /// its own timeout sweep after rehoming.
+    pub fn quiesce_container(&self, ip: OverlayIp) -> usize {
+        let mut map = self.in_flight.lock();
+        let before = map.len();
+        map.retain(|k, _| k.src.ip != ip && k.dst.ip != ip);
+        before - map.len()
+    }
+
     /// Attach a peer wire; returns its index for routing.
     pub fn attach_wire(&self, wire: PeerWire) -> usize {
         let mut inner = self.inner.lock();

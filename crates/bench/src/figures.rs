@@ -61,7 +61,10 @@ pub fn fig1_intro() -> Table {
         &["mode", "throughput_gbps", "rtt_us"],
     );
     for (name, transport) in [
-        ("shared-memory", TransportKind::SharedMemory),
+        (
+            TransportKind::SharedMemory.as_str(),
+            TransportKind::SharedMemory,
+        ),
         ("host-mode", TransportKind::TcpHost),
         ("overlay-mode", TransportKind::TcpOverlay),
     ] {
@@ -88,13 +91,16 @@ pub fn fig2_baremetal_thr() -> Table {
         "eval_baremetal_thr: intra-host throughput by channel",
         &["channel", "throughput_gbps"],
     );
-    for (name, transport) in [
-        ("tcp-bridge", TransportKind::TcpBridge),
-        ("rdma", TransportKind::Rdma),
-        ("shared-memory", TransportKind::SharedMemory),
+    for transport in [
+        TransportKind::TcpBridge,
+        TransportKind::Rdma,
+        TransportKind::SharedMemory,
     ] {
         let r = intra_pair(transport, Workload::bulk(1, BULK_MSGS));
-        t.row(vec![name.into(), format!("{:.1}", gbps(&r, 0))]);
+        t.row(vec![
+            transport.as_str().into(),
+            format!("{:.1}", gbps(&r, 0)),
+        ]);
     }
     t.note("paper: 27 / 40 / near-memory-bandwidth");
     t
@@ -119,10 +125,10 @@ pub fn fig3_baremetal_latency() -> Table {
             "breakdown_4k",
         ],
     );
-    for (name, transport) in [
-        ("tcp-bridge", TransportKind::TcpBridge),
-        ("rdma", TransportKind::Rdma),
-        ("shared-memory", TransportKind::SharedMemory),
+    for transport in [
+        TransportKind::TcpBridge,
+        TransportKind::Rdma,
+        TransportKind::SharedMemory,
     ] {
         let rtt_at = |bytes: u64| {
             intra_pair(transport, Workload::rtt(bytes, RTT_ITERS)).flows[0]
@@ -138,7 +144,7 @@ pub fn fig3_baremetal_latency() -> Table {
             .collect::<Vec<_>>()
             .join(" ");
         t.row(vec![
-            name.into(),
+            transport.as_str().into(),
             format!("{:.2}", r4.flows[0].mean_rtt.unwrap().as_micros_f64()),
             format!("{:.1}", rtt_at(64 * 1024)),
             format!("{:.1}", rtt_at(1024 * 1024)),
@@ -159,14 +165,14 @@ pub fn fig4_baremetal_cpu() -> Table {
         "eval_baremetal_cpu: host CPU at peak intra-host throughput",
         &["channel", "cpu_percent", "throughput_gbps"],
     );
-    for (name, transport) in [
-        ("tcp-bridge", TransportKind::TcpBridge),
-        ("rdma", TransportKind::Rdma),
-        ("shared-memory", TransportKind::SharedMemory),
+    for transport in [
+        TransportKind::TcpBridge,
+        TransportKind::Rdma,
+        TransportKind::SharedMemory,
     ] {
         let r = intra_pair(transport, Workload::bulk(1, BULK_MSGS));
         t.row(vec![
-            name.into(),
+            transport.as_str().into(),
             format!("{:.0}", r.hosts[0].cpu_percent),
             format!("{:.1}", gbps(&r, 0)),
         ]);
@@ -183,11 +189,16 @@ pub fn fig5_host_vs_bridge() -> Table {
         &["mode", "throughput_gbps", "cpu_percent"],
     );
     for (name, transport) in [
+        // Deployment *modes* keep their own labels; raw transports are
+        // labelled by their canonical `TransportKind::as_str` name.
         ("host-mode", TransportKind::TcpHost),
         ("bridge-mode", TransportKind::TcpBridge),
         ("overlay-mode", TransportKind::TcpOverlay),
-        ("rdma", TransportKind::Rdma),
-        ("shared-memory", TransportKind::SharedMemory),
+        (TransportKind::Rdma.as_str(), TransportKind::Rdma),
+        (
+            TransportKind::SharedMemory.as_str(),
+            TransportKind::SharedMemory,
+        ),
     ] {
         let r = intra_pair(transport, Workload::bulk(1, BULK_MSGS));
         t.row(vec![
@@ -212,10 +223,10 @@ pub fn fig6_multipair() -> Table {
         &["pairs", "channel", "agg_gbps", "cpu_percent", "nic_util"],
     );
     for pairs in [1usize, 2, 4, 8, 16] {
-        for (name, transport) in [
-            ("tcp-bridge", TransportKind::TcpBridge),
-            ("rdma", TransportKind::Rdma),
-            ("shared-memory", TransportKind::SharedMemory),
+        for transport in [
+            TransportKind::TcpBridge,
+            TransportKind::Rdma,
+            TransportKind::SharedMemory,
         ] {
             let mut sim = NetSim::testbed();
             let h = sim.add_host(HostCaps::paper_testbed());
@@ -227,7 +238,7 @@ pub fn fig6_multipair() -> Table {
             let r = sim.run_to_completion(CAP);
             t.row(vec![
                 pairs.to_string(),
-                name.into(),
+                transport.as_str().into(),
                 format!("{:.1}", r.aggregate_throughput().as_gbps_f64()),
                 format!("{:.0}", r.hosts[0].cpu_percent),
                 format!("{:.2}", r.hosts[0].nic_tx_util),
@@ -321,16 +332,16 @@ pub fn fig9_interhost() -> Table {
             "cpu_percent_total",
         ],
     );
-    for (name, transport) in [
-        ("tcp-overlay", TransportKind::TcpOverlay),
-        ("tcp-host", TransportKind::TcpHost),
-        ("rdma", TransportKind::Rdma),
-        ("dpdk", TransportKind::Dpdk),
+    for transport in [
+        TransportKind::TcpOverlay,
+        TransportKind::TcpHost,
+        TransportKind::Rdma,
+        TransportKind::Dpdk,
     ] {
         let thr = inter_pair(transport, Workload::bulk(1, BULK_MSGS));
         let lat = inter_pair(transport, Workload::rtt(RTT_BYTES, RTT_ITERS));
         t.row(vec![
-            name.into(),
+            transport.as_str().into(),
             format!("{:.1}", gbps(&thr, 0)),
             format!("{:.1}", lat.flows[0].mean_rtt.unwrap().as_micros_f64()),
             format!("{:.0}", thr.total_cpu_percent()),
@@ -414,11 +425,11 @@ mod tests {
     #[test]
     fn f1_shapes() {
         let t = fig1_intro();
-        let shm = t.value("shared-memory", 1);
+        let shm = t.value("shm", 1);
         let host = t.value("host-mode", 1);
         let overlay = t.value("overlay-mode", 1);
         assert!(shm > host && host > overlay, "{t}");
-        let shm_l = t.value("shared-memory", 2);
+        let shm_l = t.value("shm", 2);
         let host_l = t.value("host-mode", 2);
         let overlay_l = t.value("overlay-mode", 2);
         assert!(shm_l < host_l && host_l < overlay_l, "{t}");
@@ -429,15 +440,14 @@ mod tests {
         let t = fig2_baremetal_thr();
         assert!((t.value("tcp-bridge", 1) - 27.0).abs() < 2.0, "{t}");
         assert!((t.value("rdma", 1) - 40.0).abs() < 2.0, "{t}");
-        assert!(t.value("shared-memory", 1) > 60.0, "{t}");
+        assert!(t.value("shm", 1) > 60.0, "{t}");
     }
 
     #[test]
     fn f3_latency_ordering() {
         let t = fig3_baremetal_latency();
         assert!(
-            t.value("shared-memory", 1) < t.value("rdma", 1)
-                && t.value("rdma", 1) < t.value("tcp-bridge", 1),
+            t.value("shm", 1) < t.value("rdma", 1) && t.value("rdma", 1) < t.value("tcp-bridge", 1),
             "{t}"
         );
     }
@@ -447,7 +457,7 @@ mod tests {
         let t = fig4_baremetal_cpu();
         assert!(t.value("tcp-bridge", 1) > 170.0, "{t}");
         assert!(t.value("rdma", 1) < 30.0, "{t}");
-        let shm = t.value("shared-memory", 1);
+        let shm = t.value("shm", 1);
         assert!(shm > 50.0 && shm < 190.0, "shm burns some cpu: {t}");
     }
 
@@ -481,10 +491,10 @@ mod tests {
             "{t}"
         );
         // shm aggregate far above NIC rate, but below the raw bus.
-        assert!(agg("16", "shared-memory") > 100.0, "{t}");
-        assert!(agg("16", "shared-memory") < 410.0, "{t}");
+        assert!(agg("16", "shm") > 100.0, "{t}");
+        assert!(agg("16", "shm") < 410.0, "{t}");
         // Crossover: at 1 pair shm > rdma; rdma line rate holds at 16.
-        assert!(agg("1", "shared-memory") > agg("1", "rdma"), "{t}");
+        assert!(agg("1", "shm") > agg("1", "rdma"), "{t}");
     }
 
     #[test]

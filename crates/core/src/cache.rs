@@ -102,6 +102,13 @@ impl LocationCache {
         self.entries.lock().retain(|_, e| e.host != host);
     }
 
+    /// Drop every entry (the library was rehomed onto another host, so
+    /// all locality judgements are suspect). Generations stay monotonic:
+    /// the next resolve of any peer hands out a fresh, higher generation.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
     /// Whether a connection resolved at `generation` for `ip` is still
     /// current. A missing entry (invalidated) counts as stale.
     pub fn is_current(&self, ip: OverlayIp, generation: u64) -> bool {

@@ -251,11 +251,14 @@ impl FreeFlowCluster {
         Ok(())
     }
 
-    /// Checkpoint/restore migration: move `container` to `to_host`,
-    /// keeping its identity (id, IP, tenant). Connection state is *not*
-    /// carried — peers observe their cached location go stale and must
-    /// reconnect (see [`crate::migrate`] for the protocol and what the
-    /// paper defers).
+    /// Live migration: move `container` to `to_host`, keeping its
+    /// identity (id, IP, tenant) *and its open connections*. The
+    /// container's virtual NIC — and with it every QP, CQ and MR the
+    /// application holds — is adopted wholesale by the target host's
+    /// verbs fabric, and the library is rehomed onto the new agent.
+    /// Peers observe `ContainerMoved`, drain their bound QPs and rebind;
+    /// a peer that is now co-located collapses its relay path onto
+    /// shared memory without reconnecting (see [`crate::migrate`]).
     pub fn migrate(&self, container: Container, to_host: HostId) -> Result<Container> {
         let id = container.id();
         let ip = container.ip();
@@ -266,34 +269,33 @@ impl FreeFlowCluster {
         }
         // Verify the target exists before tearing anything down.
         self.with_host(to_host, |_| ())?;
-        // Detach from the old host.
+        let mut lib = container.into_lib();
+        // Quiesce and detach from the old host. Only the host-side
+        // plumbing (agent channel, relay bookkeeping, fabric membership)
+        // is torn down; the device keeps its QPs, MRs and keys.
         {
             let inner = self.inner.lock();
             for node in &inner.hosts {
                 if node.id == from_host {
+                    node.agent.quiesce_container(ip);
                     node.agent.detach_container(ip);
                     node.verbs.remove_device(ip);
                 }
             }
         }
-        drop(container.into_lib()); // stop the old library pump
-                                    // Move in the control plane (publishes ContainerMoved → peers'
-                                    // caches invalidate).
+        // Move in the control plane (publishes ContainerMoved → peers'
+        // caches invalidate and their bound QPs plan rebinds; a collapse
+        // onto shared memory retries in the peer's pump until the device
+        // lands on the target fabric below).
         self.orchestrator
             .move_container(id, ContainerLocation::BareMetal(to_host))?;
-        // Attach on the new host.
-        let lib = self.with_host(to_host, |node| {
-            let handle = node.agent.attach_container(ip)?;
-            let device = node.verbs.create_device(ip);
-            Ok::<NetLibrary, Error>(NetLibrary::new(
-                id,
-                tenant,
-                to_host,
-                device,
-                handle,
-                Arc::clone(&self.orchestrator),
-            ))
+        // Attach on the new host: the existing device migrates onto the
+        // target fabric, then the library is rehomed onto the new agent.
+        let handle = self.with_host(to_host, |node| {
+            node.verbs.adopt_device(lib.device());
+            node.agent.attach_container(ip)
         })??;
+        lib.rehome(to_host, handle);
         self.refresh_routes();
         Ok(Container::new(id, tenant, lib))
     }

@@ -23,8 +23,13 @@
 //!   top, transparent path selection below. Co-located peers bind to a
 //!   real `freeflow-verbs` queue pair over the host's shared arena;
 //!   remote peers ride the agent relay (`RelayMsg` over transport wires).
-//! * [`migrate`] — checkpoint/restore of container identity (the
-//!   Discussion-section live-migration enabler).
+//! * [`binding::PathBinding`] — the path lifecycle state machine: every
+//!   transition a QP's data plane can make (connect-time bind, failover,
+//!   live TCP→RDMA upgrade, Remote→Local collapse) in one place, with
+//!   epoch and drain rules (DESIGN.md §7).
+//! * [`migrate`] — container migration. Live QPs now survive a
+//!   [`cluster::FreeFlowCluster::migrate`]: the library is rehomed to the
+//!   new host and peers' bindings collapse/re-path without reconnecting.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod binding;
 pub mod cache;
 pub mod cluster;
 pub mod container;

@@ -26,7 +26,7 @@ use freeflow_shmem::{ShmFabric, ShmMessage, ShmReceiver, ShmSender};
 use freeflow_types::{ContainerId, HostId, OverlayIp, Result, TenantId, TransportKind};
 use freeflow_verbs::wr::AccessFlags;
 use freeflow_verbs::{CompletionQueue, Device, MemoryRegion, ProtectionDomain, VerbsResult};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
@@ -53,14 +53,16 @@ pub(crate) struct LibShared {
     pub ip: OverlayIp,
     /// Its tenant.
     pub tenant: TenantId,
-    /// The physical host it runs on.
-    pub host: HostId,
+    /// The physical host it runs on (swapped on migration — see
+    /// [`NetLibrary::rehome`]).
+    pub host: RwLock<HostId>,
     /// The virtual NIC.
     pub device: Arc<Device>,
     /// Channel to the host agent (sender half; the pump owns the receiver).
     pub agent_tx: Mutex<ShmSender>,
-    /// The host's shm fabric (arena for zero-copy payloads).
-    pub fabric: Arc<ShmFabric>,
+    /// The host's shm fabric (arena for zero-copy payloads); swapped on
+    /// migration.
+    pub fabric: RwLock<Arc<ShmFabric>>,
     /// The control plane.
     pub orchestrator: Arc<Orchestrator>,
     /// The location cache.
@@ -70,13 +72,23 @@ pub(crate) struct LibShared {
 }
 
 impl LibShared {
+    /// The host this container currently runs on.
+    pub fn host(&self) -> HostId {
+        *self.host.read()
+    }
+
+    /// The shm fabric of the current host.
+    pub fn fabric(&self) -> Arc<ShmFabric> {
+        Arc::clone(&self.fabric.read())
+    }
+
     /// Resolve where `dst` lives and which transport to use.
     pub fn resolve(&self, dst: OverlayIp) -> Result<ResolvedPath> {
         let (host, generation) = self.cache.resolve(dst, &self.orchestrator)?;
         let decision = self.orchestrator.decide_path_by_ip(self.ip, dst)?;
         let transport = freeflow_orchestrator::orchestrator::require_transport(decision)?;
         Ok(ResolvedPath {
-            local: host == self.host,
+            local: host == self.host(),
             transport,
             host,
             generation,
@@ -118,10 +130,10 @@ impl NetLibrary {
             id,
             ip,
             tenant,
-            host,
+            host: RwLock::new(host),
             device: Arc::clone(&device),
             agent_tx: Mutex::new(channel.tx),
-            fabric,
+            fabric: RwLock::new(fabric),
             orchestrator: Arc::clone(&orchestrator),
             cache: LocationCache::new(),
             qps: Mutex::new(HashMap::new()),
@@ -171,11 +183,19 @@ impl NetLibrary {
                         Ok(Some(ShmMessage::Handle(_))) | Ok(None) => {}
                         Err(_) => break, // agent gone
                     }
-                    // Control-plane events → cache invalidation.
+                    // Control-plane events → cache invalidation. Only
+                    // *improvement* events (PathUpdated, ContainerMoved)
+                    // trigger planned rebinds: degradations are handled
+                    // reactively by the failover path, which keeps fault
+                    // handling deterministic under chaos testing.
+                    let mut paths_dirty = false;
                     while let Ok(ev) = events.try_recv() {
                         match ev {
-                            OrchestratorEvent::ContainerMoved { ip, .. }
-                            | OrchestratorEvent::ContainerDown { ip, .. } => {
+                            OrchestratorEvent::ContainerMoved { ip, .. } => {
+                                shared.cache.invalidate(ip);
+                                paths_dirty = true;
+                            }
+                            OrchestratorEvent::ContainerDown { ip, .. } => {
                                 shared.cache.invalidate(ip);
                             }
                             OrchestratorEvent::HostHealthChanged { host, .. } => {
@@ -184,16 +204,30 @@ impl NetLibrary {
                                 // (crash): drop every cached entry for it.
                                 shared.cache.invalidate_host(host);
                             }
+                            OrchestratorEvent::PathUpdated { host } => {
+                                // A host's connectivity *improved*: stale
+                                // entries may name a worse transport than
+                                // the orchestrator would now pick.
+                                shared.cache.invalidate_host(host);
+                                paths_dirty = true;
+                            }
                             OrchestratorEvent::ContainerUp { .. } => {}
                         }
                     }
-                    // Transport-death backstop: expire remote ops whose
-                    // replies never arrived, failing the QP over.
                     let qps: Vec<Arc<FfQp>> = {
                         let map = shared.qps.lock();
                         map.values().filter_map(Weak::upgrade).collect()
                     };
-                    for qp in qps {
+                    for qp in &qps {
+                        if paths_dirty {
+                            // Better paths may exist: start planned
+                            // drains (upgrade / collapse).
+                            qp.consider_rebind();
+                        }
+                        // Advance any in-progress drain/rebind.
+                        qp.poll_binding();
+                        // Transport-death backstop: expire remote ops
+                        // whose replies never arrived, failing over.
                         qp.sweep_timeouts();
                     }
                 }
@@ -213,7 +247,50 @@ impl NetLibrary {
 
     /// The physical host (tests/diagnostics; applications should not care).
     pub fn host(&self) -> HostId {
-        self.shared.host
+        self.shared.host()
+    }
+
+    /// Re-home this library onto another host after `cluster.migrate`
+    /// moved the container: swap the agent channel, fabric and host,
+    /// restart the pump, and let live QPs re-evaluate their paths. The
+    /// virtual NIC (and with it every QP, CQ and MR the application
+    /// holds) survives — that is what makes migration invisible above
+    /// the verbs API.
+    pub(crate) fn rehome(&mut self, host: HostId, handle: AgentHandle) {
+        debug_assert_eq!(handle.ip, self.shared.ip, "rehome keeps the overlay IP");
+        // Stop the old pump: its agent channel is gone.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+        let AgentHandle {
+            ip: _,
+            channel,
+            fabric,
+        } = handle;
+        *self.shared.agent_tx.lock() = channel.tx;
+        *self.shared.fabric.write() = fabric;
+        *self.shared.host.write() = host;
+        // Every cached location was resolved relative to the old host.
+        self.shared.cache.clear();
+        let stop = Arc::new(AtomicBool::new(false));
+        self.stop = Arc::clone(&stop);
+        self.pump = Some(Self::spawn_pump(
+            Arc::clone(&self.shared),
+            channel.rx,
+            self.shared.orchestrator.subscribe(),
+            stop,
+        ));
+        // Live QPs re-evaluate their paths relative to the new host —
+        // a remote path to a now-co-located peer collapses onto shared
+        // memory from here (the pump completes it).
+        let qps: Vec<Arc<FfQp>> = {
+            let map = self.shared.qps.lock();
+            map.values().filter_map(Weak::upgrade).collect()
+        };
+        for qp in qps {
+            qp.consider_rebind();
+        }
     }
 
     /// The virtual NIC device.
@@ -229,10 +306,11 @@ impl NetLibrary {
     /// Register `len` bytes of memory. Arena-backed (zero-copy capable)
     /// when the host segment has room, private otherwise.
     pub fn register(&self, len: u64, access: AccessFlags) -> VerbsResult<Arc<MemoryRegion>> {
-        if let Ok(handle) = self.shared.fabric.arena().alloc(len) {
+        let fabric = self.shared.fabric();
+        if let Ok(handle) = fabric.arena().alloc(len) {
             return self
                 .pd
-                .register_arena(Arc::clone(self.shared.fabric.arena()), handle, access);
+                .register_arena(Arc::clone(fabric.arena()), handle, access);
         }
         self.pd.register(len, access)
     }
@@ -286,7 +364,7 @@ impl std::fmt::Debug for NetLibrary {
         f.debug_struct("NetLibrary")
             .field("container", &self.shared.id)
             .field("ip", &self.shared.ip)
-            .field("host", &self.shared.host)
+            .field("host", &self.shared.host())
             .finish()
     }
 }

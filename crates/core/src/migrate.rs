@@ -18,17 +18,21 @@
 //!   generation it resolved its path under; [`crate::qp::FfQp::path_is_current`]
 //!   turns false the moment the peer moves, and in-flight operations to
 //!   the old placement complete with errors (Nacks) instead of hanging.
-//! * **Connections re-establish** — [`reconnect`] rebuilds a QP pair after
-//!   a move: the application exchanges fresh endpoints (new QPNs on the
-//!   restored container) and reconnects; the new path is re-selected from
-//!   scratch, so a pair that was shared-memory before the move can come
-//!   back as RDMA, and vice versa — transparently to everything above the
-//!   reconnect.
-//!
-//! Carrying *open* connection state (posted receives, unacked sends)
-//! through a move — true live migration — is exactly the per-connection
-//! state the paper says it is still investigating, and is out of scope
-//! here too.
+//! * **Open connections survive** — the per-connection state the paper
+//!   says it is "currently investigating" is the path-binding machine
+//!   ([`crate::binding::PathBinding`], DESIGN.md §7). The migrated
+//!   library is rehomed in place (same device, same QPs, new agent and
+//!   fabric), peers observe `ContainerMoved` and drain-and-rebind, and a
+//!   peer that is now co-located collapses its relay binding onto shared
+//!   memory — posted receives are replayed into the host-verbs QP, so no
+//!   completion is lost and nothing above the QP reconnects. See
+//!   `tests/lifecycle.rs` for a socket stream crossing a live migration.
+//! * **Connections can also re-establish** — [`reconnect`] rebuilds a QP
+//!   pair from scratch after a move, for applications that prefer an
+//!   explicit endpoint re-exchange over the transparent collapse; the
+//!   new path is re-selected from scratch, so a pair that was
+//!   shared-memory before the move can come back as RDMA, and vice
+//!   versa.
 
 use crate::endpoint::FfEndpoint;
 use crate::qp::FfQp;

@@ -19,7 +19,14 @@
 //!
 //! The application cannot tell the difference — FreeFlow's transparency
 //! claim, testable here because both paths run under one API.
+//!
+//! The *lifecycle* of a binding — connect-time bind, reactive failover,
+//! planned TCP→RDMA upgrade after `restore_nic`, and Remote→Local
+//! collapse after a peer migrates onto this host — is owned by
+//! [`crate::binding::PathBinding`]; this module performs the drains,
+//! replays and verbs bring-up around its transitions (see DESIGN.md §7).
 
+use crate::binding::{BindingPhase, PathBinding, RebindReason};
 use crate::endpoint::FfEndpoint;
 use crate::library::LibShared;
 use bytes::Bytes;
@@ -98,9 +105,9 @@ struct InboundSend {
 
 struct QpInner {
     state: QpState,
-    path: FfPath,
-    /// Generation of the peer-ip cache entry the path was resolved under.
-    generation: u64,
+    /// The data-plane binding: path + lifecycle phase + epoch/upgrade
+    /// counters, one state machine for every transition.
+    binding: PathBinding,
     /// Remote path: posted receives.
     rq: VecDeque<RecvWr>,
     /// Remote path: inbound sends parked for a receive (RNR semantics).
@@ -109,6 +116,12 @@ struct QpInner {
     pending_sends: HashMap<u64, PendingSend>,
     /// Remote path: READs awaiting their response.
     pending_reads: HashMap<u64, PendingRead>,
+    /// Sends accepted while the binding is draining/rebinding (or while
+    /// a replay is dispatching): transmitted in order once Bound again.
+    parked_sends: VecDeque<SendWr>,
+    /// True while `replay_parked` is dispatching outside the lock; new
+    /// application posts must park behind the queue to keep RC order.
+    replaying: bool,
     next_op_id: u64,
 }
 
@@ -146,12 +159,13 @@ impl FfQp {
             rq_depth: rq_depth.max(1),
             inner: Mutex::new(QpInner {
                 state: QpState::Reset,
-                path: FfPath::Unbound,
-                generation: 0,
+                binding: PathBinding::new(),
                 rq: VecDeque::new(),
                 inbound_pending: VecDeque::new(),
                 pending_sends: HashMap::new(),
                 pending_reads: HashMap::new(),
+                parked_sends: VecDeque::new(),
+                replaying: false,
                 next_op_id: 1,
             }),
             op_timeout_ns: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_nanos() as u64),
@@ -177,7 +191,26 @@ impl FfQp {
     /// The bound path — lets tests and operators verify which data plane
     /// the orchestrator picked; applications never need it.
     pub fn path(&self) -> FfPath {
-        self.inner.lock().path
+        self.inner.lock().binding.path()
+    }
+
+    /// The binding lifecycle phase (diagnostics/tests).
+    pub fn binding_phase(&self) -> BindingPhase {
+        self.inner.lock().binding.phase()
+    }
+
+    /// The current binding epoch: 1 after connect, +1 for every completed
+    /// rebind (failover, upgrade or collapse). RC ordering is guaranteed
+    /// within one epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().binding.epoch()
+    }
+
+    /// How many completed rebinds strictly improved the transport — e.g.
+    /// TCP back to RDMA after `restore_nic`, or a Remote→Local collapse
+    /// onto shared memory after the peer migrated here.
+    pub fn upgrade_count(&self) -> u64 {
+        self.inner.lock().binding.upgrades()
     }
 
     /// The send CQ.
@@ -225,17 +258,23 @@ impl FfQp {
         // co-located *and* policy granted a kernel-bypass transport; a
         // co-located pair under a no-bypass policy rides the relay so the
         // isolation decision actually holds on the data path.
-        if resolved.local && resolved.transport.kernel_bypass() {
+        let path = if resolved.local && resolved.transport.kernel_bypass() {
             self.verbs_qp.modify_to_init()?;
             self.verbs_qp.modify_to_rtr(peer.verbs())?;
-            inner.path = FfPath::Local { peer };
+            FfPath::Local { peer }
         } else {
-            inner.path = FfPath::Remote {
+            FfPath::Remote {
                 peer,
                 transport: resolved.transport,
-            };
-        }
-        inner.generation = resolved.generation;
+            }
+        };
+        inner
+            .binding
+            .bind(path, resolved.generation)
+            .map_err(|_| VerbsError::InvalidQpState {
+                actual: inner.binding.phase().name(),
+                required: "unbound binding",
+            })?;
         inner.state = QpState::Rtr;
         Ok(())
     }
@@ -249,7 +288,7 @@ impl FfQp {
                 required: "RTR",
             });
         }
-        if matches!(inner.path, FfPath::Local { .. }) {
+        if matches!(inner.binding.path(), FfPath::Local { .. }) {
             self.verbs_qp.modify_to_rts()?;
         }
         inner.state = QpState::Rts;
@@ -263,26 +302,41 @@ impl FfQp {
         self.modify_to_rts()
     }
 
-    /// Force the error state, flushing receives (both paths).
+    /// Force the error state, flushing receives (both paths) and any
+    /// sends still parked behind an unfinished rebind.
     pub fn enter_error(&self) {
-        let flushed: Vec<RecvWr> = {
+        let (flushed, parked) = {
             let mut inner = self.inner.lock();
             if inner.state == QpState::Error {
                 return;
             }
             inner.state = QpState::Error;
-            if matches!(inner.path, FfPath::Local { .. }) {
+            inner.binding.fail();
+            let parked: Vec<SendWr> = inner.parked_sends.drain(..).collect();
+            let recvs = if matches!(inner.binding.path(), FfPath::Local { .. }) {
                 self.verbs_qp.enter_error();
                 Vec::new() // verbs QP flushes its own queue
             } else {
                 inner.rq.drain(..).collect()
-            }
+            };
+            (recvs, parked)
         };
         for wr in flushed {
             self.recv_cq.push(WorkCompletion {
                 wr_id: wr.wr_id,
                 status: WcStatus::WrFlushError,
                 opcode: WcOpcode::Recv,
+                byte_len: 0,
+                imm: None,
+                qp_num: self.qp_num(),
+            });
+        }
+        for wr in parked {
+            // Accepted but never transmitted: flush, exactly once.
+            self.send_cq.push(WorkCompletion {
+                wr_id: wr.wr_id,
+                status: WcStatus::WrFlushError,
+                opcode: Self::wc_opcode_of(&wr),
                 byte_len: 0,
                 imm: None,
                 qp_num: self.qp_num(),
@@ -295,11 +349,13 @@ impl FfQp {
     /// stale and should be re-established (see [`crate::migrate`]).
     pub fn path_is_current(&self) -> bool {
         let inner = self.inner.lock();
-        let peer_ip = match inner.path {
+        let peer_ip = match inner.binding.path() {
             FfPath::Local { peer } | FfPath::Remote { peer, .. } => peer.ip,
             FfPath::Unbound => return true,
         };
-        self.lib.cache.is_current(peer_ip, inner.generation)
+        self.lib
+            .cache
+            .is_current(peer_ip, inner.binding.generation())
     }
 
     /// Bound how long a remote operation may stay unanswered before the
@@ -343,19 +399,22 @@ impl FfQp {
     /// successful re-path the connection keeps working; only if no path
     /// remains does the QP fall into the error state.
     fn on_transport_failure(&self) {
-        let (sends, reads) = {
+        let (sends, reads, mid_rebind) = {
             let mut inner = self.inner.lock();
             (
                 std::mem::take(&mut inner.pending_sends),
                 std::mem::take(&mut inner.pending_reads),
+                !matches!(inner.binding.phase(), BindingPhase::Bound),
             )
         };
         // Settle the QP first (re-path or error state), *then* deliver the
         // failed completions: a consumer that observes RETRY_EXC_ERR must
         // be able to rely on the QP having already reached its post-fault
         // state, exactly as a hardware NIC transitions the QP to error
-        // before flushing its WRs.
-        if !self.try_repath() {
+        // before flushing its WRs. A binding already mid-drain/rebind
+        // only needs the flush: the in-progress rebind supplies the new
+        // path (or the error state) on the pump.
+        if !mid_rebind && !self.try_repath() {
             self.enter_error();
         }
         for (_, p) in sends {
@@ -382,14 +441,19 @@ impl FfQp {
 
     /// Re-run path selection for the current peer (FreeFlow's failover:
     /// the orchestrator knows which transports still work). Returns
-    /// whether a usable remote path was bound.
+    /// whether a usable path was bound or a rebind is now in progress.
     fn try_repath(&self) -> bool {
-        let peer = {
+        let (peer, dead) = {
             let inner = self.inner.lock();
-            match (inner.state, inner.path) {
-                (QpState::Rts | QpState::Rtr, FfPath::Remote { peer, .. }) => peer,
+            match (inner.state, inner.binding.phase(), inner.binding.path()) {
+                (
+                    QpState::Rts | QpState::Rtr,
+                    BindingPhase::Bound,
+                    FfPath::Remote { peer, transport },
+                ) => (peer, transport),
                 // Local paths ride the verbs fabric (no wire to fail
-                // over), unbound/errored QPs have nothing to rebind.
+                // over); unbound/errored/mid-rebind QPs have nothing to
+                // rebind here.
                 _ => return false,
             }
         };
@@ -400,19 +464,297 @@ impl FfQp {
             Ok(r) => r,
             Err(_) => return false,
         };
-        if resolved.local {
-            // The peer migrated onto this host; binding the shared-memory
-            // path needs a fresh connection (crate::migrate's domain).
+        let collapses = resolved.local && resolved.transport.kernel_bypass();
+        if !collapses && resolved.transport == dead {
+            // The orchestrator handed back the very transport that just
+            // died: a no-op rebind that would spin (bumping
+            // failover_count forever) instead of surfacing the failure.
+            // Fall through to the error state.
             return false;
         }
         let mut inner = self.inner.lock();
-        inner.path = FfPath::Remote {
-            peer,
-            transport: resolved.transport,
-        };
-        inner.generation = resolved.generation;
+        if inner.binding.begin_drain(RebindReason::Failover).is_err() {
+            return false; // raced with another lifecycle transition
+        }
         self.failovers.fetch_add(1, Ordering::Relaxed);
+        if collapses {
+            // The peer migrated onto this host: the pump finishes the
+            // collapse onto shared memory (the caller already flushed
+            // everything outstanding, so the drain settles immediately).
+            return true;
+        }
+        let unsettled = inner.pending_sends.len() + inner.pending_reads.len();
+        if inner.binding.begin_rebind(unsettled).is_err() {
+            // Outstanding work the caller did not flush: the drain
+            // finishes on the pump and the rebind completes there.
+            return true;
+        }
+        inner
+            .binding
+            .complete_rebind(
+                FfPath::Remote {
+                    peer,
+                    transport: resolved.transport,
+                },
+                resolved.generation,
+            )
+            .expect("rebinding phase was just entered");
         true
+    }
+
+    /// Called from the library pump after a location/health event:
+    /// decide whether the current remote path should make way for a
+    /// better one. Planned rebind — the old path keeps working while
+    /// in-flight operations drain.
+    pub(crate) fn consider_rebind(&self) {
+        let (peer, current) = {
+            let inner = self.inner.lock();
+            match (inner.state, inner.binding.phase(), inner.binding.path()) {
+                (QpState::Rts, BindingPhase::Bound, FfPath::Remote { peer, transport }) => {
+                    (peer, transport)
+                }
+                _ => return,
+            }
+        };
+        let resolved = match self.lib.resolve(peer.ip) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let reason = if resolved.local && resolved.transport.kernel_bypass() {
+            RebindReason::Collapse
+        } else if !resolved.local
+            && freeflow_orchestrator::policy::is_upgrade(current, resolved.transport)
+        {
+            RebindReason::Upgrade
+        } else {
+            return;
+        };
+        let mut inner = self.inner.lock();
+        if inner.state == QpState::Rts && inner.binding.phase() == BindingPhase::Bound {
+            let _ = inner.binding.begin_drain(reason);
+        }
+    }
+
+    /// Called from the library pump every tick: advance an in-progress
+    /// drain/rebind. All planned lifecycle work runs here, serialized
+    /// with inbound processing on the pump thread.
+    pub(crate) fn poll_binding(&self) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.binding.phase() == BindingPhase::Draining {
+                let unsettled = inner.pending_sends.len() + inner.pending_reads.len();
+                if unsettled == 0 {
+                    let _ = inner.binding.begin_rebind(0);
+                }
+            }
+            if inner.binding.phase() != BindingPhase::Rebinding {
+                return;
+            }
+        }
+        self.finish_rebind();
+    }
+
+    /// The drain settled; establish the new path. May run repeatedly —
+    /// a collapse waits for the peer's half of the verbs connection.
+    fn finish_rebind(&self) {
+        let (peer, old, reason) = {
+            let inner = self.inner.lock();
+            match (inner.binding.phase(), inner.binding.path()) {
+                (BindingPhase::Rebinding, FfPath::Remote { peer, transport }) => {
+                    (peer, transport, inner.binding.reason())
+                }
+                _ => return,
+            }
+        };
+        let resolved = match self.lib.resolve(peer.ip) {
+            Ok(r) => r,
+            Err(_) => {
+                self.abort_or_fail(reason);
+                return;
+            }
+        };
+        if resolved.local && resolved.transport.kernel_bypass() {
+            self.finish_collapse(peer, resolved.generation);
+            return;
+        }
+        if resolved.transport == old {
+            match reason {
+                // A failover landing back on the transport it declared
+                // dead is a no-op rebind: surface the failure.
+                Some(RebindReason::Failover) => self.enter_error(),
+                // A planned rebind that went stale (the event raced):
+                // keep the old, still-working path.
+                _ => self.abort_or_fail(reason),
+            }
+            return;
+        }
+        {
+            let mut inner = self.inner.lock();
+            if inner.binding.phase() != BindingPhase::Rebinding {
+                return;
+            }
+            if inner
+                .binding
+                .complete_rebind(
+                    FfPath::Remote {
+                        peer,
+                        transport: resolved.transport,
+                    },
+                    resolved.generation,
+                )
+                .is_err()
+            {
+                return;
+            }
+            inner.replaying = true;
+        }
+        self.replay_parked();
+    }
+
+    /// A rebind cannot proceed: keep the old path for planned rebinds,
+    /// error out for failovers (their old path is dead).
+    fn abort_or_fail(&self, reason: Option<RebindReason>) {
+        if reason == Some(RebindReason::Failover) {
+            self.enter_error();
+            return;
+        }
+        {
+            let mut inner = self.inner.lock();
+            if inner.binding.abort_rebind().is_err() {
+                return;
+            }
+            inner.replaying = true;
+        }
+        self.replay_parked();
+    }
+
+    /// Remote→Local collapse: the peer now shares this host. Bring up
+    /// the dormant verbs QP (it stayed in RESET while the path was
+    /// remote), wait for the peer's half, replay posted receives into
+    /// it, and switch — the application keeps its QP, MRs and wr_ids;
+    /// no reconnect.
+    fn finish_collapse(&self, peer: FfEndpoint, generation: u64) {
+        // Our half first, idempotent across retries. Driving the verbs
+        // QP early is safe: the relay path keeps matching inbound work
+        // until the commit below, and verbs sends from the peer park
+        // under RNR semantics until our receives are replayed.
+        if self.verbs_qp.state() == QpState::Reset {
+            let up = self
+                .verbs_qp
+                .modify_to_init()
+                .and_then(|()| self.verbs_qp.modify_to_rtr(peer.verbs()))
+                .and_then(|()| self.verbs_qp.modify_to_rts());
+            if up.is_err() {
+                let reason = self.inner.lock().binding.reason();
+                self.abort_or_fail(reason);
+                return;
+            }
+        }
+        // The peer's half must be ready or our first verbs send would be
+        // refused; retry on the next pump tick (the peer collapses on
+        // its own schedule, driven by the same orchestrator event).
+        let peer_ready = self
+            .lib
+            .device
+            .network()
+            .find_device(peer.ip)
+            .and_then(|d| d.find_qp(peer.verbs().qpn))
+            .map(|qp| matches!(qp.state(), QpState::Rtr | QpState::Rts))
+            .unwrap_or(false);
+        if !peer_ready {
+            return;
+        }
+        let committed = {
+            let mut inner = self.inner.lock();
+            if inner.binding.phase() != BindingPhase::Rebinding {
+                return;
+            }
+            // Relay deliveries still parked for a receive must match on
+            // the old path first — their senders' drains wait on our
+            // acks. They settle as the application posts receives.
+            if !inner.inbound_pending.is_empty() {
+                return;
+            }
+            let rq: Vec<RecvWr> = inner.rq.drain(..).collect();
+            for wr in rq {
+                // Fresh verbs QP, same rq_depth: re-posting cannot
+                // overflow. A refusal still resolves the WR (flush).
+                let wr_id = wr.wr_id;
+                if self.verbs_qp.post_recv(wr).is_err() {
+                    self.recv_cq.push(WorkCompletion {
+                        wr_id,
+                        status: WcStatus::WrFlushError,
+                        opcode: WcOpcode::Recv,
+                        byte_len: 0,
+                        imm: None,
+                        qp_num: self.qp_num(),
+                    });
+                }
+            }
+            let ok = inner
+                .binding
+                .complete_rebind(FfPath::Local { peer }, generation)
+                .is_ok();
+            if ok {
+                inner.replaying = true;
+            }
+            ok
+        };
+        if committed {
+            self.replay_parked();
+        }
+    }
+
+    /// Re-dispatch sends parked during a drain/rebind, in order. Runs
+    /// on the pump thread; `replaying` makes concurrent application
+    /// posts park behind the queue instead of overtaking it.
+    fn replay_parked(&self) {
+        loop {
+            let (wr, path) = {
+                let mut inner = self.inner.lock();
+                if inner.binding.phase() != BindingPhase::Bound {
+                    // A new rebind started; the replay resumes after it.
+                    inner.replaying = false;
+                    return;
+                }
+                match inner.parked_sends.pop_front() {
+                    Some(wr) => {
+                        inner.replaying = true;
+                        (wr, inner.binding.path())
+                    }
+                    None => {
+                        inner.replaying = false;
+                        return;
+                    }
+                }
+            };
+            let (wr_id, opcode) = (wr.wr_id, Self::wc_opcode_of(&wr));
+            let result = match path {
+                FfPath::Local { .. } => self.verbs_qp.post_send(wr),
+                FfPath::Remote { peer, .. } => self.post_send_remote(wr, peer),
+                FfPath::Unbound => unreachable!("bound phase implies a path"),
+            };
+            if result.is_err() {
+                // The WR was accepted at post time: it must still
+                // resolve exactly once.
+                self.send_cq.push(WorkCompletion {
+                    wr_id,
+                    status: WcStatus::WrFlushError,
+                    opcode,
+                    byte_len: 0,
+                    imm: None,
+                    qp_num: self.qp_num(),
+                });
+            }
+        }
+    }
+
+    fn wc_opcode_of(wr: &SendWr) -> WcOpcode {
+        match wr.opcode {
+            WrOpcode::Send => WcOpcode::Send,
+            WrOpcode::Write { .. } | WrOpcode::WriteWithImm { .. } => WcOpcode::RdmaWrite,
+            WrOpcode::Read { .. } => WcOpcode::RdmaRead,
+        }
     }
 
     // --- data path ----------------------------------------------------------
@@ -430,7 +772,7 @@ impl FfQp {
                     })
                 }
             }
-            match inner.path {
+            match inner.binding.path() {
                 // Before RTR the path is unknown: park receives here; they
                 // are replayed into the verbs QP at RTR time for local
                 // paths via the rq (drained below on first use).
@@ -460,25 +802,42 @@ impl FfQp {
     }
 
     /// Post a send-side work request. Requires RTS.
+    ///
+    /// While the binding is mid-drain/rebind the WR is accepted and
+    /// *parked* — transmitted in order on the new path once it binds —
+    /// so a live upgrade or collapse is invisible to the application.
     pub fn post_send(&self, wr: SendWr) -> VerbsResult<()> {
-        let (peer, _transport) = {
-            let inner = self.inner.lock();
+        let peer = {
+            let mut inner = self.inner.lock();
             if inner.state != QpState::Rts {
                 return Err(VerbsError::InvalidQpState {
                     actual: inner.state.name(),
                     required: "RTS",
                 });
             }
-            match inner.path {
+            let settled = inner.binding.phase() == BindingPhase::Bound
+                && !inner.replaying
+                && inner.parked_sends.is_empty();
+            if !settled {
+                // In-flight plus parked work shares the send-queue depth.
+                if inner.pending_sends.len() + inner.pending_reads.len() + inner.parked_sends.len()
+                    >= self.sq_depth
+                {
+                    return Err(VerbsError::QueueFull { which: "send" });
+                }
+                inner.parked_sends.push_back(wr);
+                return Ok(());
+            }
+            match inner.binding.path() {
                 FfPath::Local { .. } => {
                     drop(inner);
                     return self.verbs_qp.post_send(wr);
                 }
-                FfPath::Remote { peer, transport } => {
+                FfPath::Remote { peer, .. } => {
                     if inner.pending_sends.len() + inner.pending_reads.len() >= self.sq_depth {
                         return Err(VerbsError::QueueFull { which: "send" });
                     }
-                    (peer, transport)
+                    peer
                 }
                 FfPath::Unbound => unreachable!("RTS implies a bound path"),
             }
@@ -544,7 +903,8 @@ impl FfQp {
     /// (zero-copy to the agent), small ones inline.
     fn stage_payload(&self, payload: Vec<u8>) -> VerbsResult<RelayPayload> {
         if payload.len() >= ZERO_COPY_THRESHOLD {
-            let arena = self.lib.fabric.arena();
+            let fabric = self.lib.fabric();
+            let arena = fabric.arena();
             if let Ok(handle) = arena.alloc(payload.len() as u64) {
                 arena.write(handle, 0, &payload).expect("fresh block fits");
                 return Ok(RelayPayload::Arena {
@@ -662,7 +1022,8 @@ impl FfQp {
         match p {
             RelayPayload::Inline(b) => b,
             RelayPayload::Arena { offset, len } => {
-                let arena = self.lib.fabric.arena();
+                let fabric = self.lib.fabric();
+                let arena = fabric.arena();
                 let mut buf = vec![0u8; len as usize];
                 // The allocator rounds to 64 B; reconstruct its handle.
                 let handle = ArenaHandle {
@@ -1014,7 +1375,9 @@ impl std::fmt::Debug for FfQp {
         f.debug_struct("FfQp")
             .field("qpn", &self.qp_num())
             .field("state", &inner.state.name())
-            .field("path", &inner.path)
+            .field("path", &inner.binding.path())
+            .field("phase", &inner.binding.phase().name())
+            .field("epoch", &inner.binding.epoch())
             .finish()
     }
 }

@@ -56,6 +56,15 @@ pub enum OrchestratorEvent {
         /// Whether the host is reachable at all.
         alive: bool,
     },
+    /// A host's connectivity *improved* (NIC restored, host back up).
+    /// Published alongside the corresponding `HostHealthChanged` so that
+    /// libraries holding degraded (failed-over) paths through this host
+    /// know a planned upgrade is worth attempting. Degradations never
+    /// produce this event — downgrades stay reactive (failover on error).
+    PathUpdated {
+        /// The recovered host.
+        host: HostId,
+    },
 }
 
 const FEED_DEPTH: usize = 1024;

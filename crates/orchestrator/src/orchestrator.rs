@@ -93,18 +93,28 @@ impl Orchestrator {
     }
 
     fn set_health(&self, host: HostId, update: impl FnOnce(&mut HostHealth)) -> Result<()> {
-        let health = {
+        let (prev, health) = {
             let mut st = self.state.write();
-            let mut health = st.registry.host_health(host);
+            let prev = st.registry.host_health(host);
+            let mut health = prev;
             update(&mut health);
             st.registry.set_host_health(host, health)?;
-            health
+            (prev, health)
         };
         self.feed.publish(OrchestratorEvent::HostHealthChanged {
             host,
             nic_up: health.nic_up,
             alive: health.alive,
         });
+        // Recoveries additionally announce that better paths may now be
+        // available, so libraries holding failed-over connections through
+        // this host can plan a live upgrade. Degradations do not: those
+        // are handled reactively (failover on transport error), which
+        // keeps fault handling deterministic under chaos testing.
+        let improved = (!prev.nic_up && health.nic_up) || (!prev.alive && health.alive);
+        if improved {
+            self.feed.publish(OrchestratorEvent::PathUpdated { host });
+        }
         Ok(())
     }
 

@@ -48,6 +48,15 @@ impl Default for PolicyConfig {
     }
 }
 
+/// Whether `offered` is a strict improvement over `current` — the test a
+/// library runs when a `PathUpdated` event arrives and it must decide if a
+/// live upgrade (drain + rebind) is worth the disruption. Equal or worse
+/// transports return `false`: planned rebinds happen only for wins, never
+/// laterally (a lateral rebind would churn epochs for nothing).
+pub fn is_upgrade(current: TransportKind, offered: TransportKind) -> bool {
+    offered.rank() < current.rank()
+}
+
 /// The decision engine. Stateless: reads the registry per query.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PolicyEngine {

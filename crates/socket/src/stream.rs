@@ -1,10 +1,18 @@
-//! The stream itself: segmentation, credits, ordering, EOF.
+//! The stream itself: segmentation, credits, ordering, EOF — and the
+//! retransmission layer that carries a stream across a live rebind.
+//!
+//! Data frames carry a sequence number so the stream survives transport
+//! failover and planned rebinds (TCP→RDMA upgrade, Remote→Local collapse):
+//! a send completing with `RETRY_EXC_ERR` is retransmitted from its intact
+//! slot over the QP's new binding, and the receiver drops duplicates and
+//! reorders stragglers by sequence number. The application sees one
+//! contiguous byte stream, never a reconnect.
 
 use freeflow::{Container, FfEndpoint, FfQp};
 use freeflow_types::{Error, Result};
 use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr, WcOpcode};
-use freeflow_verbs::{CompletionQueue, MemoryRegion, VerbsError};
-use std::collections::VecDeque;
+use freeflow_verbs::{CompletionQueue, MemoryRegion, VerbsError, WcStatus};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,6 +24,12 @@ pub const NSLOTS: usize = 16;
 const TAG_DATA: u8 = 0;
 const TAG_CREDIT: u8 = 1;
 const TAG_FIN: u8 = 2;
+
+/// Data frame header: tag byte + 4-byte little-endian sequence number.
+const DATA_HDR: usize = 5;
+
+/// Control-frame `wr_id`s set this bit; data frames use their slot index.
+const CTRL_BIT: u64 = 1 << 63;
 
 /// A connected, reliable, ordered byte stream over FreeFlow verbs.
 ///
@@ -35,6 +49,24 @@ pub struct FfStream {
     pending_credit_return: u32,
     /// Bytes received and not yet read by the application.
     rx_buffer: VecDeque<u8>,
+    /// Next sequence number to assign to an outgoing data frame.
+    next_seq: u32,
+    /// Sequence number the receive side expects next.
+    expected_seq: u32,
+    /// In-flight data frames by slot: `(seq, frame_len)`. The slot's
+    /// bytes stay untouched until the send completes OK, so a failed
+    /// completion can retransmit the identical frame.
+    inflight_data: HashMap<u64, (u32, u32)>,
+    /// In-flight control frames by wr_id: `(tag, arg)` for retransmit.
+    inflight_ctrl: HashMap<u64, (u8, u32)>,
+    /// Next control wr_id (CTRL_BIT is ORed in).
+    next_ctrl: u64,
+    /// Frames that failed and await retransmission (by wr_id).
+    retransmit_queue: VecDeque<u64>,
+    /// Frames that arrived ahead of `expected_seq`, keyed by sequence.
+    reassembly: BTreeMap<u32, Vec<u8>>,
+    /// Data-frame retransmissions performed (diagnostics).
+    retransmits: u64,
     /// Peer sent FIN.
     peer_closed: bool,
     /// We sent FIN.
@@ -74,6 +106,14 @@ impl FfStream {
             credits: NSLOTS,
             pending_credit_return: 0,
             rx_buffer: VecDeque::new(),
+            next_seq: 0,
+            expected_seq: 0,
+            inflight_data: HashMap::new(),
+            inflight_ctrl: HashMap::new(),
+            next_ctrl: 0,
+            retransmit_queue: VecDeque::new(),
+            reassembly: BTreeMap::new(),
+            retransmits: 0,
             peer_closed: false,
             closed: false,
         })
@@ -95,17 +135,111 @@ impl FfStream {
         }
     }
 
-    /// Drain send completions (frees slots) without blocking.
+    /// Data-frame retransmissions this stream has performed (each one is
+    /// a transport failure the application never saw).
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Make send-side progress without transferring application data:
+    /// reap completions and retransmit failed frames. `write_all`/`read`
+    /// do this implicitly; explicit flushes are for event-loop callers
+    /// that may go a long time without either.
+    pub fn flush(&mut self) -> Result<()> {
+        self.reap_send_completions()
+    }
+
+    /// Drain send completions without blocking: successes free their
+    /// slots; `RETRY_EXC_ERR` queues the frame for retransmission over
+    /// the QP's post-rebind transport. Anything else is fatal.
     fn reap_send_completions(&mut self) -> Result<()> {
         while let Some(wc) = self.send_cq.poll_one() {
-            if !wc.status.is_ok() {
-                return Err(Error::disconnected(format!("send failed: {}", wc.status)));
+            if wc.opcode != WcOpcode::Send {
+                continue;
             }
-            if wc.opcode == WcOpcode::Send {
-                self.send_slots_free.push_back(wc.wr_id);
+            match wc.status {
+                WcStatus::Success => {
+                    if wc.wr_id & CTRL_BIT != 0 {
+                        self.inflight_ctrl.remove(&wc.wr_id);
+                    } else if self.inflight_data.remove(&wc.wr_id).is_some() {
+                        self.send_slots_free.push_back(wc.wr_id);
+                    }
+                }
+                WcStatus::RetryExcError => {
+                    // The binding failed mid-flight. The frame may or may
+                    // not have reached the peer (sequence numbers dedup);
+                    // resend it over whatever the QP rebinds to.
+                    self.retransmit_queue.push_back(wc.wr_id);
+                }
+                other => {
+                    return Err(Error::disconnected(format!("send failed: {other}")));
+                }
+            }
+        }
+        self.flush_retransmits()
+    }
+
+    /// Re-post queued failed frames, stopping (not failing) on a full
+    /// send queue — the next reap retries.
+    fn flush_retransmits(&mut self) -> Result<()> {
+        while let Some(id) = self.retransmit_queue.front().copied() {
+            let posted = if id & CTRL_BIT != 0 {
+                match self.inflight_ctrl.get(&id) {
+                    Some(&(tag, arg)) => {
+                        let mut frame = vec![tag];
+                        frame.extend_from_slice(&arg.to_le_bytes());
+                        self.qp.post_send(SendWr::send_inline(id, frame))
+                    }
+                    None => {
+                        self.retransmit_queue.pop_front();
+                        continue;
+                    }
+                }
+            } else {
+                match self.inflight_data.get(&id) {
+                    Some(&(_seq, len)) => self.qp.post_send(SendWr::send(
+                        id,
+                        self.send_mr.sge(id * SLOT_SIZE as u64, len),
+                    )),
+                    None => {
+                        self.retransmit_queue.pop_front();
+                        continue;
+                    }
+                }
+            };
+            match posted {
+                Ok(()) => {
+                    self.retransmit_queue.pop_front();
+                    self.retransmits += 1;
+                }
+                Err(VerbsError::QueueFull { .. }) => break,
+                Err(e) => return Err(Error::disconnected(e.to_string())),
             }
         }
         Ok(())
+    }
+
+    /// Accept an in-order or out-of-order data payload, draining the
+    /// reassembly buffer as the gap closes. Duplicates are dropped.
+    fn accept_data(&mut self, seq: u32, payload: Vec<u8>) {
+        if seq < self.expected_seq || self.reassembly.contains_key(&seq) {
+            // Duplicate of a frame whose ack was lost before a rebind:
+            // already delivered to the application, drop it. Its credit
+            // still returns (it consumed a receive slot).
+            return;
+        }
+        if seq == self.expected_seq {
+            self.rx_buffer.extend(&payload);
+            self.expected_seq += 1;
+            while let Some(next) = self.reassembly.remove(&self.expected_seq) {
+                self.rx_buffer.extend(&next);
+                self.expected_seq += 1;
+            }
+        } else {
+            // Straggler ordering: retransmitted frames can arrive behind
+            // frames posted after them. Park until the gap fills.
+            self.reassembly.insert(seq, payload);
+        }
     }
 
     /// Process one receive completion (data / credit / fin), reposting the
@@ -139,7 +273,11 @@ impl FfStream {
             .map_err(|e| Error::disconnected(e.to_string()))?;
         match frame.first().copied() {
             Some(TAG_DATA) => {
-                self.rx_buffer.extend(&frame[1..]);
+                if frame.len() < DATA_HDR {
+                    return Err(Error::parse("short data frame"));
+                }
+                let seq = u32::from_le_bytes(frame[1..DATA_HDR].try_into().expect("4 bytes"));
+                self.accept_data(seq, frame.split_off(DATA_HDR));
                 // The slot is free again but the *application* hasn't read
                 // the bytes; withhold the credit until it does (true
                 // receiver-window semantics).
@@ -151,7 +289,10 @@ impl FfStream {
                         .try_into()
                         .map_err(|_| Error::parse("short credit frame"))?,
                 );
-                self.credits += n as usize;
+                // Cap at the window size: a credit frame retransmitted
+                // after its ack was lost would otherwise inflate the
+                // window beyond the peer's receive slots.
+                self.credits = (self.credits + n as usize).min(NSLOTS);
                 // A credit frame consumed one of *our* receive slots; that
                 // credit goes straight back (it carries no app data).
                 self.pending_credit_return += 1;
@@ -169,21 +310,25 @@ impl FfStream {
         // Batch: return when half the window is pending (cuts credit
         // traffic 8×) or when the peer might be stalled.
         if self.pending_credit_return as usize >= NSLOTS / 2 {
-            self.send_control(TAG_CREDIT, self.pending_credit_return)?;
+            let n = self.pending_credit_return;
             self.pending_credit_return = 0;
+            self.send_control(TAG_CREDIT, n)?;
         }
         Ok(())
     }
 
     fn send_control(&mut self, tag: u8, arg: u32) -> Result<()> {
-        // Control frames use inline data: no slot, no credit needed.
+        // Control frames use inline data: no slot, no credit needed. They
+        // are tracked (not fire-and-forget) so a rebind can resend them —
+        // a credit update lost in a transport failure would stall the
+        // peer's send window for good.
+        let wr_id = CTRL_BIT | self.next_ctrl;
+        self.next_ctrl += 1;
+        self.inflight_ctrl.insert(wr_id, (tag, arg));
         let mut frame = vec![tag];
         frame.extend_from_slice(&arg.to_le_bytes());
         loop {
-            match self
-                .qp
-                .post_send(SendWr::send_inline(u64::MAX, frame.clone()).unsignaled())
-            {
+            match self.qp.post_send(SendWr::send_inline(wr_id, frame.clone())) {
                 Ok(()) => return Ok(()),
                 Err(VerbsError::QueueFull { .. }) => {
                     self.reap_send_completions()?;
@@ -214,20 +359,27 @@ impl FfStream {
                 self.maybe_return_credits()?;
             }
             let slot = self.send_slots_free.pop_front().expect("checked");
-            let chunk = (buf.len() - off).min(SLOT_SIZE - 1);
+            let chunk = (buf.len() - off).min(SLOT_SIZE - DATA_HDR);
             let base = slot * SLOT_SIZE as u64;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut hdr = [0u8; DATA_HDR];
+            hdr[0] = TAG_DATA;
+            hdr[1..].copy_from_slice(&seq.to_le_bytes());
             self.send_mr
-                .write(base, &[TAG_DATA])
+                .write(base, &hdr)
                 .map_err(|e| Error::config(e.to_string()))?;
             self.send_mr
-                .write(base + 1, &buf[off..off + chunk])
+                .write(base + DATA_HDR as u64, &buf[off..off + chunk])
                 .map_err(|e| Error::config(e.to_string()))?;
             self.credits -= 1;
+            let frame_len = (chunk + DATA_HDR) as u32;
+            self.inflight_data.insert(slot, (seq, frame_len));
             loop {
-                match self.qp.post_send(SendWr::send(
-                    slot,
-                    self.send_mr.sge(base, (chunk + 1) as u32),
-                )) {
+                match self
+                    .qp
+                    .post_send(SendWr::send(slot, self.send_mr.sge(base, frame_len)))
+                {
                     Ok(()) => break,
                     Err(VerbsError::QueueFull { .. }) => {
                         self.reap_send_completions()?;
@@ -251,6 +403,9 @@ impl FfStream {
             if self.peer_closed {
                 return Ok(0); // EOF
             }
+            // Keep the send side honest while blocked on reads: reap
+            // completions so failed frames retransmit promptly.
+            self.reap_send_completions()?;
             self.process_one_recv(true)?;
             self.maybe_return_credits()?;
         }
@@ -308,6 +463,7 @@ impl std::fmt::Debug for FfStream {
             .field("qpn", &self.qp.qp_num())
             .field("credits", &self.credits)
             .field("rx_buffered", &self.rx_buffer.len())
+            .field("retransmits", &self.retransmits)
             .field("peer_closed", &self.peer_closed)
             .finish()
     }

@@ -86,9 +86,10 @@ impl TransportKind {
         )
     }
 
-    /// Short lowercase name, stable across versions (used in metrics keys
-    /// and bench output).
-    pub const fn name(self) -> &'static str {
+    /// Canonical short lowercase name, stable across versions. This is
+    /// the *only* place a transport is spelled as a string; metrics keys,
+    /// bench tables and docs all derive their labels from here.
+    pub const fn as_str(self) -> &'static str {
         match self {
             TransportKind::SharedMemory => "shm",
             TransportKind::Rdma => "rdma",
@@ -97,6 +98,17 @@ impl TransportKind {
             TransportKind::TcpBridge => "tcp-bridge",
             TransportKind::TcpOverlay => "tcp-overlay",
         }
+    }
+
+    /// Alias for [`TransportKind::as_str`] (kept for existing callers).
+    pub const fn name(self) -> &'static str {
+        self.as_str()
+    }
+
+    /// Parse a canonical name back into a transport (inverse of
+    /// [`TransportKind::as_str`]).
+    pub fn from_str_canonical(s: &str) -> Option<TransportKind> {
+        TransportKind::ALL.into_iter().find(|t| t.as_str() == s)
     }
 }
 
@@ -195,6 +207,15 @@ mod tests {
         use std::collections::HashSet;
         let names: HashSet<_> = TransportKind::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), TransportKind::ALL.len());
+    }
+
+    #[test]
+    fn as_str_roundtrips_through_parse() {
+        for t in TransportKind::ALL {
+            assert_eq!(TransportKind::from_str_canonical(t.as_str()), Some(t));
+            assert_eq!(t.to_string(), t.as_str());
+        }
+        assert_eq!(TransportKind::from_str_canonical("shared-memory"), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::qp::QueuePair;
 use crate::wr::AccessFlags;
 use freeflow_shmem::{ArenaHandle, SharedArena};
 use freeflow_types::OverlayIp;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
@@ -56,7 +56,10 @@ pub(crate) struct DeviceInner {
 pub struct Device {
     addr: OverlayIp,
     attr: DeviceAttr,
-    net: Arc<VerbsNetwork>,
+    /// Swappable: container migration moves the device (with all its
+    /// MRs, QPs and keys) onto another host's fabric wholesale — see
+    /// [`VerbsNetwork::adopt_device`].
+    net: RwLock<Arc<VerbsNetwork>>,
     pub(crate) inner: Mutex<DeviceInner>,
 }
 
@@ -65,7 +68,7 @@ impl Device {
         Arc::new(Self {
             addr,
             attr,
-            net,
+            net: RwLock::new(net),
             inner: Mutex::new(DeviceInner {
                 next_va: 0x1000_0000,
                 next_key: 1,
@@ -85,9 +88,13 @@ impl Device {
         self.attr
     }
 
-    /// The fabric this device is attached to.
-    pub fn network(&self) -> &Arc<VerbsNetwork> {
-        &self.net
+    /// The fabric this device is currently attached to.
+    pub fn network(&self) -> Arc<VerbsNetwork> {
+        Arc::clone(&self.net.read())
+    }
+
+    pub(crate) fn set_network(&self, net: Arc<VerbsNetwork>) {
+        *self.net.write() = net;
     }
 
     /// Allocate a protection domain.

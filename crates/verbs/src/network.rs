@@ -64,6 +64,27 @@ impl VerbsNetwork {
         self.devices.lock().remove(&addr);
     }
 
+    /// Adopt a live device from another fabric — container migration
+    /// moves the virtual NIC (with all its MRs, QPs and keys) between
+    /// hosts wholesale, so existing handles keep working. The device's
+    /// fabric back-reference is re-pointed at `self`; the previous fabric
+    /// must already have released the address via
+    /// [`VerbsNetwork::remove_device`].
+    ///
+    /// # Panics
+    /// Panics if a live device already owns the address here.
+    pub fn adopt_device(self: &Arc<Self>, dev: &Arc<Device>) {
+        let mut devices = self.devices.lock();
+        devices.retain(|_, w| w.strong_count() > 0);
+        assert!(
+            !devices.contains_key(&dev.addr()),
+            "device already exists at {}",
+            dev.addr()
+        );
+        dev.set_network(Arc::clone(self));
+        devices.insert(dev.addr(), Arc::downgrade(dev));
+    }
+
     /// Find a live QP by fabric endpoint.
     pub(crate) fn find_qp(&self, ep: QpEndpoint) -> Option<Arc<QueuePair>> {
         self.find_device(ep.addr)?.find_qp(ep.qpn)

@@ -1,0 +1,202 @@
+//! Path-lifecycle end-to-end tests: one socket stream survives the full
+//! binding lifecycle without an application-visible reconnect.
+//!
+//! Two scenarios, mirroring DESIGN.md §7:
+//!
+//! 1. **Failover then upgrade** — a NIC dies mid-stream (reactive failover
+//!    onto kernel TCP, the stream retransmits the lost frame), then comes
+//!    back (`PathUpdated` triggers a planned drain-and-rebind back onto
+//!    RDMA). The application keeps calling `write_all`/`read_exact`.
+//! 2. **Remote→Local collapse** — the peer migrates onto our host; both
+//!    ends drain their relay bindings and continue over shared memory
+//!    with the same QPs and the same stream.
+
+use freeflow::binding::BindingPhase;
+use freeflow::qp::FfPath;
+use freeflow::{Container, FreeFlowCluster};
+use freeflow_socket::{FfStream, SocketStack};
+use freeflow_types::{HostCaps, TenantId, TransportKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Stand up two hosts, a container on each, and a connected stream pair.
+/// Both ends are returned to the caller so a single thread can drive the
+/// whole conversation deterministically.
+#[allow(clippy::type_complexity)]
+fn streaming_pair() -> (
+    Arc<FreeFlowCluster>,
+    Container,
+    Container,
+    FfStream,
+    FfStream,
+) {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let a = cluster.launch(TenantId::new(1), h0).unwrap();
+    let b = cluster.launch(TenantId::new(1), h1).unwrap();
+
+    let stack = SocketStack::new();
+    let listener = stack.bind(&b, 7000).unwrap();
+    let server_ip = b.ip();
+    let accept = std::thread::spawn(move || {
+        let s = listener.accept(&b, Duration::from_secs(10)).unwrap();
+        (s, b)
+    });
+    let client = stack.connect(&a, server_ip, 7000).unwrap();
+    let (server, b) = accept.join().unwrap();
+    (cluster, a, b, client, server)
+}
+
+/// One application-level round trip: client writes, server echoes, client
+/// verifies. Any transport drama below must be invisible here.
+fn roundtrip(client: &mut FfStream, server: &mut FfStream, msg: &[u8]) {
+    client.write_all(msg).unwrap();
+    let mut got = vec![0u8; msg.len()];
+    server.read_exact(&mut got).unwrap();
+    assert_eq!(got, msg);
+    server.write_all(&got).unwrap();
+    let mut back = vec![0u8; msg.len()];
+    client.read_exact(&mut back).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn stream_survives_failover_then_upgrade_back_to_rdma() {
+    let (cluster, a, _b, mut client, mut server) = streaming_pair();
+    let h0 = a.host();
+    // Short timeouts so the dead wire is detected within the test budget.
+    cluster
+        .agent_of(h0)
+        .unwrap()
+        .set_relay_timeout(Duration::from_millis(200));
+    client.qp().set_relay_timeout(Duration::from_secs(1));
+    server.qp().set_relay_timeout(Duration::from_secs(1));
+
+    // Baseline: the paper-testbed NICs bind RDMA across hosts.
+    roundtrip(&mut client, &mut server, b"over rdma");
+    assert!(matches!(
+        client.qp().path(),
+        FfPath::Remote {
+            transport: TransportKind::Rdma,
+            ..
+        }
+    ));
+    let epoch0 = client.qp().epoch();
+
+    // Kill the bypass NIC. The next frame dies on the downed wire, the QP
+    // fails over onto kernel TCP, and the stream queues a retransmit. The
+    // application sees none of it.
+    cluster.fail_nic(h0).unwrap();
+    client.write_all(b"through the outage").unwrap();
+    wait_until("reactive failover onto TCP", Duration::from_secs(5), || {
+        client.qp().failover_count() == 1
+    });
+    // Converge the agents onto the surviving TCP wires, then let the
+    // stream's reaper retransmit the lost frame over the new path.
+    cluster.refresh_routes();
+    client.flush().unwrap();
+    let mut got = vec![0u8; b"through the outage".len()];
+    server.read_exact(&mut got).unwrap();
+    assert_eq!(got, b"through the outage");
+    assert!(matches!(
+        client.qp().path(),
+        FfPath::Remote {
+            transport: TransportKind::TcpHost,
+            ..
+        }
+    ));
+    assert!(
+        client.retransmit_count() >= 1,
+        "the frame posted into the outage must have been retransmitted"
+    );
+    roundtrip(&mut client, &mut server, b"settled on tcp");
+
+    // Bring the NIC back. `restore_nic` publishes `PathUpdated`; the
+    // library plans a drain-and-rebind and the binding walks
+    // Bound(tcp) → Draining → Rebinding → Bound(rdma) on pump ticks.
+    cluster.restore_nic(h0).unwrap();
+    cluster.refresh_routes();
+    wait_until(
+        "planned upgrade back onto RDMA",
+        Duration::from_secs(5),
+        || {
+            matches!(
+                client.qp().path(),
+                FfPath::Remote {
+                    transport: TransportKind::Rdma,
+                    ..
+                }
+            ) && client.qp().binding_phase() == BindingPhase::Bound
+        },
+    );
+    assert_eq!(
+        client.qp().failover_count(),
+        1,
+        "the upgrade is planned, not a failover"
+    );
+    assert_eq!(client.qp().upgrade_count(), 1);
+    // One epoch for the reactive failover, one for the planned upgrade.
+    assert_eq!(client.qp().epoch(), epoch0 + 2);
+
+    // The same stream keeps working on the restored fast path.
+    roundtrip(&mut client, &mut server, b"back on rdma");
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn stream_survives_remote_to_local_collapse_on_migration() {
+    let (cluster, a, b, mut client, mut server) = streaming_pair();
+    let h0 = a.host();
+
+    roundtrip(&mut client, &mut server, b"before migration");
+    assert!(matches!(
+        client.qp().path(),
+        FfPath::Remote {
+            transport: TransportKind::Rdma,
+            ..
+        }
+    ));
+    let client_epoch0 = client.qp().epoch();
+
+    // Migrate the server's container onto the client's host. Both ends
+    // observe the move (the migrated library by being rehomed, the peer
+    // via `ContainerMoved`), drain, and collapse onto shared memory —
+    // same QPs, same stream, no reconnect.
+    let b = cluster.migrate(b, h0).unwrap();
+    assert_eq!(b.host(), h0);
+    wait_until(
+        "both bindings collapsed onto shared memory",
+        Duration::from_secs(5),
+        || {
+            matches!(client.qp().path(), FfPath::Local { .. })
+                && client.qp().binding_phase() == BindingPhase::Bound
+                && matches!(server.qp().path(), FfPath::Local { .. })
+                && server.qp().binding_phase() == BindingPhase::Bound
+        },
+    );
+    assert_eq!(
+        client.qp().failover_count(),
+        0,
+        "a collapse is planned, not reactive"
+    );
+    assert_eq!(client.qp().epoch(), client_epoch0 + 1);
+    assert!(
+        client.qp().upgrade_count() >= 1,
+        "shared memory outranks RDMA-over-relay"
+    );
+
+    // Data still flows both ways over the collapsed path.
+    roundtrip(&mut client, &mut server, b"co-located now");
+    roundtrip(&mut client, &mut server, b"and still streaming");
+    client.shutdown().unwrap();
+    drop(b);
+}

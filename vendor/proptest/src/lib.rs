@@ -217,7 +217,18 @@ pub mod strategy {
         (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
     }
 
-    /// Uniform choice among same-valued strategies (see [`prop_oneof!`]).
+    /// Strategy producing one fixed value (real proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (see `prop_oneof!`).
     pub struct Union<V> {
         gens: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
     }
@@ -313,6 +324,28 @@ pub mod arbitrary {
 }
 
 pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from `options` (real proptest's `sample::select`).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select on empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
     /// An index into a collection of not-yet-known size.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct Index(u64);
@@ -394,7 +427,7 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::arbitrary::Arbitrary;
-    pub use crate::strategy::{any, Strategy};
+    pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
