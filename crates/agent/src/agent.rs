@@ -22,11 +22,12 @@ use crate::proto::{status, RelayMsg, RelayPayload, WireEp};
 use crate::wire::PeerWire;
 use bytes::Bytes;
 use freeflow_shmem::{ShmDuplex, ShmFabric, ShmMessage, ShmReceiver, ShmSender};
+use freeflow_telemetry::{Counter, Event, LabelSet, Telemetry};
 use freeflow_types::{Error, HostId, OverlayIp, Result, TransportKind};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Payloads at or above this size are re-staged into the arena on local
@@ -79,6 +80,50 @@ struct ContainerLink {
     rx: ShmReceiver,
 }
 
+/// Pre-registered telemetry handles for the forwarding hot paths. Rebuilt
+/// whenever a hub is attached, so the hot paths only touch atomics.
+struct AgentInstruments {
+    hub: Arc<Telemetry>,
+    /// Wire-full retries spent before a relay eventually went out.
+    wire_retries: Arc<Counter>,
+    /// Relays dropped after exhausting the full retry budget.
+    retry_exhausted: Arc<Counter>,
+    /// Nacks synthesized toward local sources (unroutable, timeout, ...).
+    nacks: Arc<Counter>,
+    /// In-flight relay entries expired without a reply.
+    relays_expired: Arc<Counter>,
+}
+
+impl AgentInstruments {
+    fn new(hub: Arc<Telemetry>, host: HostId) -> Self {
+        let labels = LabelSet::host(host.raw());
+        let reg = hub.registry();
+        Self {
+            wire_retries: reg.counter(
+                "ff_agent_wire_retries_total",
+                "full-wire retries spent before a relay went out",
+                labels,
+            ),
+            retry_exhausted: reg.counter(
+                "ff_agent_retry_exhausted_total",
+                "relays nacked after exhausting the wire retry budget",
+                labels,
+            ),
+            nacks: reg.counter(
+                "ff_agent_nacks_total",
+                "nacks synthesized by the forwarding engine",
+                labels,
+            ),
+            relays_expired: reg.counter(
+                "ff_agent_relays_expired_total",
+                "in-flight relays expired without a reply",
+                labels,
+            ),
+            hub,
+        }
+    }
+}
+
 struct AgentInner {
     containers: HashMap<OverlayIp, ContainerLink>,
     wires: Vec<PeerWire>,
@@ -101,6 +146,9 @@ pub struct Agent {
     in_flight: Mutex<HashMap<RelayKey, Instant>>,
     /// Relay timeout in nanoseconds (see [`Agent::set_relay_timeout`]).
     relay_timeout_ns: AtomicU64,
+    /// Telemetry handles. Standalone agents get a private hub; a cluster
+    /// swaps in its shared one via [`Agent::attach_telemetry`].
+    telemetry: RwLock<AgentInstruments>,
 }
 
 /// What a container holds after attaching: its channel to the agent and
@@ -130,7 +178,88 @@ impl Agent {
             zero_copy: AtomicBool::new(true),
             in_flight: Mutex::new(HashMap::new()),
             relay_timeout_ns: AtomicU64::new(DEFAULT_RELAY_TIMEOUT.as_nanos() as u64),
+            telemetry: RwLock::new(AgentInstruments::new(Telemetry::new(), host)),
         })
+    }
+
+    /// Replace the private telemetry hub with a shared (cluster-wide) one
+    /// and install a collector that exports this agent's forwarding stats
+    /// and per-container channel health as gauges at snapshot time.
+    pub fn attach_telemetry(self: &Arc<Self>, hub: &Arc<Telemetry>) {
+        *self.telemetry.write() = AgentInstruments::new(Arc::clone(hub), self.host);
+        let weak: Weak<Agent> = Arc::downgrade(self);
+        let host = self.host.raw();
+        hub.register_collector(move |reg| {
+            let Some(agent) = weak.upgrade() else { return };
+            let labels = LabelSet::host(host);
+            let stats = &agent.stats;
+            let export = [
+                (
+                    "ff_agent_local_delivered",
+                    "messages delivered container-to-container on this host",
+                    stats.local_delivered.load(Ordering::Relaxed),
+                ),
+                (
+                    "ff_agent_relayed_out",
+                    "messages relayed out over a wire",
+                    stats.relayed_out.load(Ordering::Relaxed),
+                ),
+                (
+                    "ff_agent_relayed_in",
+                    "messages received from wires and delivered locally",
+                    stats.relayed_in.load(Ordering::Relaxed),
+                ),
+                (
+                    "ff_agent_nacked",
+                    "nacks generated for unroutable messages",
+                    stats.nacked.load(Ordering::Relaxed),
+                ),
+                (
+                    "ff_agent_zero_copy_bytes",
+                    "payload bytes moved via arena handoff",
+                    stats.zero_copy_bytes.load(Ordering::Relaxed),
+                ),
+            ];
+            for (name, help, value) in export {
+                reg.gauge(name, help, labels).set(value as i64);
+            }
+            let inner = agent.inner.lock();
+            for (ip, link) in &inner.containers {
+                let labels = LabelSet::host(host).with_container(u64::from(ip.raw()));
+                let tx = link.tx.telemetry();
+                let rx = link.rx.telemetry();
+                let export = [
+                    (
+                        "ff_agent_chan_msgs_to_container",
+                        "messages queued agent-to-container",
+                        tx.stats.msgs_sent,
+                    ),
+                    (
+                        "ff_agent_chan_msgs_from_container",
+                        "messages drained container-to-agent",
+                        rx.stats.msgs_received,
+                    ),
+                    (
+                        "ff_agent_chan_backpressure_waits",
+                        "sender parks waiting for ring space, agent-to-container",
+                        tx.space_bell.waits,
+                    ),
+                    (
+                        "ff_agent_chan_recv_waits",
+                        "receiver parks waiting for data, container-to-agent",
+                        rx.data_bell.waits,
+                    ),
+                ];
+                for (name, help, value) in export {
+                    reg.gauge(name, help, labels).set(value as i64);
+                }
+            }
+        });
+    }
+
+    /// The telemetry hub currently in use.
+    pub fn telemetry_hub(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry.read().hub)
     }
 
     /// This agent's host.
@@ -350,6 +479,14 @@ impl Agent {
             }
             keys
         };
+        if !expired.is_empty() {
+            let tm = self.telemetry.read();
+            tm.relays_expired.add(expired.len() as u64);
+            tm.hub.record(Event::RelayExpired {
+                host: self.host.raw(),
+                entries: expired.len() as u32,
+            });
+        }
         for k in &expired {
             // Reconstruct just enough of the original request for nack()
             // to synthesize the right reply shape toward the source.
@@ -473,6 +610,7 @@ impl Agent {
                 // full queue, but *bounded* — a wire that never drains
                 // (wedged or dead peer) must surface as a failed
                 // completion, not a hung forwarding thread.
+                let mut budget_exhausted = true;
                 for attempt in 0..WIRE_SEND_RETRIES {
                     let sent = {
                         let inner = self.inner.lock();
@@ -481,6 +619,15 @@ impl Agent {
                     match sent {
                         Ok(()) => {
                             self.stats.relayed_out.fetch_add(1, Ordering::Relaxed);
+                            if attempt > 0 {
+                                let tm = self.telemetry.read();
+                                tm.wire_retries.add(attempt as u64);
+                                tm.hub.record(Event::RelayRetry {
+                                    host: self.host.raw(),
+                                    attempts: attempt as u32,
+                                    exhausted: false,
+                                });
+                            }
                             self.track_relay(&outbound);
                             return;
                         }
@@ -492,8 +639,20 @@ impl Agent {
                             }
                         }
                         // Wire down or peer gone: fail over immediately.
-                        Err(_) => break,
+                        Err(_) => {
+                            budget_exhausted = false;
+                            break;
+                        }
                     }
+                }
+                if budget_exhausted {
+                    let tm = self.telemetry.read();
+                    tm.retry_exhausted.inc();
+                    tm.hub.record(Event::RelayRetry {
+                        host: self.host.raw(),
+                        attempts: WIRE_SEND_RETRIES as u32,
+                        exhausted: true,
+                    });
                 }
                 self.nack(&outbound, status::TIMEOUT);
             }
@@ -758,6 +917,14 @@ impl Agent {
             _ => return,
         };
         self.stats.nacked.fetch_add(1, Ordering::Relaxed);
+        {
+            let tm = self.telemetry.read();
+            tm.nacks.inc();
+            tm.hub.record(Event::RelayNack {
+                host: self.host.raw(),
+                status: code,
+            });
+        }
         let raw = reply.encode();
         let back_ip = reply.dst().ip;
         // Try local first, then a route.
@@ -1146,5 +1313,82 @@ mod tests {
         assert_eq!(a1.wire_kind(w1), Some(TransportKind::TcpHost));
         assert_eq!(a0.wire_to(HostId::new(1)), Some(w0));
         assert_eq!(a0.wire_to(HostId::new(9)), None);
+    }
+
+    #[test]
+    fn telemetry_counts_nacks_expiry_and_exports_stats() {
+        use freeflow_telemetry::TimedEvent;
+
+        let agent = Agent::new(HostId::new(3), 1 << 20);
+        let hub = Telemetry::new();
+        agent.attach_telemetry(&hub);
+        assert!(Arc::ptr_eq(&agent.telemetry_hub(), &hub));
+        let labels = LabelSet::host(3);
+
+        let a = agent.attach_container(ip(1)).unwrap();
+        // Unroutable destination → nack counter + RelayNack event.
+        a.channel
+            .tx
+            .send(&send_msg(1, 99, 42, b"void").encode())
+            .unwrap();
+        agent.poll();
+        assert!(matches!(recv_inline(&a), RelayMsg::Nack { .. }));
+
+        // Relay out over a wire that never answers → expiry + timeout nack.
+        let peer = Agent::new(HostId::new(4), 1 << 20);
+        let (w, _) = connect_agents(&agent, &peer, TransportKind::Rdma);
+        agent.install_route(ip(2), w).unwrap();
+        agent.set_relay_timeout(Duration::from_millis(10));
+        a.channel
+            .tx
+            .send(&send_msg(1, 2, 7, b"lost").encode())
+            .unwrap();
+        agent.poll();
+        std::thread::sleep(Duration::from_millis(20));
+        agent.poll();
+        assert!(matches!(recv_inline(&a), RelayMsg::Nack { .. }));
+
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_value("ff_agent_nacks_total", labels), Some(2));
+        assert_eq!(
+            snap.counter_value("ff_agent_relays_expired_total", labels),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("ff_agent_retry_exhausted_total", labels),
+            Some(0)
+        );
+        // Collector-exported gauges mirror AgentStats and channel health.
+        assert_eq!(snap.gauge_value("ff_agent_nacked", labels), Some(2));
+        assert_eq!(snap.gauge_value("ff_agent_relayed_out", labels), Some(1));
+        let chan = LabelSet::host(3).with_container(u64::from(ip(1).raw()));
+        assert_eq!(
+            snap.gauge_value("ff_agent_chan_msgs_from_container", chan),
+            Some(2)
+        );
+        // Event order: unroutable nack, expiry, then the timeout nack it
+        // synthesized.
+        let kinds: Vec<&TimedEvent> = snap.events.iter().collect();
+        assert!(matches!(
+            kinds[..],
+            [
+                TimedEvent {
+                    event: Event::RelayNack { host: 3, .. },
+                    ..
+                },
+                TimedEvent {
+                    event: Event::RelayExpired {
+                        host: 3,
+                        entries: 1
+                    },
+                    ..
+                },
+                TimedEvent {
+                    event: Event::RelayNack { host: 3, .. },
+                    ..
+                },
+            ]
+        ));
+        snap.verify_exposition_round_trip().unwrap();
     }
 }

@@ -13,4 +13,11 @@ fn main() {
     for table in freeflow_bench::realpath::all_realpath_figures() {
         println!("{table}");
     }
+    println!("Telemetry exposition (sampled after a cross-host WRITE run)");
+    println!("------------------------------------------------------------");
+    println!();
+    println!(
+        "{}",
+        freeflow_bench::realpath::telemetry_exposition_sample()
+    );
 }

@@ -334,6 +334,23 @@ pub fn all_realpath_figures() -> Vec<Table> {
     ]
 }
 
+/// Run a short cross-host workload and return the cluster's telemetry
+/// exposition, trimmed to the `ff_*` metric families (the full text also
+/// carries `# HELP`/`# TYPE` headers, which we keep — they are what make
+/// the excerpt self-describing next to the figure tables).
+pub fn telemetry_exposition_sample() -> String {
+    const LEN: u32 = 16 * 1024;
+    let p = bench_pair(false);
+    p.mr_a.write(0, &vec![7u8; LEN as usize]).unwrap();
+    for _ in 0..32 {
+        timed_write(&p, LEN);
+    }
+    let snap = p.cluster.telemetry();
+    snap.verify_exposition_round_trip()
+        .expect("bench exposition must parse");
+    snap.to_prometheus_text()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +390,23 @@ mod tests {
         let zc: u64 = t.row_by_key("zero-copy").unwrap()[2].parse().unwrap();
         let copy: u64 = t.row_by_key("copy").unwrap()[2].parse().unwrap();
         assert!(zc > 0 && copy == 0, "{t}");
+    }
+
+    #[test]
+    fn exposition_sample_parses_and_covers_the_live_stack() {
+        let text = telemetry_exposition_sample();
+        let parsed = freeflow_telemetry::parse_exposition(&text).unwrap();
+        for family in [
+            "ff_cq_completions_total",
+            "ff_wr_latency_ns",
+            "ff_orchestrator_events_total",
+        ] {
+            // Histogram families expose suffixed samples (`_bucket`,
+            // `_count`, ...), so match on the family prefix.
+            assert!(
+                parsed.names().any(|n| n.starts_with(family)),
+                "exposition must carry {family}:\n{text}"
+            );
+        }
     }
 }

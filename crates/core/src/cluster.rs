@@ -12,6 +12,7 @@ use crate::library::NetLibrary;
 use freeflow_agent::{connect_agents, Agent};
 use freeflow_orchestrator::registry::ContainerLocation;
 use freeflow_orchestrator::{IpAssign, Orchestrator, PolicyConfig};
+use freeflow_telemetry::{Telemetry, TelemetrySnapshot};
 use freeflow_types::{ContainerId, Error, HostCaps, HostId, Result, TenantId, TransportKind, VmId};
 use freeflow_verbs::VerbsNetwork;
 use parking_lot::Mutex;
@@ -42,20 +43,40 @@ pub struct FreeFlowCluster {
     orchestrator: Arc<Orchestrator>,
     inner: Mutex<ClusterInner>,
     arena_size: usize,
+    /// The cluster-wide telemetry hub: every layer (orchestrator, agents,
+    /// libraries, QPs, CQs) feeds the same registry and flight recorder.
+    telemetry: Arc<Telemetry>,
 }
 
 impl FreeFlowCluster {
     /// Cluster with the given control-plane policy.
     pub fn new(policy: PolicyConfig) -> Arc<Self> {
+        let telemetry = Telemetry::new();
+        let orchestrator = Orchestrator::new("10.0.0.0/16".parse().expect("static"), policy);
+        orchestrator.attach_telemetry(&telemetry);
         Arc::new(Self {
-            orchestrator: Orchestrator::new("10.0.0.0/16".parse().expect("static"), policy),
+            orchestrator,
             inner: Mutex::new(ClusterInner {
                 hosts: Vec::new(),
                 next_container: 0,
                 next_vm: 0,
             }),
             arena_size: DEFAULT_ARENA_SIZE,
+            telemetry,
         })
+    }
+
+    /// The cluster-wide telemetry hub (live handles; prefer
+    /// [`FreeFlowCluster::telemetry`] for a consistent read).
+    pub fn telemetry_hub(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Snapshot every metric and drain-read the flight recorder: the
+    /// observability surface experiments and operators consume (text
+    /// exposition via [`TelemetrySnapshot::to_prometheus_text`]).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Cluster with the default policy (kernel bypass on, same-tenant
@@ -91,6 +112,7 @@ impl FreeFlowCluster {
         let id = HostId::new(inner.hosts.len() as u64);
         self.orchestrator.add_host(id, caps).expect("fresh host id");
         let agent = Agent::new(id, self.arena_size);
+        agent.attach_telemetry(&self.telemetry);
         // Pairwise wires to every existing host, one per transport class.
         for node in &inner.hosts {
             for kind in Self::wire_kinds(&caps, &node.caps) {
@@ -160,6 +182,7 @@ impl FreeFlowCluster {
                 device,
                 handle,
                 Arc::clone(&self.orchestrator),
+                Arc::clone(&self.telemetry),
             ))
         });
         let lib = match lib {

@@ -23,9 +23,12 @@ use freeflow_agent::proto::RelayMsg;
 use freeflow_agent::AgentHandle;
 use freeflow_orchestrator::{Orchestrator, OrchestratorEvent};
 use freeflow_shmem::{ShmFabric, ShmMessage, ShmReceiver, ShmSender};
+use freeflow_telemetry::{LabelSet, Telemetry};
 use freeflow_types::{ContainerId, HostId, OverlayIp, Result, TenantId, TransportKind};
 use freeflow_verbs::wr::AccessFlags;
-use freeflow_verbs::{CompletionQueue, Device, MemoryRegion, ProtectionDomain, VerbsResult};
+use freeflow_verbs::{
+    CompletionQueue, CqInstruments, Device, MemoryRegion, ProtectionDomain, VerbsResult,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +72,8 @@ pub(crate) struct LibShared {
     pub cache: LocationCache,
     /// Live QPs by QPN, for inbound dispatch.
     pub qps: Mutex<HashMap<u32, Weak<FfQp>>>,
+    /// The cluster telemetry hub (counters, histograms, flight recorder).
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl LibShared {
@@ -120,6 +125,7 @@ impl NetLibrary {
         device: Arc<Device>,
         handle: AgentHandle,
         orchestrator: Arc<Orchestrator>,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         let AgentHandle {
             ip,
@@ -137,6 +143,7 @@ impl NetLibrary {
             orchestrator: Arc::clone(&orchestrator),
             cache: LocationCache::new(),
             qps: Mutex::new(HashMap::new()),
+            telemetry,
         });
         let pd = device.alloc_pd();
         let stop = Arc::new(AtomicBool::new(false));
@@ -315,9 +322,40 @@ impl NetLibrary {
         self.pd.register(len, access)
     }
 
-    /// Create a completion queue.
+    /// Create a completion queue, instrumented under this container's
+    /// `(host, container)` telemetry labels. Labels snapshot the host at
+    /// creation time; CQs created before a migration keep reporting under
+    /// the original host, which preserves the timeline's continuity.
     pub fn create_cq(&self, depth: usize) -> Arc<CompletionQueue> {
-        self.shared.device.create_cq(depth)
+        let cq = self.shared.device.create_cq(depth);
+        let hub = &self.shared.telemetry;
+        let host = self.shared.host().raw();
+        let labels = LabelSet::host(host).with_container(self.shared.id.raw());
+        cq.instrument(CqInstruments {
+            hub: Arc::clone(hub),
+            host,
+            completions: hub.registry().counter(
+                "ff_cq_completions_total",
+                "work completions pushed (success and error)",
+                labels,
+            ),
+            completion_errors: hub.registry().counter(
+                "ff_cq_completion_errors_total",
+                "work completions with a non-success status",
+                labels,
+            ),
+            wait_blocks: hub.registry().counter(
+                "ff_cq_wait_blocks_total",
+                "CQ waits that actually parked on the doorbell",
+                labels,
+            ),
+            wr_latency_ns: hub.registry().histogram(
+                "ff_wr_latency_ns",
+                "work-request post-to-completion latency, nanoseconds",
+                labels,
+            ),
+        });
+        cq
     }
 
     /// Create a virtual queue pair.

@@ -33,6 +33,7 @@ use bytes::Bytes;
 use freeflow_agent::proto::{status as st, RelayMsg, RelayPayload};
 use freeflow_agent::ZERO_COPY_THRESHOLD;
 use freeflow_shmem::ArenaHandle;
+use freeflow_telemetry::{Counter, Event, Histogram, LabelSet, Telemetry, TransitionKind};
 use freeflow_types::TransportKind;
 use freeflow_verbs::wr::{RecvWr, SendWr, Sge, WcOpcode, WorkCompletion, WrOpcode};
 use freeflow_verbs::{CompletionQueue, QpState, QueuePair, VerbsError, VerbsResult, WcStatus};
@@ -77,6 +78,24 @@ impl FfPath {
             FfPath::Remote { transport, .. } => Some(*transport),
         }
     }
+
+    /// Interned label for flight-recorder events: the transport name, or
+    /// `"unbound"` before connect.
+    pub fn label(&self) -> &'static str {
+        match self.transport() {
+            Some(t) => t.as_str(),
+            None => "unbound",
+        }
+    }
+}
+
+/// Interned label for a drain/rebind reason.
+fn reason_label(reason: Option<RebindReason>) -> Option<&'static str> {
+    reason.map(|r| match r {
+        RebindReason::Failover => "failover",
+        RebindReason::Upgrade => "upgrade",
+        RebindReason::Collapse => "collapse",
+    })
 }
 
 struct PendingSend {
@@ -85,6 +104,8 @@ struct PendingSend {
     opcode: WcOpcode,
     /// When the op counts as lost if still unanswered.
     deadline: Instant,
+    /// When the op was posted (remote-op latency histogram).
+    posted_at: Instant,
 }
 
 struct PendingRead {
@@ -93,6 +114,8 @@ struct PendingRead {
     sge: Vec<Sge>,
     /// When the op counts as lost if still unanswered.
     deadline: Instant,
+    /// When the op was posted (remote-op latency histogram).
+    posted_at: Instant,
 }
 
 struct InboundSend {
@@ -139,6 +162,13 @@ pub struct FfQp {
     /// How many times this QP re-established its path after a transport
     /// failure (tests/diagnostics).
     failovers: AtomicU64,
+    /// Pre-registered cluster-hub counters mirroring the binding
+    /// lifecycle: every increment has a matching flight-recorder event.
+    tm_failovers: Arc<Counter>,
+    tm_rebinds: Arc<Counter>,
+    tm_upgrades: Arc<Counter>,
+    /// Post-to-answer latency of relayed (remote-path) operations.
+    tm_remote_latency: Arc<Histogram>,
 }
 
 impl FfQp {
@@ -150,6 +180,28 @@ impl FfQp {
         sq_depth: usize,
         rq_depth: usize,
     ) -> Arc<Self> {
+        let labels = LabelSet::host(lib.host().raw()).with_container(lib.id.raw());
+        let reg = lib.telemetry.registry();
+        let tm_failovers = reg.counter(
+            "ff_qp_failovers_total",
+            "reactive re-paths after a transport death",
+            labels,
+        );
+        let tm_rebinds = reg.counter(
+            "ff_qp_rebinds_total",
+            "completed rebinds (failover, upgrade or collapse)",
+            labels,
+        );
+        let tm_upgrades = reg.counter(
+            "ff_qp_upgrades_total",
+            "completed rebinds that strictly improved the transport",
+            labels,
+        );
+        let tm_remote_latency = reg.histogram(
+            "ff_qp_remote_op_latency_ns",
+            "relayed operation post-to-answer latency, nanoseconds",
+            labels,
+        );
         Arc::new(Self {
             lib,
             verbs_qp,
@@ -170,7 +222,42 @@ impl FfQp {
             }),
             op_timeout_ns: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_nanos() as u64),
             failovers: AtomicU64::new(0),
+            tm_failovers,
+            tm_rebinds,
+            tm_upgrades,
+            tm_remote_latency,
         })
+    }
+
+    /// The telemetry hub this QP reports into (the cluster's; exposed so
+    /// higher layers — sockets, MPI — can share its registry and
+    /// recorder).
+    pub fn telemetry_hub(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.lib.telemetry)
+    }
+
+    /// Append one path-transition event to the flight recorder. Callers
+    /// pass the epoch the event is *about*: the old epoch for drains and
+    /// aborts, the new epoch for `Bound`/`Rebound`.
+    fn record_transition(
+        &self,
+        kind: TransitionKind,
+        reason: Option<RebindReason>,
+        epoch: u64,
+        from: &'static str,
+        to: &'static str,
+        upgrade: bool,
+    ) {
+        self.lib.telemetry.record(Event::PathTransition {
+            container: self.lib.id.raw(),
+            qpn: self.qp_num(),
+            kind,
+            reason: reason_label(reason),
+            epoch,
+            from,
+            to,
+            upgrade,
+        });
     }
 
     /// The QP number (stable; shared with the underlying verbs QP).
@@ -276,6 +363,14 @@ impl FfQp {
                 required: "unbound binding",
             })?;
         inner.state = QpState::Rtr;
+        self.record_transition(
+            TransitionKind::Bound,
+            None,
+            inner.binding.epoch(),
+            "unbound",
+            path.label(),
+            false,
+        );
         Ok(())
     }
 
@@ -311,7 +406,11 @@ impl FfQp {
                 return;
             }
             inner.state = QpState::Error;
+            let old = inner.binding.path().label();
+            let reason = inner.binding.reason();
+            let epoch = inner.binding.epoch();
             inner.binding.fail();
+            self.record_transition(TransitionKind::Failed, reason, epoch, old, "error", false);
             let parked: Vec<SendWr> = inner.parked_sends.drain(..).collect();
             let recvs = if matches!(inner.binding.path(), FfPath::Local { .. }) {
                 self.verbs_qp.enter_error();
@@ -477,6 +576,18 @@ impl FfQp {
             return false; // raced with another lifecycle transition
         }
         self.failovers.fetch_add(1, Ordering::Relaxed);
+        // Counter and flight-recorder event move together: every
+        // failover_count increment has exactly one DrainStarted(failover)
+        // event carrying the epoch the failure ended.
+        self.tm_failovers.inc();
+        self.record_transition(
+            TransitionKind::DrainStarted,
+            Some(RebindReason::Failover),
+            inner.binding.epoch(),
+            dead.as_str(),
+            dead.as_str(),
+            false,
+        );
         if collapses {
             // The peer migrated onto this host: the pump finishes the
             // collapse onto shared memory (the caller already flushed
@@ -489,6 +600,15 @@ impl FfQp {
             // finishes on the pump and the rebind completes there.
             return true;
         }
+        self.record_transition(
+            TransitionKind::RebindStarted,
+            Some(RebindReason::Failover),
+            inner.binding.epoch(),
+            dead.as_str(),
+            dead.as_str(),
+            false,
+        );
+        let ups = inner.binding.upgrades();
         inner
             .binding
             .complete_rebind(
@@ -499,6 +619,19 @@ impl FfQp {
                 resolved.generation,
             )
             .expect("rebinding phase was just entered");
+        let upgrade = inner.binding.upgrades() > ups;
+        self.tm_rebinds.inc();
+        if upgrade {
+            self.tm_upgrades.inc();
+        }
+        self.record_transition(
+            TransitionKind::Rebound,
+            Some(RebindReason::Failover),
+            inner.binding.epoch(),
+            dead.as_str(),
+            resolved.transport.as_str(),
+            upgrade,
+        );
         true
     }
 
@@ -530,8 +663,18 @@ impl FfQp {
             return;
         };
         let mut inner = self.inner.lock();
-        if inner.state == QpState::Rts && inner.binding.phase() == BindingPhase::Bound {
-            let _ = inner.binding.begin_drain(reason);
+        if inner.state == QpState::Rts
+            && inner.binding.phase() == BindingPhase::Bound
+            && inner.binding.begin_drain(reason).is_ok()
+        {
+            self.record_transition(
+                TransitionKind::DrainStarted,
+                Some(reason),
+                inner.binding.epoch(),
+                current.as_str(),
+                current.as_str(),
+                false,
+            );
         }
     }
 
@@ -543,8 +686,16 @@ impl FfQp {
             let mut inner = self.inner.lock();
             if inner.binding.phase() == BindingPhase::Draining {
                 let unsettled = inner.pending_sends.len() + inner.pending_reads.len();
-                if unsettled == 0 {
-                    let _ = inner.binding.begin_rebind(0);
+                if unsettled == 0 && inner.binding.begin_rebind(0).is_ok() {
+                    let label = inner.binding.path().label();
+                    self.record_transition(
+                        TransitionKind::RebindStarted,
+                        inner.binding.reason(),
+                        inner.binding.epoch(),
+                        label,
+                        label,
+                        false,
+                    );
                 }
             }
             if inner.binding.phase() != BindingPhase::Rebinding {
@@ -593,6 +744,7 @@ impl FfQp {
             if inner.binding.phase() != BindingPhase::Rebinding {
                 return;
             }
+            let ups = inner.binding.upgrades();
             if inner
                 .binding
                 .complete_rebind(
@@ -606,6 +758,19 @@ impl FfQp {
             {
                 return;
             }
+            let upgrade = inner.binding.upgrades() > ups;
+            self.tm_rebinds.inc();
+            if upgrade {
+                self.tm_upgrades.inc();
+            }
+            self.record_transition(
+                TransitionKind::Rebound,
+                reason,
+                inner.binding.epoch(),
+                old.as_str(),
+                resolved.transport.as_str(),
+                upgrade,
+            );
             inner.replaying = true;
         }
         self.replay_parked();
@@ -623,6 +788,15 @@ impl FfQp {
             if inner.binding.abort_rebind().is_err() {
                 return;
             }
+            let label = inner.binding.path().label();
+            self.record_transition(
+                TransitionKind::Aborted,
+                reason,
+                inner.binding.epoch(),
+                label,
+                label,
+                false,
+            );
             inner.replaying = true;
         }
         self.replay_parked();
@@ -691,11 +865,27 @@ impl FfQp {
                     });
                 }
             }
+            let old = inner.binding.path().label();
+            let reason = inner.binding.reason();
+            let ups = inner.binding.upgrades();
             let ok = inner
                 .binding
                 .complete_rebind(FfPath::Local { peer }, generation)
                 .is_ok();
             if ok {
+                let upgrade = inner.binding.upgrades() > ups;
+                self.tm_rebinds.inc();
+                if upgrade {
+                    self.tm_upgrades.inc();
+                }
+                self.record_transition(
+                    TransitionKind::Rebound,
+                    reason,
+                    inner.binding.epoch(),
+                    old,
+                    TransportKind::SharedMemory.as_str(),
+                    upgrade,
+                );
                 inner.replaying = true;
             }
             ok
@@ -932,6 +1122,7 @@ impl FfQp {
         let dst = peer.wire();
 
         let deadline = self.op_deadline();
+        let posted_at = Instant::now();
         let (msg, pending) = match &wr.opcode {
             WrOpcode::Send => (
                 RelayMsg::Send {
@@ -946,6 +1137,7 @@ impl FfQp {
                     signaled: wr.signaled,
                     opcode: WcOpcode::Send,
                     deadline,
+                    posted_at,
                 },
             ),
             WrOpcode::Write { remote_addr, rkey } => (
@@ -963,6 +1155,7 @@ impl FfQp {
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
                     deadline,
+                    posted_at,
                 },
             ),
             WrOpcode::WriteWithImm {
@@ -984,6 +1177,7 @@ impl FfQp {
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
                     deadline,
+                    posted_at,
                 },
             ),
             WrOpcode::Read { remote_addr, rkey } => {
@@ -1003,6 +1197,7 @@ impl FfQp {
                         signaled: wr.signaled,
                         sge: wr.sge.clone(),
                         deadline,
+                        posted_at,
                     },
                 );
                 self.lib.send_to_agent(&msg);
@@ -1303,6 +1498,8 @@ impl FfQp {
         }
         let pending = self.inner.lock().pending_reads.remove(&req_id);
         let Some(p) = pending else { return };
+        self.tm_remote_latency
+            .record(p.posted_at.elapsed().as_nanos() as u64);
         let wc_status = if status == st::OK {
             match self.scatter(&p.sge, &payload) {
                 Ok(()) => WcStatus::Success,
@@ -1329,6 +1526,8 @@ impl FfQp {
     fn inbound_ack(&self, op_id: u64, byte_len: u64) {
         let pending = self.inner.lock().pending_sends.remove(&op_id);
         let Some(p) = pending else { return };
+        self.tm_remote_latency
+            .record(p.posted_at.elapsed().as_nanos() as u64);
         if p.signaled {
             self.send_cq.push(WorkCompletion {
                 wr_id: p.wr_id,

@@ -30,8 +30,10 @@ pub struct FlowReport {
     pub p99_rtt: Option<Nanos>,
     /// Average per-message time spent in each stage category
     /// `(category name, avg ns)` — the stacked latency bars. For ping-pong
-    /// flows this is per round trip (both directions).
-    pub latency_breakdown: Vec<(String, Nanos)>,
+    /// flows this is per round trip (both directions). Category names are
+    /// interned [`StageCategory`](crate::pipeline::StageCategory) names,
+    /// so building a report never allocates per category.
+    pub latency_breakdown: Vec<(&'static str, Nanos)>,
     /// Transport failovers performed (e.g. RDMA → TCP after NIC death).
     /// `transport` above reflects the transport the flow *ended* on.
     pub failovers: u32,
@@ -121,8 +123,8 @@ mod tests {
                     p50_rtt: None,
                     p99_rtt: None,
                     latency_breakdown: vec![
-                        ("copy".into(), Nanos::from_micros(3)),
-                        ("wakeup".into(), Nanos::from_micros(2)),
+                        ("copy", Nanos::from_micros(3)),
+                        ("wakeup", Nanos::from_micros(2)),
                     ],
                     failovers: 0,
                     lost_msgs: 0,

@@ -652,7 +652,7 @@ impl NetSim {
                     .iter()
                     .filter_map(|c| {
                         let ns = f.category_ns[c.index()] / denom;
-                        (ns > 0).then(|| (c.name().to_string(), Nanos::from_nanos(ns)))
+                        (ns > 0).then(|| (c.name(), Nanos::from_nanos(ns)))
                     })
                     .collect();
                 FlowReport {

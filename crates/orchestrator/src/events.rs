@@ -67,6 +67,31 @@ pub enum OrchestratorEvent {
     },
 }
 
+impl OrchestratorEvent {
+    /// Interned event-kind name, used as a telemetry label and in the
+    /// flight recorder.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OrchestratorEvent::ContainerUp { .. } => "container_up",
+            OrchestratorEvent::ContainerMoved { .. } => "container_moved",
+            OrchestratorEvent::ContainerDown { .. } => "container_down",
+            OrchestratorEvent::HostHealthChanged { .. } => "host_health_changed",
+            OrchestratorEvent::PathUpdated { .. } => "path_updated",
+        }
+    }
+
+    /// The physical host the event concerns, when it names one.
+    pub fn host(&self) -> Option<HostId> {
+        match *self {
+            OrchestratorEvent::ContainerUp { physical_host, .. }
+            | OrchestratorEvent::ContainerMoved { physical_host, .. } => Some(physical_host),
+            OrchestratorEvent::HostHealthChanged { host, .. }
+            | OrchestratorEvent::PathUpdated { host } => Some(host),
+            OrchestratorEvent::ContainerDown { .. } => None,
+        }
+    }
+}
+
 const FEED_DEPTH: usize = 1024;
 
 /// Fan-out of [`OrchestratorEvent`]s to any number of subscribers.

@@ -6,6 +6,7 @@ use crate::events::{EventFeed, OrchestratorEvent};
 use crate::ipam::{IpAssign, Ipam};
 use crate::policy::{PolicyConfig, PolicyEngine};
 use crate::registry::{ContainerLocation, ContainerRecord, HostHealth, Registry};
+use freeflow_telemetry::{Event, LabelSet, Telemetry};
 use freeflow_types::transport::PathDecision;
 use freeflow_types::{
     ContainerId, Error, HostCaps, HostId, OverlayCidr, OverlayIp, Result, TenantId, VmId,
@@ -23,6 +24,9 @@ pub struct Orchestrator {
     state: RwLock<State>,
     policy: PolicyEngine,
     feed: EventFeed,
+    /// Telemetry hub. Standalone orchestrators get a private hub; a
+    /// cluster swaps in its shared one via [`Orchestrator::attach_telemetry`].
+    telemetry: RwLock<Arc<Telemetry>>,
 }
 
 impl Orchestrator {
@@ -35,7 +39,40 @@ impl Orchestrator {
             }),
             policy: PolicyEngine::new(policy),
             feed: EventFeed::new(),
+            telemetry: RwLock::new(Telemetry::new()),
         })
+    }
+
+    /// Replace the private telemetry hub with a shared (cluster-wide) one.
+    /// Call before traffic starts; events recorded earlier stay in the
+    /// old hub.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>) {
+        *self.telemetry.write() = Arc::clone(hub);
+    }
+
+    /// The telemetry hub currently in use.
+    pub fn telemetry_hub(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry.read())
+    }
+
+    /// Publish one control-plane event: count it, record it in the flight
+    /// recorder, then fan it out to subscribers.
+    fn publish(&self, event: OrchestratorEvent) {
+        {
+            let hub = self.telemetry.read();
+            hub.registry()
+                .counter(
+                    "ff_orchestrator_events_total",
+                    "control-plane events published, by kind",
+                    LabelSet::none().with_extra("event", event.kind()),
+                )
+                .inc();
+            hub.record(Event::Orchestrator {
+                kind: event.kind(),
+                host: event.host().map(HostId::raw).unwrap_or(u64::MAX),
+            });
+        }
+        self.feed.publish(event);
     }
 
     /// Orchestrator with the default overlay (`10.0.0.0/16`) and policy.
@@ -101,7 +138,7 @@ impl Orchestrator {
             st.registry.set_host_health(host, health)?;
             (prev, health)
         };
-        self.feed.publish(OrchestratorEvent::HostHealthChanged {
+        self.publish(OrchestratorEvent::HostHealthChanged {
             host,
             nic_up: health.nic_up,
             alive: health.alive,
@@ -113,7 +150,7 @@ impl Orchestrator {
         // keeps fault handling deterministic under chaos testing.
         let improved = (!prev.nic_up && health.nic_up) || (!prev.alive && health.alive);
         if improved {
-            self.feed.publish(OrchestratorEvent::PathUpdated { host });
+            self.publish(OrchestratorEvent::PathUpdated { host });
         }
         Ok(())
     }
@@ -146,7 +183,7 @@ impl Orchestrator {
             }
             (assigned, physical_host)
         };
-        self.feed.publish(OrchestratorEvent::ContainerUp {
+        self.publish(OrchestratorEvent::ContainerUp {
             id,
             ip: assigned,
             location,
@@ -163,7 +200,7 @@ impl Orchestrator {
             let ip = st.registry.container(id)?.ip;
             (ip, st.registry.physical_host(to)?)
         };
-        self.feed.publish(OrchestratorEvent::ContainerMoved {
+        self.publish(OrchestratorEvent::ContainerMoved {
             id,
             ip,
             location: to,
@@ -180,8 +217,7 @@ impl Orchestrator {
             st.ipam.release(rec.ip)?;
             rec.ip
         };
-        self.feed
-            .publish(OrchestratorEvent::ContainerDown { id, ip });
+        self.publish(OrchestratorEvent::ContainerDown { id, ip });
         Ok(())
     }
 
@@ -552,6 +588,53 @@ mod tests {
             .register_container(ContainerId::new(7), TenantId::new(1), bm(0), IpAssign::Auto)
             .unwrap();
         assert_eq!(reused, ips[3]);
+    }
+
+    #[test]
+    fn published_events_land_in_telemetry() {
+        let orch = setup();
+        let hub = Telemetry::new();
+        orch.attach_telemetry(&hub);
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        orch.mark_nic_down(HostId::new(0)).unwrap();
+        orch.mark_nic_up(HostId::new(0)).unwrap(); // health + path_updated
+        orch.move_container(ContainerId::new(1), bm(1)).unwrap();
+        orch.deregister_container(ContainerId::new(1)).unwrap();
+
+        let snap = hub.snapshot();
+        let count = |kind: &'static str| {
+            snap.counter_value(
+                "ff_orchestrator_events_total",
+                LabelSet::none().with_extra("event", kind),
+            )
+        };
+        assert_eq!(count("container_up"), Some(1));
+        assert_eq!(count("host_health_changed"), Some(2));
+        assert_eq!(count("path_updated"), Some(1));
+        assert_eq!(count("container_moved"), Some(1));
+        assert_eq!(count("container_down"), Some(1));
+        // The flight recorder holds the same six events, in publish order.
+        let kinds: Vec<&'static str> = snap
+            .events
+            .iter()
+            .map(|e| match e.event {
+                Event::Orchestrator { kind, .. } => kind,
+                ref other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "container_up",
+                "host_health_changed",
+                "host_health_changed",
+                "path_updated",
+                "container_moved",
+                "container_down",
+            ]
+        );
+        snap.verify_exposition_round_trip().unwrap();
     }
 
     #[test]

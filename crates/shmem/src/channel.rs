@@ -14,9 +14,9 @@
 //! ring is full — backpressure, not unbounded buffering.
 
 use crate::arena::ArenaHandle;
-use crate::doorbell::Doorbell;
+use crate::doorbell::{Doorbell, DoorbellStats};
 use crate::ring::SpscRing;
-use crate::stats::ChannelStats;
+use crate::stats::{ChannelStats, StatsSnapshot};
 use bytes::Bytes;
 use freeflow_types::{Error, Result};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +64,31 @@ struct Shared {
     tx_closed: AtomicBool,
     rx_closed: AtomicBool,
     stats: ChannelStats,
+}
+
+impl Shared {
+    fn telemetry(&self) -> ChannelTelemetry {
+        ChannelTelemetry {
+            stats: self.stats.snapshot(),
+            data_bell: self.data_bell.stats(),
+            space_bell: self.space_bell.stats(),
+        }
+    }
+}
+
+/// A combined point-in-time copy of one channel's traffic counters and
+/// both of its doorbells. The bell stats expose the blocking behaviour
+/// that [`StatsSnapshot`] alone cannot show: `data_bell.waits` counts
+/// receiver parks (consumer outran producer), `space_bell.waits` counts
+/// sender parks (backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelTelemetry {
+    /// Message/byte counters.
+    pub stats: StatsSnapshot,
+    /// The data-available doorbell (rung on push, awaited by the receiver).
+    pub data_bell: DoorbellStats,
+    /// The space-available doorbell (rung on pop, awaited by the sender).
+    pub space_bell: DoorbellStats,
 }
 
 /// Sending half of a unidirectional channel.
@@ -184,6 +209,11 @@ impl ShmSender {
     pub fn stats(&self) -> &ChannelStats {
         &self.shared.stats
     }
+
+    /// Combined traffic + doorbell snapshot (shared with the receiver side).
+    pub fn telemetry(&self) -> ChannelTelemetry {
+        self.shared.telemetry()
+    }
 }
 
 impl Drop for ShmSender {
@@ -285,6 +315,11 @@ impl ShmReceiver {
     /// Channel statistics (shared with the sender side).
     pub fn stats(&self) -> &ChannelStats {
         &self.shared.stats
+    }
+
+    /// Combined traffic + doorbell snapshot (shared with the sender side).
+    pub fn telemetry(&self) -> ChannelTelemetry {
+        self.shared.telemetry()
     }
 }
 
@@ -446,6 +481,89 @@ mod tests {
         assert_eq!(snap.bytes_sent, 150);
         assert_eq!(snap.msgs_received, 2);
         assert_eq!(snap.bytes_received, 150);
+    }
+
+    #[test]
+    fn telemetry_exposes_blocking_behaviour() {
+        let (tx, rx) = channel_pair(64);
+        // Backpressure: fill the ring, then block the sender until the
+        // receiver drains one message.
+        while tx.try_send(&[0u8; 16]).is_ok() {}
+        let sender = std::thread::spawn(move || {
+            tx.send(&[0u8; 16]).unwrap();
+            tx
+        });
+        while rx.telemetry().space_bell.waits == 0 {
+            std::thread::yield_now();
+        }
+        rx.recv().unwrap();
+        let tx = sender.join().unwrap();
+        let t = tx.telemetry();
+        assert!(t.space_bell.waits >= 1, "sender park must be visible");
+
+        // Receiver-side blocking: drain everything, then a recv_timeout on
+        // the idle channel parks on the data bell and times out.
+        while rx.try_recv().is_ok() {}
+        assert_eq!(rx.recv_timeout(Duration::from_millis(200)).unwrap(), None);
+        let t = rx.telemetry();
+        assert!(t.data_bell.waits >= 1);
+        assert!(t.data_bell.timeouts >= 1);
+    }
+
+    #[test]
+    fn stats_snapshots_consistent_under_concurrent_traffic() {
+        let (tx, rx) = channel_pair(1024);
+        const MSGS: u64 = 20_000;
+        let producer = std::thread::spawn(move || {
+            for _ in 0..MSGS {
+                tx.send(&[7u8; 32]).unwrap();
+            }
+            tx
+        });
+        let consumer = std::thread::spawn(move || {
+            for _ in 0..MSGS {
+                rx.recv().unwrap();
+            }
+            rx
+        });
+        let tx = producer.join().unwrap();
+        let rx = consumer.join().unwrap();
+        let (ts, rs) = (tx.telemetry(), rx.telemetry());
+        // Both halves read the same shared counters.
+        assert_eq!(ts, rs);
+        assert_eq!(ts.stats.msgs_sent, MSGS);
+        assert_eq!(ts.stats.msgs_received, MSGS);
+        assert_eq!(ts.stats.bytes_sent, MSGS * 32);
+        assert_eq!(ts.stats.in_flight(), 0);
+        // Every park must have resolved as a wake or a timeout.
+        for bell in [ts.data_bell, ts.space_bell] {
+            assert_eq!(bell.waits, bell.wakes + bell.timeouts);
+        }
+        assert!(ts.data_bell.rings >= MSGS);
+    }
+
+    #[test]
+    fn stats_snapshots_are_monotone_while_hammered() {
+        let (tx, rx) = channel_pair(512);
+        let producer = std::thread::spawn(move || {
+            for _ in 0..5_000u32 {
+                tx.send(&[1u8; 16]).unwrap();
+            }
+        });
+        let mut prev = StatsSnapshot::default();
+        let mut received = 0u32;
+        while received < 5_000 {
+            if rx.recv().is_ok() {
+                received += 1;
+            }
+            let cur = rx.stats().snapshot();
+            assert!(cur.msgs_sent >= prev.msgs_sent);
+            assert!(cur.bytes_sent >= prev.bytes_sent);
+            assert!(cur.msgs_received >= prev.msgs_received);
+            assert!(cur.msgs_sent >= cur.msgs_received);
+            prev = cur;
+        }
+        producer.join().unwrap();
     }
 
     #[test]

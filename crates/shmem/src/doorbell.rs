@@ -21,8 +21,28 @@ use std::time::Duration;
 #[derive(Debug, Default)]
 pub struct Doorbell {
     count: AtomicU64,
+    waits: AtomicU64,
+    wakes: AtomicU64,
+    timeouts: AtomicU64,
     mutex: Mutex<()>,
     condvar: Condvar,
+}
+
+/// A point-in-time copy of a doorbell's counters. `rings` alone says how
+/// busy the producer was; `waits`/`wakes` reveal how often the consumer
+/// actually *blocked* rather than finding work ready — the distinction
+/// between the polling and interrupt-driven regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DoorbellStats {
+    /// Total rings (the monotonic counter's value).
+    pub rings: u64,
+    /// Blocking calls that actually parked on the condvar (calls that
+    /// found the counter already advanced are not counted).
+    pub waits: u64,
+    /// Parked waiters that resumed because the counter advanced.
+    pub wakes: u64,
+    /// Parked waiters that gave up on a timeout.
+    pub timeouts: u64,
 }
 
 impl Doorbell {
@@ -50,13 +70,31 @@ impl Doorbell {
         self.current() > seen
     }
 
+    /// Copy the wait/wake counters.
+    pub fn stats(&self) -> DoorbellStats {
+        DoorbellStats {
+            rings: self.current(),
+            waits: self.waits.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
     /// Block until the counter moves past `seen`; returns the new value.
     pub fn wait(&self, seen: u64) -> u64 {
         let mut guard = self.mutex.lock();
+        let mut parked = false;
         loop {
             let now = self.current();
             if now > seen {
+                if parked {
+                    self.wakes.fetch_add(1, Ordering::Relaxed);
+                }
                 return now;
+            }
+            if !parked {
+                parked = true;
+                self.waits.fetch_add(1, Ordering::Relaxed);
             }
             self.condvar.wait(&mut guard);
         }
@@ -67,15 +105,28 @@ impl Doorbell {
     pub fn wait_timeout(&self, seen: u64, timeout: Duration) -> Option<u64> {
         let deadline = std::time::Instant::now() + timeout;
         let mut guard = self.mutex.lock();
+        let mut parked = false;
         loop {
             let now = self.current();
             if now > seen {
+                if parked {
+                    self.wakes.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(now);
+            }
+            if !parked {
+                parked = true;
+                self.waits.fetch_add(1, Ordering::Relaxed);
             }
             if self.condvar.wait_until(&mut guard, deadline).timed_out() {
                 // One final check: the ring may have raced the timeout.
                 let now = self.current();
-                return (now > seen).then_some(now);
+                if now > seen {
+                    self.wakes.fetch_add(1, Ordering::Relaxed);
+                    return Some(now);
+                }
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return None;
             }
         }
     }
@@ -138,6 +189,36 @@ mod tests {
         let got = bell.wait_timeout(seen, Duration::from_secs(5));
         assert!(got.is_some());
         ringer.join().unwrap();
+    }
+
+    #[test]
+    fn stats_track_parks_wakes_and_timeouts() {
+        let bell = Arc::new(Doorbell::new());
+        assert_eq!(bell.stats(), DoorbellStats::default());
+
+        // A wait that finds the counter already advanced never parks.
+        bell.ring();
+        bell.wait(0);
+        let s = bell.stats();
+        assert_eq!((s.rings, s.waits, s.wakes, s.timeouts), (1, 0, 0, 0));
+
+        // A timed-out wait parks once and records the timeout.
+        assert_eq!(bell.wait_timeout(1, Duration::from_millis(5)), None);
+        let s = bell.stats();
+        assert_eq!((s.waits, s.wakes, s.timeouts), (1, 0, 1));
+
+        // A parked waiter woken by a ring records exactly one wake.
+        let waiter = {
+            let bell = Arc::clone(&bell);
+            std::thread::spawn(move || bell.wait(1))
+        };
+        while bell.stats().waits < 2 {
+            std::thread::yield_now();
+        }
+        bell.ring();
+        assert_eq!(waiter.join().unwrap(), 2);
+        let s = bell.stats();
+        assert_eq!((s.rings, s.waits, s.wakes, s.timeouts), (2, 2, 1, 1));
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub mod ring;
 pub mod stats;
 
 pub use arena::{ArenaHandle, SharedArena};
-pub use channel::{channel_pair, duplex_pair, ShmDuplex, ShmMessage, ShmReceiver, ShmSender};
-pub use doorbell::Doorbell;
+pub use channel::{
+    channel_pair, duplex_pair, ChannelTelemetry, ShmDuplex, ShmMessage, ShmReceiver, ShmSender,
+};
+pub use doorbell::{Doorbell, DoorbellStats};
 pub use fabric::ShmFabric;
 pub use ring::SpscRing;
-pub use stats::ChannelStats;
+pub use stats::{ChannelStats, StatsSnapshot};

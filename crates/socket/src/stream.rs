@@ -9,6 +9,7 @@
 //! contiguous byte stream, never a reconnect.
 
 use freeflow::{Container, FfEndpoint, FfQp};
+use freeflow_telemetry::{Counter, Event, LabelSet, Telemetry};
 use freeflow_types::{Error, Result};
 use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr, WcOpcode};
 use freeflow_verbs::{CompletionQueue, MemoryRegion, VerbsError, WcStatus};
@@ -71,6 +72,13 @@ pub struct FfStream {
     peer_closed: bool,
     /// We sent FIN.
     closed: bool,
+    /// Cluster telemetry hub (shared with the QP's library).
+    hub: Arc<Telemetry>,
+    /// Data/control frames retransmitted after a failed completion.
+    tm_retransmits: Arc<Counter>,
+    /// Data frames that arrived out of order and were parked for
+    /// reassembly.
+    tm_reorders: Arc<Counter>,
 }
 
 impl FfStream {
@@ -96,6 +104,18 @@ impl FfStream {
             ))
             .map_err(|e| Error::config(e.to_string()))?;
         }
+        let hub = qp.telemetry_hub();
+        let labels = LabelSet::host(container.host().raw()).with_container(container.id().raw());
+        let tm_retransmits = hub.registry().counter(
+            "ff_stream_retransmits_total",
+            "stream frames retransmitted after a failed completion",
+            labels,
+        );
+        let tm_reorders = hub.registry().counter(
+            "ff_stream_reorders_total",
+            "stream frames that arrived out of order and were parked",
+            labels,
+        );
         Ok(Self {
             qp,
             send_cq,
@@ -116,6 +136,9 @@ impl FfStream {
             retransmits: 0,
             peer_closed: false,
             closed: false,
+            hub,
+            tm_retransmits,
+            tm_reorders,
         })
     }
 
@@ -211,6 +234,11 @@ impl FfStream {
                 Ok(()) => {
                     self.retransmit_queue.pop_front();
                     self.retransmits += 1;
+                    self.tm_retransmits.inc();
+                    self.hub.record(Event::StreamRetransmit {
+                        qpn: self.qp.qp_num(),
+                        wr_id: id,
+                    });
                 }
                 Err(VerbsError::QueueFull { .. }) => break,
                 Err(e) => return Err(Error::disconnected(e.to_string())),
@@ -239,6 +267,11 @@ impl FfStream {
             // Straggler ordering: retransmitted frames can arrive behind
             // frames posted after them. Park until the gap fills.
             self.reassembly.insert(seq, payload);
+            self.tm_reorders.inc();
+            self.hub.record(Event::StreamReorder {
+                qpn: self.qp.qp_num(),
+                seq: u64::from(seq),
+            });
         }
     }
 

@@ -1,0 +1,144 @@
+//! Static, allocation-free label sets.
+//!
+//! Every metric in the registry is keyed by `(name, LabelSet)`. The label
+//! set is a small `Copy` struct of *interned* values — numeric ids for the
+//! cluster dimensions (`host`, `container`) and `&'static str` for the
+//! transport and one free-form extra pair — so labelling a metric never
+//! allocates and never hashes a heap string on the hot path. The static
+//! strings come from the same interning sources the rest of the workspace
+//! already uses (`TransportKind::as_str`, the netsim stage-category names).
+
+use std::fmt;
+
+/// An interned label set: `(host, container, transport)` plus one optional
+/// free-form `(key, value)` pair for dimensions that do not fit the triple
+/// (orchestrator event kinds, netsim stage categories, doorbell names).
+///
+/// All fields are optional; an all-`None` set renders as no labels at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct LabelSet {
+    /// Raw [`freeflow_types::HostId`] value, if the metric is per-host.
+    pub host: Option<u64>,
+    /// Raw [`freeflow_types::ContainerId`] value, if per-container.
+    pub container: Option<u64>,
+    /// Interned transport name (see `TransportKind::as_str`).
+    pub transport: Option<&'static str>,
+    /// One extra interned `(key, value)` pair.
+    pub extra: Option<(&'static str, &'static str)>,
+}
+
+impl LabelSet {
+    /// The empty label set.
+    pub const fn none() -> Self {
+        Self {
+            host: None,
+            container: None,
+            transport: None,
+            extra: None,
+        }
+    }
+
+    /// A set labelled by host.
+    pub const fn host(host: u64) -> Self {
+        Self {
+            host: Some(host),
+            container: None,
+            transport: None,
+            extra: None,
+        }
+    }
+
+    /// Add (or replace) the container label.
+    pub const fn with_container(mut self, container: u64) -> Self {
+        self.container = Some(container);
+        self
+    }
+
+    /// Add (or replace) the transport label. The string must be interned
+    /// (`&'static`), e.g. `TransportKind::as_str()`.
+    pub const fn with_transport(mut self, transport: &'static str) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Add (or replace) the free-form extra pair. Both halves must be
+    /// interned strings and `key` must be a valid Prometheus label name.
+    pub const fn with_extra(mut self, key: &'static str, value: &'static str) -> Self {
+        self.extra = Some((key, value));
+        self
+    }
+
+    /// Whether no label is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::none()
+    }
+}
+
+/// Renders as the Prometheus label block, e.g. `{host="0",transport="rdma"}`,
+/// or nothing at all when the set is empty.
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let mut sep = '{';
+        if let Some(h) = self.host {
+            write!(f, "{sep}host=\"{h}\"")?;
+            sep = ',';
+        }
+        if let Some(c) = self.container {
+            write!(f, "{sep}container=\"{c}\"")?;
+            sep = ',';
+        }
+        if let Some(t) = self.transport {
+            write!(f, "{sep}transport=\"{t}\"")?;
+            sep = ',';
+        }
+        if let Some((k, v)) = self.extra {
+            write!(f, "{sep}{k}=\"{v}\"")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_renders_as_nothing() {
+        assert_eq!(LabelSet::none().to_string(), "");
+        assert!(LabelSet::none().is_empty());
+    }
+
+    #[test]
+    fn full_set_renders_in_canonical_order() {
+        let l = LabelSet::host(3)
+            .with_container(7)
+            .with_transport("rdma")
+            .with_extra("stage", "copy");
+        assert_eq!(
+            l.to_string(),
+            "{host=\"3\",container=\"7\",transport=\"rdma\",stage=\"copy\"}"
+        );
+    }
+
+    #[test]
+    fn partial_sets_skip_missing_labels() {
+        assert_eq!(LabelSet::host(1).to_string(), "{host=\"1\"}");
+        assert_eq!(
+            LabelSet::none().with_transport("shm").to_string(),
+            "{transport=\"shm\"}"
+        );
+    }
+
+    #[test]
+    fn label_sets_are_hashable_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(LabelSet::host(1), 10);
+        m.insert(LabelSet::host(2), 20);
+        assert_eq!(m[&LabelSet::host(1)], 10);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! The metric registry: named, labelled instruments with interior
+//! registration and lock-free updates.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a short mutex to
+//! dedupe `(name, labels)` pairs and hand back a shared `Arc` — call sites
+//! do this once at construction time and cache the handle. Updating the
+//! returned instrument is pure atomics. `snapshot()` walks the table under
+//! the same mutex and produces an owned, sorted sample list.
+
+use crate::labels::LabelSet;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Key = (&'static str, LabelSet);
+
+#[derive(Default)]
+struct Tables {
+    counters: HashMap<Key, Arc<Counter>>,
+    gauges: HashMap<Key, Arc<Gauge>>,
+    histograms: HashMap<Key, Arc<Histogram>>,
+    /// First-registration-wins help strings, keyed by metric name.
+    help: HashMap<&'static str, &'static str>,
+}
+
+/// A registry of named, labelled metrics.
+#[derive(Default)]
+pub struct MetricRegistry {
+    tables: Mutex<Tables>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.tables.lock();
+        f.debug_struct("MetricRegistry")
+            .field("counters", &t.counters.len())
+            .field("gauges", &t.gauges.len())
+            .field("histograms", &t.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `(name, labels)`.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: LabelSet,
+    ) -> Arc<Counter> {
+        let mut t = self.tables.lock();
+        t.help.entry(name).or_insert(help);
+        Arc::clone(t.counters.entry((name, labels)).or_default())
+    }
+
+    /// Get or register the gauge `(name, labels)`.
+    pub fn gauge(&self, name: &'static str, help: &'static str, labels: LabelSet) -> Arc<Gauge> {
+        let mut t = self.tables.lock();
+        t.help.entry(name).or_insert(help);
+        Arc::clone(t.gauges.entry((name, labels)).or_default())
+    }
+
+    /// Get or register the histogram `(name, labels)`.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: LabelSet,
+    ) -> Arc<Histogram> {
+        let mut t = self.tables.lock();
+        t.help.entry(name).or_insert(help);
+        Arc::clone(t.histograms.entry((name, labels)).or_default())
+    }
+
+    /// Owned point-in-time copy of every registered metric, sorted by
+    /// `(name, labels)` so the output is deterministic.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let t = self.tables.lock();
+        let mut out = Vec::with_capacity(t.counters.len() + t.gauges.len() + t.histograms.len());
+        for (&(name, labels), c) in &t.counters {
+            out.push(MetricSample {
+                name,
+                help: t.help.get(name).copied().unwrap_or(""),
+                labels,
+                value: SampleValue::Counter(c.get()),
+            });
+        }
+        for (&(name, labels), g) in &t.gauges {
+            out.push(MetricSample {
+                name,
+                help: t.help.get(name).copied().unwrap_or(""),
+                labels,
+                value: SampleValue::Gauge(g.get()),
+            });
+        }
+        for (&(name, labels), h) in &t.histograms {
+            out.push(MetricSample {
+                name,
+                help: t.help.get(name).copied().unwrap_or(""),
+                labels,
+                value: SampleValue::Histogram(h.snapshot()),
+            });
+        }
+        out.sort_by(|a, b| (a.name, a.labels).cmp(&(b.name, b.labels)));
+        out
+    }
+}
+
+/// One `(name, labels, value)` triple in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSample {
+    /// Metric name, e.g. `ff_qp_failovers_total`.
+    pub name: &'static str,
+    /// Help text from registration.
+    pub help: &'static str,
+    /// The label set the instrument was registered under.
+    pub labels: LabelSet,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value half of a [`MetricSample`].
+///
+/// The histogram variant dominates the size (a full bucket array), but
+/// samples are built once per snapshot and iterated, never stored hot —
+/// boxing would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl SampleValue {
+    /// The Prometheus `# TYPE` keyword for this sample.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dedupes_by_name_and_labels() {
+        let r = MetricRegistry::new();
+        let a = r.counter("ff_x_total", "x", LabelSet::host(1));
+        let b = r.counter("ff_x_total", "x", LabelSet::host(1));
+        let c = r.counter("ff_x_total", "x", LabelSet::host(2));
+        a.inc();
+        b.inc();
+        c.add(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 2);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = MetricRegistry::new();
+        r.gauge("ff_b", "b", LabelSet::none()).set(-3);
+        r.counter("ff_a_total", "a", LabelSet::host(2)).inc();
+        r.counter("ff_a_total", "a", LabelSet::host(1)).inc();
+        r.histogram("ff_c_ns", "c", LabelSet::none()).record(10);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.iter().map(|s| (s.name, s.labels.host)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("ff_a_total", Some(1)),
+                ("ff_a_total", Some(2)),
+                ("ff_b", None),
+                ("ff_c_ns", None),
+            ]
+        );
+        assert_eq!(snap[2].value, SampleValue::Gauge(-3));
+        assert_eq!(snap[3].value.type_name(), "histogram");
+    }
+}

@@ -1,0 +1,158 @@
+//! Snapshot consistency under concurrent writers, plus property tests for
+//! the bucket→percentile math.
+//!
+//! The histogram's contract is that a snapshot taken at *any* moment —
+//! including mid-hammer — is internally consistent (`count == Σ buckets`)
+//! and monotone with respect to earlier snapshots. The percentile
+//! reconstruction is checked against a sorted-oracle on random sample
+//! sets: the bucketed quantile must be exactly the upper bound of the
+//! bucket holding the true rank-order statistic.
+
+use freeflow_telemetry::{bucket_index, bucket_upper_bound, Event, Histogram, LabelSet, Telemetry};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn histogram_snapshots_stay_consistent_under_hammer() {
+    let h = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4u64)
+        .map(|w| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // Spread samples across many buckets.
+                    h.record((i.wrapping_mul(2654435761 + w)) >> (i % 48));
+                }
+            })
+        })
+        .collect();
+
+    // Snapshot continuously while the writers hammer: every snapshot must
+    // be internally consistent and monotone versus the previous one.
+    let reader = {
+        let h = Arc::clone(&h);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut prev = h.snapshot();
+            let mut observed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let cur = h.snapshot();
+                assert!(cur.count() >= prev.count(), "count went backwards");
+                for i in 0..cur.buckets.len() {
+                    assert!(cur.buckets[i] >= prev.buckets[i], "bucket {i} shrank");
+                }
+                assert!(cur.max >= prev.max, "max shrank");
+                assert!(cur.p50() <= cur.p99(), "quantiles out of order");
+                observed = observed.max(cur.count());
+                prev = cur;
+            }
+            observed
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    reader.join().unwrap();
+
+    // Quiescent: everything must reconcile exactly.
+    let fin = h.snapshot();
+    assert_eq!(fin.count(), 200_000);
+    assert!(fin.max > 0);
+    assert!(fin.sum >= fin.max);
+}
+
+#[test]
+fn hub_snapshot_under_concurrent_recording_round_trips() {
+    let hub = Telemetry::with_recorder_capacity(256);
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                let c = hub
+                    .registry()
+                    .counter("ff_hammer_total", "hammered", LabelSet::host(w));
+                let h =
+                    hub.registry()
+                        .histogram("ff_hammer_ns", "hammer latency", LabelSet::host(w));
+                for i in 0..2_000u64 {
+                    c.inc();
+                    h.record(i * 17 % 4096);
+                    hub.record(Event::DoorbellWait {
+                        host: w,
+                        bell: "hammer",
+                    });
+                }
+            })
+        })
+        .collect();
+    // Exposition must stay parseable while writers are live.
+    for _ in 0..50 {
+        hub.snapshot().verify_exposition_round_trip().unwrap();
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    let snap = hub.snapshot();
+    snap.verify_exposition_round_trip().unwrap();
+    assert_eq!(snap.counter_total("ff_hammer_total"), 6_000);
+    assert_eq!(snap.dropped_events, 6_000 - 256);
+    assert_eq!(snap.events.len(), 256);
+}
+
+proptest! {
+    /// The bucketed quantile equals the upper bound of the bucket holding
+    /// the true rank-order statistic, for any sample set and quantile.
+    #[test]
+    fn quantile_matches_sorted_oracle(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        qs in prop::collection::vec(0usize..=100, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        for q in qs {
+            let q = q as f64 / 100.0;
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let oracle = sorted[rank - 1];
+            prop_assert_eq!(
+                snap.quantile(q),
+                bucket_upper_bound(bucket_index(oracle)),
+                "q={} oracle={}", q, oracle
+            );
+        }
+    }
+
+    /// Quantiles are monotone in q, and every recorded value is bracketed
+    /// by its bucket's bounds.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0u64..u64::MAX / 2, 1..100)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+            let i = bucket_index(v);
+            prop_assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                prop_assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+        let snap = h.snapshot();
+        let mut last = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert!(snap.quantile(1.0) >= snap.max);
+    }
+}

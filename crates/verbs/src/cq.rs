@@ -6,11 +6,13 @@
 //! async event in that case, and silently dropping completions would hide
 //! protocol bugs.
 
+use crate::error::WcStatus;
 use crate::wr::WorkCompletion;
 use freeflow_shmem::Doorbell;
+use freeflow_telemetry::{Counter, Event, Histogram, Telemetry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 struct CqInner {
@@ -18,11 +20,38 @@ struct CqInner {
     overflowed: bool,
 }
 
+/// Telemetry handles a library installs on a CQ it creates. All counters
+/// come from the cluster hub's registry, pre-registered under the owning
+/// `(host, container)` labels, so the hot path touches only atomics.
+pub struct CqInstruments {
+    /// Hub whose flight recorder receives doorbell-wait events.
+    pub hub: Arc<Telemetry>,
+    /// Raw host id, used as the event label.
+    pub host: u64,
+    /// Total completions pushed (success and error).
+    pub completions: Arc<Counter>,
+    /// Completions with a non-success status.
+    pub completion_errors: Arc<Counter>,
+    /// `wait_one` calls that actually blocked on the doorbell.
+    pub wait_blocks: Arc<Counter>,
+    /// Work-request latency histogram (nanoseconds).
+    pub wr_latency_ns: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for CqInstruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CqInstruments")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
 /// A completion queue shared by any number of QPs.
 pub struct CompletionQueue {
     depth: usize,
     inner: Mutex<CqInner>,
     doorbell: Doorbell,
+    instruments: OnceLock<CqInstruments>,
 }
 
 impl CompletionQueue {
@@ -35,7 +64,21 @@ impl CompletionQueue {
                 overflowed: false,
             }),
             doorbell: Doorbell::new(),
+            instruments: OnceLock::new(),
         })
+    }
+
+    /// Install telemetry handles. The first caller wins; later calls are
+    /// ignored (a CQ belongs to exactly one library).
+    pub fn instrument(&self, instruments: CqInstruments) {
+        let _ = self.instruments.set(instruments);
+    }
+
+    /// Record the latency of one completed work request, if instrumented.
+    pub fn record_wr_latency(&self, nanos: u64) {
+        if let Some(ins) = self.instruments.get() {
+            ins.wr_latency_ns.record(nanos);
+        }
     }
 
     /// Capacity.
@@ -53,6 +96,12 @@ impl CompletionQueue {
     /// Public so fabric implementations (the FreeFlow library's relayed
     /// paths) can complete work they executed on the QP's behalf.
     pub fn push(&self, wc: WorkCompletion) -> bool {
+        if let Some(ins) = self.instruments.get() {
+            ins.completions.inc();
+            if wc.status != WcStatus::Success {
+                ins.completion_errors.inc();
+            }
+        }
         let ok = {
             let mut inner = self.inner.lock();
             if inner.queue.len() >= self.depth {
@@ -89,6 +138,7 @@ impl CompletionQueue {
     /// Block until a completion is available or `timeout` passes.
     pub fn wait_one(&self, timeout: Duration) -> Option<WorkCompletion> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut blocked = false;
         loop {
             let seen = self.doorbell.current();
             if let Some(wc) = self.poll_one() {
@@ -97,6 +147,19 @@ impl CompletionQueue {
             let now = std::time::Instant::now();
             if now >= deadline {
                 return self.poll_one();
+            }
+            if !blocked {
+                // Count (and record) only waits that actually park; calls
+                // that find a completion ready stay invisible, mirroring
+                // the doorbell's own wait accounting.
+                blocked = true;
+                if let Some(ins) = self.instruments.get() {
+                    ins.wait_blocks.inc();
+                    ins.hub.record(Event::DoorbellWait {
+                        host: ins.host,
+                        bell: "cq",
+                    });
+                }
             }
             let _ = self
                 .doorbell
@@ -185,6 +248,71 @@ mod tests {
         let got = cq.wait_one(Duration::from_secs(5)).unwrap();
         assert_eq!(got.wr_id, 9);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn instrumented_cq_counts_completions_and_waits() {
+        use freeflow_telemetry::LabelSet;
+
+        let hub = Telemetry::new();
+        let labels = LabelSet::host(3).with_container(1);
+        let cq = CompletionQueue::new(4);
+        cq.instrument(CqInstruments {
+            hub: Arc::clone(&hub),
+            host: 3,
+            completions: hub
+                .registry()
+                .counter("ff_cq_completions_total", "completions", labels),
+            completion_errors: hub.registry().counter(
+                "ff_cq_completion_errors_total",
+                "errored completions",
+                labels,
+            ),
+            wait_blocks: hub
+                .registry()
+                .counter("ff_cq_wait_blocks_total", "blocked waits", labels),
+            wr_latency_ns: hub
+                .registry()
+                .histogram("ff_wr_latency_ns", "WR latency", labels),
+        });
+
+        cq.push(wc(1));
+        let mut err = wc(2);
+        err.status = WcStatus::RetryExcError;
+        cq.push(err);
+        cq.record_wr_latency(1500);
+        // Waits that find work ready must not count as blocked...
+        assert!(cq.wait_one(Duration::from_secs(1)).is_some());
+        assert!(cq.wait_one(Duration::from_secs(1)).is_some());
+        // ...but an empty-queue wait must.
+        assert!(cq.wait_one(Duration::from_millis(5)).is_none());
+
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter_value("ff_cq_completions_total", labels),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("ff_cq_completion_errors_total", labels),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("ff_cq_wait_blocks_total", labels),
+            Some(1)
+        );
+        let h = snap.histogram("ff_wr_latency_ns", labels).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max, 1500);
+        assert!(matches!(
+            snap.events[..],
+            [freeflow_telemetry::TimedEvent {
+                event: Event::DoorbellWait {
+                    host: 3,
+                    bell: "cq"
+                },
+                ..
+            }]
+        ));
     }
 
     #[test]

@@ -425,6 +425,7 @@ impl QueuePair {
     /// Completion rules follow verbs: signaled WRs always complete;
     /// unsignaled WRs complete only on failure.
     pub fn post_send(&self, wr: SendWr) -> VerbsResult<()> {
+        let posted_at = std::time::Instant::now();
         let peer = {
             let mut inner = self.inner.lock();
             if inner.state != QpState::Rts {
@@ -447,6 +448,10 @@ impl QueuePair {
                     let mut inner = self.inner.lock();
                     inner.sq_outstanding -= 1;
                 }
+                // Ops execute synchronously against the peer QP, so the
+                // elapsed time *is* the WR's service latency.
+                self.send_cq
+                    .record_wr_latency(posted_at.elapsed().as_nanos() as u64);
                 if wr.signaled {
                     self.send_cq.push(WorkCompletion {
                         wr_id: wr.wr_id,
