@@ -3,51 +3,126 @@
 //! The paper's library "keeps pulling the newest container location
 //! information from the network orchestrator"; querying the orchestrator
 //! on every message would put a round trip on the data path, so the
-//! library caches `ip → physical host` and invalidates entries from the
-//! orchestrator's event feed. Every entry carries a *generation*: a
-//! connection remembers the generation it resolved its path under, and
-//! re-resolves when the generation moves (the peer migrated).
+//! library caches `ip → (physical host, transport)` and invalidates
+//! entries from the orchestrator's event feed. Every entry carries a
+//! *generation*: a connection remembers the generation it resolved its
+//! path under, and re-resolves when the generation moves (the peer
+//! migrated).
 //!
-//! The cache can be disabled (`set_enabled(false)`) for the A2 ablation,
-//! which measures what the orchestrator round-trip would cost per
-//! operation.
+//! Two generations live side by side and must not be confused:
+//!
+//! * the **local generation** — a per-cache monotonic counter stamped on
+//!   every insert; connections compare against it (`is_current`);
+//! * the **registry generation** — the orchestrator's per-container
+//!   placement counter, recorded so [`LocationCache::reconcile`] can tell
+//!   whether a cached placement silently went stale during a control-plane
+//!   outage (the event gap hides the move; the generation does not).
+//!
+//! The cache is bounded ([`LocationCache::with_capacity`]): at the cap the
+//! least-recently-used entry is evicted, so a library talking to a churning
+//! set of peers cannot grow without bound. It can also be disabled
+//! (`set_enabled(false)`) for the A2 ablation, which measures what the
+//! orchestrator round-trip would cost per operation.
 
-use freeflow_orchestrator::Orchestrator;
-use freeflow_types::{HostId, OverlayIp, Result};
+use freeflow_orchestrator::ControlSnapshot;
+use freeflow_types::{HostId, OverlayIp, TransportKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default entry cap: comfortably above any test topology, small enough
+/// that a pathological peer set cannot balloon the library's footprint.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Sentinel host recorded for degraded (control-plane-unreachable)
+/// resolutions: no real host ever gets `u64::MAX`.
+pub fn degraded_host() -> HostId {
+    HostId::new(u64::MAX)
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     host: HostId,
     generation: u64,
+    registry_gen: u64,
+    transport: TransportKind,
+    degraded: bool,
+    last_used: u64,
 }
 
-/// Cache statistics for the A2 ablation.
+/// What a cache lookup returns: everything `resolve` needs without a
+/// control-plane round trip.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheHit {
+    /// Physical host of the destination (sentinel if `degraded`).
+    pub host: HostId,
+    /// Local cache generation the entry was inserted under.
+    pub generation: u64,
+    /// Registry placement generation at insert time (0 if `degraded`).
+    pub registry_gen: u64,
+    /// The transport decided at insert time.
+    pub transport: TransportKind,
+    /// Whether this entry was a blind fallback taken while the control
+    /// plane was unreachable (re-verified as soon as it answers again).
+    pub degraded: bool,
+}
+
+/// Cache statistics (A2 ablation + degraded-mode accounting).
 #[derive(Debug, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: AtomicU64,
-    /// Lookups that queried the orchestrator.
+    /// Lookups that had to query the orchestrator.
     pub misses: AtomicU64,
+    /// Entries evicted to stay under the capacity cap.
+    pub evictions: AtomicU64,
 }
 
-/// `ip → physical host` cache with per-entry generations.
-#[derive(Debug, Default)]
+/// What [`LocationCache::reconcile`] did to converge on a snapshot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Entries dropped because the snapshot no longer lists the IP.
+    pub evicted_unknown: usize,
+    /// Entries dropped because the placement (host or registry
+    /// generation) changed while this cache was deaf — includes degraded
+    /// fallback entries, which are always re-verified.
+    pub evicted_moved: usize,
+    /// Entries the snapshot confirmed as still current.
+    pub confirmed: usize,
+}
+
+/// `ip → (physical host, transport)` cache with per-entry generations,
+/// an LRU-bounded footprint, and snapshot reconciliation.
+#[derive(Debug)]
 pub struct LocationCache {
     entries: Mutex<HashMap<OverlayIp, Entry>>,
+    capacity: usize,
     next_generation: AtomicU64,
+    /// Monotonic use tick for LRU eviction.
+    tick: AtomicU64,
     enabled: AtomicBool,
     stats: CacheStats,
 }
 
+impl Default for LocationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl LocationCache {
-    /// Empty, enabled cache.
+    /// Empty, enabled cache with the default capacity.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Empty, enabled cache holding at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
             next_generation: AtomicU64::new(1),
+            tick: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             stats: CacheStats::default(),
         }
@@ -66,26 +141,95 @@ impl LocationCache {
         &self.stats
     }
 
-    /// Resolve the physical host of `ip`, consulting the orchestrator on
-    /// miss. Returns `(host, generation)`.
-    pub fn resolve(&self, ip: OverlayIp, orchestrator: &Orchestrator) -> Result<(HostId, u64)> {
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Look `ip` up, counting a hit or miss and refreshing LRU order.
+    pub fn lookup(&self, ip: OverlayIp) -> Option<CacheHit> {
         if self.enabled.load(Ordering::Relaxed) {
-            if let Some(e) = self.entries.lock().get(&ip) {
+            if let Some(e) = self.entries.lock().get_mut(&ip) {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((e.host, e.generation));
+                return Some(CacheHit {
+                    host: e.host,
+                    generation: e.generation,
+                    registry_gen: e.registry_gen,
+                    transport: e.transport,
+                    degraded: e.degraded,
+                });
             }
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let rec = orchestrator.whois(ip)?;
-        let host = orchestrator.locate(rec.id)?;
-        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
-        if self.enabled.load(Ordering::Relaxed) {
-            self.entries.lock().insert(ip, Entry { host, generation });
-        }
-        Ok((host, generation))
+        None
     }
 
-    /// Current generation of an entry, if cached.
+    /// Record a fresh resolution; returns the local generation assigned.
+    /// At capacity, the least-recently-used entry makes room first.
+    pub fn insert(
+        &self,
+        ip: OverlayIp,
+        host: HostId,
+        registry_gen: u64,
+        transport: TransportKind,
+    ) -> u64 {
+        self.insert_inner(ip, host, registry_gen, transport, false)
+    }
+
+    /// Record a degraded fallback resolution (control plane unreachable:
+    /// destination host unknown, transport is the universal TCP path).
+    /// The entry keeps new connections flowing during the outage and is
+    /// re-verified the moment the control plane answers again.
+    pub fn insert_degraded(&self, ip: OverlayIp, transport: TransportKind) -> u64 {
+        self.insert_inner(ip, degraded_host(), 0, transport, true)
+    }
+
+    fn insert_inner(
+        &self,
+        ip: OverlayIp,
+        host: HostId,
+        registry_gen: u64,
+        transport: TransportKind,
+        degraded: bool,
+    ) -> u64 {
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled.load(Ordering::Relaxed) {
+            return generation;
+        }
+        let mut entries = self.entries.lock();
+        if !entries.contains_key(&ip) && entries.len() >= self.capacity {
+            // Evict the least-recently-used entry (O(n) scan: the cap is
+            // small and inserts are off the per-message fast path).
+            if let Some(victim) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(ip, _)| *ip)
+            {
+                entries.remove(&victim);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.insert(
+            ip,
+            Entry {
+                host,
+                generation,
+                registry_gen,
+                transport,
+                degraded,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        generation
+    }
+
+    /// Current local generation of an entry, if cached.
     pub fn generation_of(&self, ip: OverlayIp) -> Option<u64> {
         self.entries.lock().get(&ip).map(|e| e.generation)
     }
@@ -114,69 +258,166 @@ impl LocationCache {
     pub fn is_current(&self, ip: OverlayIp, generation: u64) -> bool {
         self.generation_of(ip) == Some(generation)
     }
+
+    /// Converge on a control-plane snapshot after an event gap: evict
+    /// entries the snapshot no longer lists, evict entries whose placement
+    /// (host or registry generation) moved while this cache was deaf —
+    /// degraded fallbacks always count as moved — and keep the rest.
+    /// Evicted entries re-resolve on next use, which is what makes a
+    /// migration that happened during an outage re-path exactly as if the
+    /// `ContainerMoved` event had been seen live.
+    pub fn reconcile(&self, snapshot: &ControlSnapshot) -> ReconcileReport {
+        let current: HashMap<OverlayIp, (HostId, u64)> = snapshot
+            .containers
+            .iter()
+            .map(|c| (c.ip, (c.host, c.generation)))
+            .collect();
+        let mut report = ReconcileReport::default();
+        self.entries.lock().retain(|ip, e| match current.get(ip) {
+            None => {
+                report.evicted_unknown += 1;
+                false
+            }
+            Some((host, registry_gen)) => {
+                if e.degraded || e.host != *host || e.registry_gen != *registry_gen {
+                    report.evicted_moved += 1;
+                    false
+                } else {
+                    report.confirmed += 1;
+                    true
+                }
+            }
+        });
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use freeflow_orchestrator::registry::ContainerLocation;
-    use freeflow_orchestrator::IpAssign;
-    use freeflow_types::{ContainerId, HostCaps, TenantId};
+    use freeflow_orchestrator::ContainerSnapshot;
 
-    fn orch_with_one() -> (std::sync::Arc<Orchestrator>, OverlayIp) {
-        let orch = Orchestrator::with_defaults();
-        orch.add_host(HostId::new(0), HostCaps::paper_testbed())
-            .unwrap();
-        let ip = orch
-            .register_container(
-                ContainerId::new(1),
-                TenantId::new(1),
-                ContainerLocation::BareMetal(HostId::new(0)),
-                IpAssign::Auto,
-            )
-            .unwrap();
-        (orch, ip)
+    fn ip(last: u8) -> OverlayIp {
+        OverlayIp::from_octets(10, 0, 0, last)
+    }
+
+    fn snap(containers: &[(OverlayIp, u64, u64)]) -> ControlSnapshot {
+        ControlSnapshot {
+            seq: 0,
+            containers: containers
+                .iter()
+                .map(|(ip, host, generation)| ContainerSnapshot {
+                    ip: *ip,
+                    host: HostId::new(*host),
+                    generation: *generation,
+                })
+                .collect(),
+            routes: Vec::new(),
+        }
     }
 
     #[test]
     fn miss_then_hit() {
-        let (orch, ip) = orch_with_one();
         let cache = LocationCache::new();
-        let (h1, g1) = cache.resolve(ip, &orch).unwrap();
-        assert_eq!(h1, HostId::new(0));
-        let (h2, g2) = cache.resolve(ip, &orch).unwrap();
-        assert_eq!((h1, g1), (h2, g2));
+        assert!(cache.lookup(ip(1)).is_none());
+        let g = cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        let hit = cache.lookup(ip(1)).unwrap();
+        assert_eq!(hit.host, HostId::new(0));
+        assert_eq!(hit.generation, g);
+        assert_eq!(hit.transport, TransportKind::Rdma);
+        assert!(!hit.degraded);
         assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
         assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn invalidate_bumps_generation() {
-        let (orch, ip) = orch_with_one();
         let cache = LocationCache::new();
-        let (_, g1) = cache.resolve(ip, &orch).unwrap();
-        assert!(cache.is_current(ip, g1));
-        cache.invalidate(ip);
-        assert!(!cache.is_current(ip, g1));
-        let (_, g2) = cache.resolve(ip, &orch).unwrap();
+        let g1 = cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        assert!(cache.is_current(ip(1), g1));
+        cache.invalidate(ip(1));
+        assert!(!cache.is_current(ip(1), g1));
+        let g2 = cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
         assert_ne!(g1, g2);
     }
 
     #[test]
     fn disabled_cache_always_misses() {
-        let (orch, ip) = orch_with_one();
         let cache = LocationCache::new();
         cache.set_enabled(false);
-        cache.resolve(ip, &orch).unwrap();
-        cache.resolve(ip, &orch).unwrap();
+        cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        assert!(cache.lookup(ip(1)).is_none());
+        assert!(cache.lookup(ip(1)).is_none());
         assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 2);
         assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.len(), 0);
     }
 
     #[test]
-    fn unknown_ip_is_error() {
-        let (orch, _) = orch_with_one();
+    fn capacity_evicts_least_recently_used() {
+        let cache = LocationCache::with_capacity(2);
+        cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        cache.insert(ip(2), HostId::new(0), 1, TransportKind::Rdma);
+        // Touch ip1 so ip2 becomes the LRU victim.
+        cache.lookup(ip(1)).unwrap();
+        cache.insert(ip(3), HostId::new(1), 1, TransportKind::Rdma);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(ip(1)).is_some());
+        assert!(cache.lookup(ip(2)).is_none());
+        assert!(cache.lookup(ip(3)).is_some());
+        assert_eq!(cache.stats().evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reinserting_at_capacity_does_not_evict() {
+        let cache = LocationCache::with_capacity(2);
+        cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        cache.insert(ip(2), HostId::new(0), 1, TransportKind::Rdma);
+        cache.insert(ip(1), HostId::new(1), 2, TransportKind::TcpHost);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn degraded_entries_carry_the_sentinel() {
         let cache = LocationCache::new();
-        assert!(cache.resolve("10.0.99.99".parse().unwrap(), &orch).is_err());
+        cache.insert_degraded(ip(1), TransportKind::TcpHost);
+        let hit = cache.lookup(ip(1)).unwrap();
+        assert!(hit.degraded);
+        assert_eq!(hit.host, degraded_host());
+        assert_eq!(hit.registry_gen, 0);
+        assert_eq!(hit.transport, TransportKind::TcpHost);
+    }
+
+    #[test]
+    fn reconcile_evicts_stale_keeps_current() {
+        let cache = LocationCache::new();
+        cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma); // still current
+        cache.insert(ip(2), HostId::new(0), 1, TransportKind::Rdma); // moved (gen bump)
+        cache.insert(ip(3), HostId::new(0), 1, TransportKind::Rdma); // gone
+        cache.insert_degraded(ip(4), TransportKind::TcpHost); // always re-verified
+        let report = cache.reconcile(&snap(&[(ip(1), 0, 1), (ip(2), 1, 2), (ip(4), 1, 1)]));
+        assert_eq!(
+            report,
+            ReconcileReport {
+                evicted_unknown: 1,
+                evicted_moved: 2,
+                confirmed: 1,
+            }
+        );
+        assert!(cache.lookup(ip(1)).is_some());
+        assert!(cache.lookup(ip(2)).is_none());
+        assert!(cache.lookup(ip(3)).is_none());
+        assert!(cache.lookup(ip(4)).is_none());
+    }
+
+    #[test]
+    fn invalidate_host_drops_matching_entries() {
+        let cache = LocationCache::new();
+        cache.insert(ip(1), HostId::new(0), 1, TransportKind::Rdma);
+        cache.insert(ip(2), HostId::new(1), 1, TransportKind::Rdma);
+        cache.invalidate_host(HostId::new(0));
+        assert!(cache.lookup(ip(1)).is_none());
+        assert!(cache.lookup(ip(2)).is_some());
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::container::Container;
 use crate::library::NetLibrary;
+use crate::orch_client::OrchClient;
 use freeflow_agent::{connect_agents, Agent};
 use freeflow_orchestrator::registry::ContainerLocation;
 use freeflow_orchestrator::{IpAssign, Orchestrator, PolicyConfig};
@@ -28,6 +29,10 @@ struct HostNode {
     caps: HostCaps,
     agent: Arc<Agent>,
     verbs: Arc<VerbsNetwork>,
+    /// The host's control-plane client: forwarding-table refreshes go
+    /// through it so an outage (or a per-host control partition) leaves
+    /// the agent serving its last-known-good routes instead of blocking.
+    client: OrchClient,
     pump_stop: Arc<AtomicBool>,
     pump: Option<std::thread::JoinHandle<()>>,
 }
@@ -125,6 +130,11 @@ impl FreeFlowCluster {
             caps,
             agent,
             verbs: VerbsNetwork::new(),
+            client: OrchClient::new(
+                Arc::clone(&self.orchestrator),
+                Some(id),
+                Arc::clone(&self.telemetry),
+            ),
             pump_stop,
             pump: Some(pump),
         });
@@ -201,11 +211,18 @@ impl FreeFlowCluster {
     }
 
     /// Re-derive every agent's forwarding table from the orchestrator —
-    /// called after any membership change.
+    /// called after any membership change. A host whose control channel is
+    /// down keeps its last-known-good table: established paths keep
+    /// forwarding on stale routes until the next successful refresh (which
+    /// [`FreeFlowCluster::restore_orchestrator`] /
+    /// [`FreeFlowCluster::heal_control`] trigger).
     pub fn refresh_routes(&self) {
         let inner = self.inner.lock();
         for node in &inner.hosts {
-            for (ip, peer_host) in self.orchestrator.routes_for(node.id) {
+            let Ok(routes) = node.client.routes_for(node.id) else {
+                continue; // control plane unreachable: serve stale routes
+            };
+            for (ip, peer_host) in routes {
                 // Route over the fastest wire that is still up.
                 if let Some(wire) = node.agent.best_wire_to(peer_host) {
                     let _ = node.agent.install_route(ip, wire);
@@ -232,6 +249,42 @@ impl FreeFlowCluster {
     pub fn restore_nic(&self, host: HostId) -> Result<()> {
         self.orchestrator.mark_nic_up(host)?;
         self.set_bypass_wires(host, true)
+    }
+
+    /// Crash the orchestrator (cluster-wide control-plane outage): client
+    /// RPCs from every host fail after their retry budget and no events
+    /// are delivered. The data plane must not care — established shm/RDMA
+    /// traffic keeps flowing on cached routes, and new path decisions fall
+    /// back to universal TCP. The registry's persisted state survives, so
+    /// scheduler-driven changes (e.g. a migration) can land *during* the
+    /// outage and are reconciled by snapshot resync after
+    /// [`FreeFlowCluster::restore_orchestrator`]. Idempotent.
+    pub fn fail_orchestrator(&self) {
+        self.orchestrator.fail_control();
+    }
+
+    /// Restart the orchestrator after [`FreeFlowCluster::fail_orchestrator`]:
+    /// publishes `ControlRestored` (every deaf subscriber observes its
+    /// sequence gap and pulls a snapshot resync) and refreshes the agents'
+    /// forwarding tables, which served stale routes during the outage.
+    pub fn restore_orchestrator(&self) {
+        self.orchestrator.restore_control();
+        self.refresh_routes();
+    }
+
+    /// Partition `host`'s control channel: its libraries and agent lose
+    /// the orchestrator (RPCs fail, events withheld) while the rest of the
+    /// cluster — and all data-plane wires — stay up.
+    pub fn partition_control(&self, host: HostId) {
+        self.orchestrator.partition_control(host);
+    }
+
+    /// Heal a control partition created by
+    /// [`FreeFlowCluster::partition_control`] and converge the host's
+    /// routes again.
+    pub fn heal_control(&self, host: HostId) {
+        self.orchestrator.heal_control(host);
+        self.refresh_routes();
     }
 
     fn set_bypass_wires(&self, host: HostId, up: bool) -> Result<()> {

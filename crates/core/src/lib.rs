@@ -72,6 +72,7 @@ pub mod container;
 pub mod endpoint;
 pub mod library;
 pub mod migrate;
+pub mod orch_client;
 pub mod qp;
 #[cfg(test)]
 mod tests;
@@ -80,4 +81,5 @@ pub use cluster::FreeFlowCluster;
 pub use container::Container;
 pub use endpoint::FfEndpoint;
 pub use library::NetLibrary;
+pub use orch_client::{OrchClient, OrchClientConfig};
 pub use qp::FfQp;

@@ -17,14 +17,15 @@
 //! Memory registrations are arena-backed when the host segment has room,
 //! so that the intra-host data plane is genuinely zero-copy shared memory.
 
-use crate::cache::LocationCache;
+use crate::cache::{degraded_host, LocationCache};
+use crate::orch_client::OrchClient;
 use crate::qp::FfQp;
 use freeflow_agent::proto::RelayMsg;
 use freeflow_agent::AgentHandle;
-use freeflow_orchestrator::{Orchestrator, OrchestratorEvent};
+use freeflow_orchestrator::{FeedPoll, FeedSubscription, Orchestrator, OrchestratorEvent};
 use freeflow_shmem::{ShmFabric, ShmMessage, ShmReceiver, ShmSender};
-use freeflow_telemetry::{LabelSet, Telemetry};
-use freeflow_types::{ContainerId, HostId, OverlayIp, Result, TenantId, TransportKind};
+use freeflow_telemetry::{Event, LabelSet, Telemetry};
+use freeflow_types::{ContainerId, Error, HostId, OverlayIp, Result, TenantId, TransportKind};
 use freeflow_verbs::wr::AccessFlags;
 use freeflow_verbs::{
     CompletionQueue, CqInstruments, Device, MemoryRegion, ProtectionDomain, VerbsResult,
@@ -66,8 +67,9 @@ pub(crate) struct LibShared {
     /// The host's shm fabric (arena for zero-copy payloads); swapped on
     /// migration.
     pub fabric: RwLock<Arc<ShmFabric>>,
-    /// The control plane.
-    pub orchestrator: Arc<Orchestrator>,
+    /// The control-plane client (deadlines, bounded retries, degraded
+    /// flag — every orchestrator call this library makes goes through it).
+    pub client: OrchClient,
     /// The location cache.
     pub cache: LocationCache,
     /// Live QPs by QPN, for inbound dispatch.
@@ -88,16 +90,79 @@ impl LibShared {
     }
 
     /// Resolve where `dst` lives and which transport to use.
+    ///
+    /// Degraded-mode contract (DESIGN.md §9): a cache hit is served even
+    /// when the control plane is unreachable (a *stale serve* — counted),
+    /// so established paths never stall on an orchestrator outage. A cache
+    /// miss during an outage falls back to the universal TCP path (a
+    /// *degraded decision* — counted) instead of erroring; the fallback is
+    /// re-verified the moment the control plane answers again.
     pub fn resolve(&self, dst: OverlayIp) -> Result<ResolvedPath> {
-        let (host, generation) = self.cache.resolve(dst, &self.orchestrator)?;
-        let decision = self.orchestrator.decide_path_by_ip(self.ip, dst)?;
-        let transport = freeflow_orchestrator::orchestrator::require_transport(decision)?;
-        Ok(ResolvedPath {
-            local: host == self.host(),
-            transport,
-            host,
-            generation,
-        })
+        if let Some(hit) = self.cache.lookup(dst) {
+            let reachable = self.client.reachable();
+            if hit.degraded && reachable {
+                // Blind fallback taken during an outage, and the control
+                // plane is back: re-verify instead of serving it.
+                self.cache.invalidate(dst);
+            } else {
+                if !reachable {
+                    self.telemetry
+                        .registry()
+                        .counter(
+                            "ff_orch_stale_serves_total",
+                            "cache hits served while the control plane was unreachable",
+                            LabelSet::none(),
+                        )
+                        .inc();
+                    self.telemetry.record(Event::ControlPlane {
+                        kind: "stale_serve",
+                        host: self.host().raw(),
+                        detail: 0,
+                    });
+                }
+                return Ok(ResolvedPath {
+                    local: !hit.degraded && hit.host == self.host(),
+                    transport: hit.transport,
+                    host: hit.host,
+                    generation: hit.generation,
+                });
+            }
+        }
+        match self.client.resolve_route(self.ip, dst) {
+            Ok((host, registry_gen, transport)) => {
+                let generation = self.cache.insert(dst, host, registry_gen, transport);
+                Ok(ResolvedPath {
+                    local: host == self.host(),
+                    transport,
+                    host,
+                    generation,
+                })
+            }
+            Err(Error::Unavailable(_)) => {
+                self.telemetry
+                    .registry()
+                    .counter(
+                        "ff_orch_degraded_decisions_total",
+                        "path decisions made blind (control plane unreachable): universal TCP fallback",
+                        LabelSet::none(),
+                    )
+                    .inc();
+                self.telemetry.record(Event::ControlPlane {
+                    kind: "degraded_decision",
+                    host: self.host().raw(),
+                    detail: 0,
+                });
+                let transport = TransportKind::TcpHost;
+                let generation = self.cache.insert_degraded(dst, transport);
+                Ok(ResolvedPath {
+                    local: false,
+                    transport,
+                    host: degraded_host(),
+                    generation,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Hand a relay message to the host agent.
@@ -140,17 +205,37 @@ impl NetLibrary {
             device: Arc::clone(&device),
             agent_tx: Mutex::new(channel.tx),
             fabric: RwLock::new(fabric),
-            orchestrator: Arc::clone(&orchestrator),
+            client: OrchClient::new(
+                Arc::clone(&orchestrator),
+                Some(host),
+                Arc::clone(&telemetry),
+            ),
             cache: LocationCache::new(),
             qps: Mutex::new(HashMap::new()),
-            telemetry,
+            telemetry: Arc::clone(&telemetry),
         });
+        // Scrape-time gauge: cache footprint, so bounded growth is
+        // observable (no-ops once the library is gone).
+        {
+            let weak = Arc::downgrade(&shared);
+            let labels = LabelSet::none().with_container(id.raw());
+            telemetry.register_collector(move |reg| {
+                if let Some(s) = weak.upgrade() {
+                    reg.gauge(
+                        "ff_location_cache_entries",
+                        "location-cache entries currently held, per container",
+                        labels,
+                    )
+                    .set(s.cache.len() as i64);
+                }
+            });
+        }
         let pd = device.alloc_pd();
         let stop = Arc::new(AtomicBool::new(false));
         let pump = Self::spawn_pump(
             Arc::clone(&shared),
             channel.rx,
-            orchestrator.subscribe(),
+            shared.client.subscribe(),
             Arc::clone(&stop),
         );
         Self {
@@ -164,12 +249,15 @@ impl NetLibrary {
     fn spawn_pump(
         shared: Arc<LibShared>,
         rx: ShmReceiver,
-        events: crossbeam::channel::Receiver<OrchestratorEvent>,
+        mut sub: FeedSubscription,
         stop: Arc<AtomicBool>,
     ) -> std::thread::JoinHandle<()> {
         std::thread::Builder::new()
             .name(format!("ff-lib-{}", shared.ip))
             .spawn(move || {
+                // Set when a sequence gap (or feed loss) shows events were
+                // missed; cleared by a successful snapshot resync.
+                let mut needs_resync = false;
                 while !stop.load(Ordering::Relaxed) {
                     // Inbound relay messages → QPs.
                     match rx.recv_timeout(Duration::from_millis(1)) {
@@ -196,7 +284,36 @@ impl NetLibrary {
                     // reactively by the failover path, which keeps fault
                     // handling deterministic under chaos testing.
                     let mut paths_dirty = false;
-                    while let Ok(ev) = events.try_recv() {
+                    loop {
+                        let ev = match sub.try_next() {
+                            FeedPoll::Event(ev) => ev,
+                            FeedPoll::Gap { missed, event } => {
+                                // Events were lost (outage, partition, or a
+                                // wedged feed): whatever state they carried
+                                // is unknown — schedule a snapshot resync.
+                                needs_resync = true;
+                                let reg = shared.telemetry.registry();
+                                reg.counter(
+                                    "ff_orch_feed_gaps_total",
+                                    "event-feed sequence gaps observed",
+                                    LabelSet::none(),
+                                )
+                                .inc();
+                                reg.counter(
+                                    "ff_orch_feed_gap_events_total",
+                                    "control-plane events missed across all gaps",
+                                    LabelSet::none(),
+                                )
+                                .add(missed);
+                                shared.telemetry.record(Event::ControlPlane {
+                                    kind: "gap",
+                                    host: shared.host().raw(),
+                                    detail: missed,
+                                });
+                                event
+                            }
+                            FeedPoll::Empty | FeedPoll::Disconnected => break,
+                        };
                         match ev {
                             OrchestratorEvent::ContainerMoved { ip, .. } => {
                                 shared.cache.invalidate(ip);
@@ -209,16 +326,64 @@ impl NetLibrary {
                                 // Paths through this host may have changed
                                 // transport (NIC death) or died entirely
                                 // (crash): drop every cached entry for it.
-                                shared.cache.invalidate_host(host);
+                                // A cached entry holds the *pair* decision,
+                                // so when the event is about our own host
+                                // every entry is suspect.
+                                if host == shared.host() {
+                                    shared.cache.clear();
+                                } else {
+                                    shared.cache.invalidate_host(host);
+                                }
                             }
                             OrchestratorEvent::PathUpdated { host } => {
                                 // A host's connectivity *improved*: stale
                                 // entries may name a worse transport than
                                 // the orchestrator would now pick.
-                                shared.cache.invalidate_host(host);
+                                if host == shared.host() {
+                                    shared.cache.clear();
+                                } else {
+                                    shared.cache.invalidate_host(host);
+                                }
                                 paths_dirty = true;
                             }
                             OrchestratorEvent::ContainerUp { .. } => {}
+                            OrchestratorEvent::ControlRestored { scope } => {
+                                // The control plane answers again. Even if
+                                // no events were missed, degraded fallback
+                                // paths taken during the outage should now
+                                // upgrade — let every QP re-evaluate.
+                                if scope.is_none() || scope == Some(shared.host()) {
+                                    paths_dirty = true;
+                                }
+                            }
+                        }
+                    }
+                    // Gap recovery: pull a full snapshot and reconcile the
+                    // cache against it, then resume the feed from the
+                    // sequence the snapshot covers. A migration that
+                    // happened while we were deaf surfaces here as an
+                    // evicted entry — the owning QP re-paths exactly as if
+                    // the ContainerMoved event had been seen live.
+                    if needs_resync && shared.client.reachable() {
+                        if let Ok(snap) = shared.client.snapshot(shared.host()) {
+                            let report = shared.cache.reconcile(&snap);
+                            sub.advance_to(snap.seq);
+                            needs_resync = false;
+                            paths_dirty = true;
+                            shared
+                                .telemetry
+                                .registry()
+                                .counter(
+                                    "ff_orch_resyncs_total",
+                                    "snapshot resyncs completed after an event gap",
+                                    LabelSet::none(),
+                                )
+                                .inc();
+                            shared.telemetry.record(Event::ControlPlane {
+                                kind: "resync",
+                                host: shared.host().raw(),
+                                detail: (report.evicted_unknown + report.evicted_moved) as u64,
+                            });
                         }
                     }
                     let qps: Vec<Arc<FfQp>> = {
@@ -278,6 +443,9 @@ impl NetLibrary {
         *self.shared.agent_tx.lock() = channel.tx;
         *self.shared.fabric.write() = fabric;
         *self.shared.host.write() = host;
+        // The control-plane client now calls from the new host (per-host
+        // partitions must apply to where the library actually runs).
+        self.shared.client.set_host(host);
         // Every cached location was resolved relative to the old host.
         self.shared.cache.clear();
         let stop = Arc::new(AtomicBool::new(false));
@@ -285,7 +453,7 @@ impl NetLibrary {
         self.pump = Some(Self::spawn_pump(
             Arc::clone(&self.shared),
             channel.rx,
-            self.shared.orchestrator.subscribe(),
+            self.shared.client.subscribe(),
             stop,
         ));
         // Live QPs re-evaluate their paths relative to the new host —

@@ -3,10 +3,16 @@
 //! → wire → agent → shm channel) must arrive intact, in order, with
 //! balanced completions.
 
+use freeflow::cache::LocationCache;
+use freeflow::orch_client::{OrchClient, OrchClientConfig};
 use freeflow::FreeFlowCluster;
-use freeflow_types::{HostCaps, TenantId};
+use freeflow_orchestrator::{
+    ContainerLocation, FeedPoll, FeedSubscription, IpAssign, Orchestrator, OrchestratorEvent,
+};
+use freeflow_types::{ContainerId, Error, HostCaps, HostId, OverlayIp, TenantId, TransportKind};
 use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
 use proptest::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 const T: Duration = Duration::from_secs(20);
@@ -146,4 +152,221 @@ fn unaligned_arena_staging_does_not_leak() {
         baseline1,
         "receiver-host arena back to baseline"
     );
+}
+
+/// One step of the control-plane interleaving exercised by
+/// [`cache_never_disagrees_with_registry_after_convergence`].
+#[derive(Debug, Clone, Copy)]
+enum ControlOp {
+    /// Resolve peer `dst` the way `NetLibrary::resolve` does (cache hit,
+    /// authoritative miss, or degraded fallback).
+    Resolve(usize),
+    /// Migrate container `c` to host `h` (the registry store stays
+    /// writable during outages — exactly the deaf-migration case).
+    Move(usize, usize),
+    /// Cluster-wide orchestrator outage / recovery.
+    FailControl,
+    RestoreControl,
+    /// Per-host control partition of the observer's host / its heal.
+    Partition,
+    Heal,
+    /// Drain the event feed the way the library pump does.
+    Drain,
+    /// Snapshot-resync if a gap was observed and control answers.
+    Resync,
+}
+
+fn control_op() -> impl Strategy<Value = ControlOp> {
+    prop_oneof![
+        (1usize..4).prop_map(ControlOp::Resolve),
+        ((1usize..4), (0usize..3)).prop_map(|(c, h)| ControlOp::Move(c, h)),
+        Just(ControlOp::FailControl),
+        Just(ControlOp::RestoreControl),
+        Just(ControlOp::Partition),
+        Just(ControlOp::Heal),
+        Just(ControlOp::Drain),
+        Just(ControlOp::Resync),
+    ]
+}
+
+/// Apply one feed event to the cache exactly as the library pump does: a
+/// cached decision is a *pair* decision, so events about the observer's
+/// own host clear the whole cache.
+fn apply_event(cache: &LocationCache, my_host: HostId, ev: OrchestratorEvent) {
+    match ev {
+        OrchestratorEvent::ContainerMoved { ip, .. }
+        | OrchestratorEvent::ContainerDown { ip, .. } => cache.invalidate(ip),
+        OrchestratorEvent::HostHealthChanged { host, .. }
+        | OrchestratorEvent::PathUpdated { host } => {
+            if host == my_host {
+                cache.clear();
+            } else {
+                cache.invalidate_host(host);
+            }
+        }
+        OrchestratorEvent::ContainerUp { .. } | OrchestratorEvent::ControlRestored { .. } => {}
+    }
+}
+
+fn drain_feed(
+    cache: &LocationCache,
+    my_host: HostId,
+    sub: &mut FeedSubscription,
+    needs_resync: &mut bool,
+) {
+    loop {
+        match sub.try_next() {
+            FeedPoll::Event(ev) => apply_event(cache, my_host, ev),
+            FeedPoll::Gap { event, .. } => {
+                *needs_resync = true;
+                apply_event(cache, my_host, event);
+            }
+            FeedPoll::Empty | FeedPoll::Disconnected => break,
+        }
+    }
+}
+
+fn resolve_like_library(
+    cache: &LocationCache,
+    client: &OrchClient,
+    src: OverlayIp,
+    dst: OverlayIp,
+) -> Result<(), Error> {
+    if let Some(hit) = cache.lookup(dst) {
+        if hit.degraded && client.reachable() {
+            // Degraded entries self-heal the moment control answers.
+            cache.invalidate(dst);
+        } else {
+            return Ok(());
+        }
+    }
+    match client.resolve_route(src, dst) {
+        Ok((host, registry_gen, transport)) => {
+            cache.insert(dst, host, registry_gen, transport);
+            Ok(())
+        }
+        Err(Error::Unavailable(_)) => {
+            cache.insert_degraded(dst, TransportKind::TcpHost);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of publishes (migrations), delivery drops
+    /// (outages / partitions), pump drains and snapshot-resyncs never
+    /// leave a non-degraded cache entry whose placement generation
+    /// disagrees with the orchestrator registry — neither at any quiescent
+    /// point mid-run (feed drained, no pending resync, control reachable)
+    /// nor after final convergence.
+    #[test]
+    fn cache_never_disagrees_with_registry_after_convergence(
+        ops in prop::collection::vec(control_op(), 1..48),
+    ) {
+        let orch = Orchestrator::with_defaults();
+        let hosts: Vec<HostId> = (0..3u64).map(HostId::new).collect();
+        for &h in &hosts {
+            orch.add_host(h, HostCaps::paper_testbed()).unwrap();
+        }
+        let my_host = hosts[0];
+        // Tight deadlines: the interleaving exercises many unreachable
+        // calls and must not sleep the wall clock for each.
+        let client = OrchClient::with_config(
+            Arc::clone(&orch),
+            Some(my_host),
+            orch.telemetry_hub(),
+            OrchClientConfig {
+                op_deadline: Duration::from_micros(200),
+                max_attempts: 2,
+                backoff_base: Duration::from_micros(10),
+                backoff_cap: Duration::from_micros(50),
+            },
+        );
+        let cache = LocationCache::new();
+        let mut sub = client.subscribe();
+        let mut needs_resync = false;
+
+        let ids: Vec<ContainerId> = (0..4).map(|i| ContainerId::new(i as u64)).collect();
+        let mut ips: Vec<OverlayIp> = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let ip = orch
+                .register_container(
+                    id,
+                    TenantId::new(1),
+                    ContainerLocation::BareMetal(hosts[i % hosts.len()]),
+                    IpAssign::Auto,
+                )
+                .unwrap();
+            ips.push(ip);
+        }
+        let src = ips[0];
+
+        let check_agreement = |cache: &LocationCache, degraded_ok: bool| {
+            for (i, &ip) in ips.iter().enumerate() {
+                if let Some(hit) = cache.lookup(ip) {
+                    if hit.degraded {
+                        prop_assert!(degraded_ok, "degraded entry survived convergence");
+                        continue;
+                    }
+                    let rec = orch.whois(ip).unwrap();
+                    prop_assert_eq!(
+                        hit.registry_gen, rec.generation,
+                        "container {} cached gen {} vs registry {}",
+                        i, hit.registry_gen, rec.generation
+                    );
+                    prop_assert_eq!(hit.host, orch.locate(rec.id).unwrap());
+                }
+            }
+            Ok(())
+        };
+
+        for op in ops {
+            match op {
+                ControlOp::Resolve(d) => {
+                    resolve_like_library(&cache, &client, src, ips[d]).unwrap();
+                }
+                ControlOp::Move(c, h) => {
+                    let _ = orch.move_container(ids[c], ContainerLocation::BareMetal(hosts[h]));
+                }
+                ControlOp::FailControl => orch.fail_control(),
+                ControlOp::RestoreControl => orch.restore_control(),
+                ControlOp::Partition => orch.partition_control(my_host),
+                ControlOp::Heal => orch.heal_control(my_host),
+                ControlOp::Drain => {
+                    drain_feed(&cache, my_host, &mut sub, &mut needs_resync);
+                    // Quiescent point: feed drained, nothing pending.
+                    if client.reachable() && !needs_resync {
+                        check_agreement(&cache, true)?;
+                    }
+                }
+                ControlOp::Resync => {
+                    if needs_resync && client.reachable() {
+                        if let Ok(snap) = client.snapshot(my_host) {
+                            cache.reconcile(&snap);
+                            sub.advance_to(snap.seq);
+                            needs_resync = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Converge: restore control, drain the reveal-the-gap events,
+        // resync if deaf, and let every degraded decision self-heal.
+        orch.restore_control();
+        orch.heal_control(my_host);
+        drain_feed(&cache, my_host, &mut sub, &mut needs_resync);
+        if needs_resync {
+            let snap = client.snapshot(my_host).unwrap();
+            cache.reconcile(&snap);
+            sub.advance_to(snap.seq);
+        }
+        for dst in ips.iter().skip(1) {
+            resolve_like_library(&cache, &client, src, *dst).unwrap();
+        }
+        check_agreement(&cache, false)?;
+    }
 }

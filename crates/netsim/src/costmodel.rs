@@ -101,6 +101,10 @@ pub struct CostParams {
     /// re-establish traffic on the fallback transport (retry exhaustion +
     /// orchestrator re-path).
     pub failover_detect: Nanos,
+    /// Extra re-path delay when the orchestrator is unreachable: the
+    /// library burns its per-op deadline (with retries) before deciding
+    /// locally from the cache and falling back to universal TCP.
+    pub degraded_repath_extra: Nanos,
 }
 
 impl Default for CostParams {
@@ -157,6 +161,9 @@ impl CostParams {
             wire_propagation: Nanos::from_nanos(500),
             switch_latency: Nanos::from_nanos(300),
             failover_detect: Nanos::from_micros(100),
+            // OrchClient default: 2 ms op deadline exhausted by bounded
+            // retries before the degraded local decision is taken.
+            degraded_repath_extra: Nanos::from_millis(2),
         }
     }
 

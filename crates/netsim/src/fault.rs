@@ -1,6 +1,6 @@
 //! Seeded, reproducible fault plans injected into the event queue.
 //!
-//! Three fault classes cover the failure modes FreeFlow's control plane
+//! Five fault classes cover the failure modes FreeFlow's control plane
 //! must survive:
 //!
 //! * [`FaultKind::NicDown`] — the kernel-bypass NIC dies permanently;
@@ -11,6 +11,13 @@
 //!   transport once the link returns.
 //! * [`FaultKind::HostCrash`] — the host dies outright; flows with an
 //!   endpoint on it are killed, everyone else must still converge.
+//! * [`FaultKind::OrchestratorOutage`] — the orchestrator's dissemination
+//!   plane goes dark cluster-wide for a bounded duration. Established
+//!   traffic is untouched; any *re-path* forced by a data-plane fault
+//!   inside the window is degraded (decided from stale cache state, with
+//!   an extra decision delay).
+//! * [`FaultKind::ControlPartition`] — like an outage, but only one host
+//!   loses its control channel; only re-paths involving that host degrade.
 //!
 //! A [`FaultPlan`] is either built explicitly or generated from a seed via
 //! [`FaultPlan::randomized`]; either way the simulation consumes no other
@@ -41,15 +48,33 @@ pub enum FaultKind {
         /// Sim host index that dies.
         host: usize,
     },
+    /// The orchestrator's control plane is unreachable from every host for
+    /// `duration`. Data-plane traffic keeps flowing; re-paths made inside
+    /// the window are degraded.
+    OrchestratorOutage {
+        /// How long the orchestrator stays dark.
+        duration: Nanos,
+    },
+    /// `host` loses its control channel to the orchestrator for
+    /// `duration`; only re-paths involving that host degrade.
+    ControlPartition {
+        /// Sim host index cut off from the orchestrator.
+        host: usize,
+        /// How long the partition lasts.
+        duration: Nanos,
+    },
 }
 
 impl FaultKind {
-    /// The host the fault strikes.
-    pub fn host(&self) -> usize {
+    /// The host the fault strikes, if it targets one
+    /// ([`FaultKind::OrchestratorOutage`] is cluster-wide).
+    pub fn host(&self) -> Option<usize> {
         match self {
             FaultKind::NicDown { host }
             | FaultKind::LinkFlap { host, .. }
-            | FaultKind::HostCrash { host } => *host,
+            | FaultKind::HostCrash { host }
+            | FaultKind::ControlPartition { host, .. } => Some(*host),
+            FaultKind::OrchestratorOutage { .. } => None,
         }
     }
 
@@ -59,6 +84,8 @@ impl FaultKind {
             FaultKind::NicDown { .. } => "nic-down",
             FaultKind::LinkFlap { .. } => "link-flap",
             FaultKind::HostCrash { .. } => "host-crash",
+            FaultKind::OrchestratorOutage { .. } => "orch-outage",
+            FaultKind::ControlPartition { .. } => "control-partition",
         }
     }
 }
@@ -139,6 +166,25 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a cluster-wide orchestrator outage at `at` lasting
+    /// `duration`.
+    pub fn orchestrator_outage(mut self, at: Nanos, duration: Nanos) -> Self {
+        self.faults.push(Fault {
+            at,
+            kind: FaultKind::OrchestratorOutage { duration },
+        });
+        self
+    }
+
+    /// Schedule a control partition of `host` at `at` lasting `duration`.
+    pub fn control_partition(mut self, at: Nanos, host: usize, duration: Nanos) -> Self {
+        self.faults.push(Fault {
+            at,
+            kind: FaultKind::ControlPartition { host, duration },
+        });
+        self
+    }
+
     /// Draw `count` faults over `hosts` hosts, uniformly timed in
     /// `[horizon/10, horizon)`, entirely from `seed`.
     pub fn randomized(seed: u64, hosts: usize, count: usize, horizon: Nanos) -> Self {
@@ -150,13 +196,21 @@ impl FaultPlan {
         for _ in 0..count {
             let at = Nanos::from_nanos(rng.gen_range(lo, hi));
             let host = rng.index(hosts);
-            plan = match rng.index(3) {
+            plan = match rng.index(5) {
                 0 => plan.nic_down(at, host),
                 1 => {
                     let duration = Nanos::from_micros(rng.gen_range(50, 500));
                     plan.link_flap(at, host, duration)
                 }
-                _ => plan.host_crash(at, host),
+                2 => plan.host_crash(at, host),
+                3 => {
+                    let duration = Nanos::from_micros(rng.gen_range(50, 500));
+                    plan.orchestrator_outage(at, duration)
+                }
+                _ => {
+                    let duration = Nanos::from_micros(rng.gen_range(50, 500));
+                    plan.control_partition(at, host, duration)
+                }
             };
         }
         plan
@@ -183,12 +237,18 @@ mod tests {
         let plan = FaultPlan::new(9)
             .nic_down(Nanos::from_micros(10), 0)
             .link_flap(Nanos::from_micros(20), 1, Nanos::from_micros(5))
-            .host_crash(Nanos::from_micros(30), 2);
+            .host_crash(Nanos::from_micros(30), 2)
+            .orchestrator_outage(Nanos::from_micros(40), Nanos::from_micros(50))
+            .control_partition(Nanos::from_micros(60), 1, Nanos::from_micros(5));
         assert_eq!(plan.seed(), 9);
-        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.len(), 5);
         assert_eq!(plan.faults()[0].kind.name(), "nic-down");
-        assert_eq!(plan.faults()[1].kind.host(), 1);
+        assert_eq!(plan.faults()[1].kind.host(), Some(1));
         assert_eq!(plan.faults()[2].kind, FaultKind::HostCrash { host: 2 });
+        assert_eq!(plan.faults()[3].kind.name(), "orch-outage");
+        assert_eq!(plan.faults()[3].kind.host(), None, "outage is cluster-wide");
+        assert_eq!(plan.faults()[4].kind.name(), "control-partition");
+        assert_eq!(plan.faults()[4].kind.host(), Some(1));
     }
 
     #[test]
@@ -207,7 +267,9 @@ mod tests {
         let plan = FaultPlan::randomized(7, 3, 20, horizon);
         for f in plan.faults() {
             assert!(f.at < horizon);
-            assert!(f.kind.host() < 3);
+            if let Some(host) = f.kind.host() {
+                assert!(host < 3);
+            }
         }
     }
 }

@@ -101,6 +101,9 @@ pub struct Flow {
     pub retired: Vec<(Pipeline, Pipeline)>,
     /// Transport failovers this flow performed (NIC death → TCP fallback).
     pub failovers: u32,
+    /// Failovers decided while the orchestrator was unreachable from an
+    /// endpoint (stale-cache decision + extra delay).
+    pub degraded_repaths: u32,
     /// Messages whose in-flight chunks were lost to faults.
     pub lost_msgs: u64,
     /// Whether a host crash killed the flow (no further traffic).
@@ -130,6 +133,7 @@ impl Flow {
             epoch: 0,
             retired: Vec::new(),
             failovers: 0,
+            degraded_repaths: 0,
             lost_msgs: 0,
             killed: false,
             pending_resend: 0,

@@ -37,6 +37,10 @@ pub struct FlowReport {
     /// Transport failovers performed (e.g. RDMA → TCP after NIC death).
     /// `transport` above reflects the transport the flow *ended* on.
     pub failovers: u32,
+    /// Of those failovers, how many were decided while the orchestrator
+    /// was unreachable from an endpoint host (degraded re-path: stale
+    /// cache decision plus the exhausted-deadline delay).
+    pub degraded_repaths: u32,
     /// Messages whose in-flight chunks were lost to injected faults
     /// (each was retransmitted unless the flow was killed).
     pub lost_msgs: u64,
@@ -127,6 +131,7 @@ mod tests {
                         ("wakeup", Nanos::from_micros(2)),
                     ],
                     failovers: 0,
+                    degraded_repaths: 0,
                     lost_msgs: 0,
                     killed: false,
                 },
@@ -141,6 +146,7 @@ mod tests {
                     p99_rtt: None,
                     latency_breakdown: vec![],
                     failovers: 1,
+                    degraded_repaths: 1,
                     lost_msgs: 2,
                     killed: false,
                 },

@@ -45,6 +45,11 @@ pub struct NetSim {
     started: bool,
     plan: Option<FaultPlan>,
     fault_records: Vec<FaultRecord>,
+    /// Virtual time until which the orchestrator is dark cluster-wide.
+    control_down_until: Nanos,
+    /// Per-host virtual time until which the host's control channel to the
+    /// orchestrator is partitioned (indexed like `hosts`).
+    control_partition_until: Vec<Nanos>,
 }
 
 impl NetSim {
@@ -62,6 +67,8 @@ impl NetSim {
             started: false,
             plan: None,
             fault_records: Vec::new(),
+            control_down_until: Nanos::ZERO,
+            control_partition_until: Vec::new(),
         }
     }
 
@@ -102,6 +109,7 @@ impl NetSim {
             nic_rdma: caps.nic.kind.supports_rdma(),
             nic_dpdk: caps.nic.kind.supports_dpdk(),
         });
+        self.control_partition_until.push(Nanos::ZERO);
         h
     }
 
@@ -156,7 +164,9 @@ impl NetSim {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         assert!(!self.started, "install the fault plan before starting");
         for f in plan.faults() {
-            assert!(f.kind.host() < self.hosts.len(), "fault on unknown host");
+            if let Some(host) = f.kind.host() {
+                assert!(host < self.hosts.len(), "fault on unknown host");
+            }
         }
         self.plan = Some(plan);
     }
@@ -294,6 +304,11 @@ impl NetSim {
         f.failovers += 1;
     }
 
+    /// Whether an endpoint on `host` can reach the orchestrator at `now`.
+    fn control_reachable(&self, now: Nanos, host: usize) -> bool {
+        now >= self.control_down_until && now >= self.control_partition_until[host]
+    }
+
     fn on_fault(&mut self, now: Nanos, fault: usize) {
         let f = self
             .plan
@@ -315,14 +330,26 @@ impl NetSim {
                         continue;
                     }
                     affected += 1;
+                    // If either endpoint can't reach the orchestrator, the
+                    // re-path is decided degraded: the library exhausts its
+                    // op deadline before falling back on cached state.
+                    let degraded = !self.control_reachable(now, spec.placement.src_host)
+                        || !self.control_reachable(now, spec.placement.dst_host);
                     let lost = self.invalidate_in_flight(i);
                     self.rebuild_on_fallback(i);
                     let fl = &mut self.flows[i];
                     fl.lost_msgs += lost as u64;
+                    if degraded {
+                        fl.degraded_repaths += 1;
+                    }
                     if lost > 0 {
                         fl.pending_resend += lost;
-                        self.queue
-                            .schedule(self.params.failover_detect, Event::Resend { flow: i });
+                        let detect = if degraded {
+                            self.params.failover_detect + self.params.degraded_repath_extra
+                        } else {
+                            self.params.failover_detect
+                        };
+                        self.queue.schedule(detect, Event::Resend { flow: i });
                     }
                 }
             }
@@ -362,6 +389,16 @@ impl NetSim {
                     fl.killed = true;
                     fl.pending_resend = 0;
                 }
+            }
+            FaultKind::OrchestratorOutage { duration } => {
+                // Established traffic is untouched: the outage only arms
+                // the control-unreachable window consulted by later
+                // re-path decisions.
+                self.control_down_until = self.control_down_until.max(now + duration);
+            }
+            FaultKind::ControlPartition { host, duration } => {
+                self.control_partition_until[host] =
+                    self.control_partition_until[host].max(now + duration);
             }
         }
         self.fault_records.push(FaultRecord {
@@ -666,6 +703,7 @@ impl NetSim {
                     p99_rtt: f.rtt_percentile(0.99),
                     latency_breakdown,
                     failovers: f.failovers,
+                    degraded_repaths: f.degraded_repaths,
                     lost_msgs: f.lost_msgs,
                     killed: f.killed,
                 }
@@ -979,6 +1017,138 @@ mod tests {
             r.elapsed,
             flap_at + outage
         );
+    }
+
+    #[test]
+    fn orchestrator_outage_alone_leaves_traffic_untouched() {
+        use crate::fault::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 80));
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            sim.run_to_completion(Nanos::from_secs(10))
+        };
+        let baseline = run(None);
+        let outage = run(Some(
+            FaultPlan::new(11).orchestrator_outage(Nanos::from_micros(100), Nanos::from_millis(5)),
+        ));
+        // The data plane never notices a pure control-plane outage.
+        assert_eq!(
+            outage.flows[0].delivered_msgs,
+            baseline.flows[0].delivered_msgs
+        );
+        assert_eq!(outage.flows[0].failovers, 0);
+        assert_eq!(outage.flows[0].degraded_repaths, 0);
+        assert_eq!(outage.flows[0].lost_msgs, 0);
+        assert_eq!(
+            outage.flows[0].throughput.as_bps(),
+            baseline.flows[0].throughput.as_bps()
+        );
+        assert_eq!(outage.faults.len(), 1);
+        assert_eq!(outage.faults[0].flows_affected, 0);
+        assert_eq!(outage.faults[0].kind.name(), "orch-outage");
+    }
+
+    #[test]
+    fn nic_death_during_outage_takes_the_degraded_repath() {
+        use crate::fault::FaultPlan;
+        let run = |with_outage: bool| {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 100));
+            let mut plan = FaultPlan::new(21);
+            if with_outage {
+                plan = plan.orchestrator_outage(Nanos::from_micros(100), Nanos::from_millis(20));
+            }
+            plan = plan.nic_down(Nanos::from_micros(200), h1);
+            sim.set_fault_plan(plan);
+            sim.run_to_completion(Nanos::from_secs(10))
+        };
+        let live = run(false);
+        let deaf = run(true);
+        // Both converge on the universal fallback with every message in.
+        for r in [&live, &deaf] {
+            assert_eq!(r.flows[0].delivered_msgs, 100);
+            assert_eq!(r.flows[0].failovers, 1);
+            assert_eq!(r.flows[0].transport, TransportKind::TcpHost);
+        }
+        assert_eq!(live.flows[0].degraded_repaths, 0);
+        assert_eq!(deaf.flows[0].degraded_repaths, 1);
+        // The degraded decision burns the exhausted op deadline on top of
+        // the normal failover detection, so the retransmissions land later.
+        assert!(
+            deaf.elapsed > live.elapsed,
+            "degraded repath must be slower: {} vs {}",
+            deaf.elapsed,
+            live.elapsed
+        );
+    }
+
+    #[test]
+    fn control_partition_degrades_only_repaths_touching_the_host() {
+        use crate::fault::FaultPlan;
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let h2 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        let c = sim.add_container(h2);
+        let d = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 60));
+        sim.add_flow(c, d, TransportKind::Rdma, Workload::bulk(1, 60));
+        // Cut h2's control channel, then kill h1's NIC inside the window:
+        // both flows fail over, but only the one with an endpoint on the
+        // partitioned host decides blind.
+        sim.set_fault_plan(
+            FaultPlan::new(31)
+                .control_partition(Nanos::from_micros(100), h2, Nanos::from_millis(20))
+                .nic_down(Nanos::from_micros(200), h1),
+        );
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert!(sim.all_finished());
+        assert_eq!(r.flows[0].failovers, 1);
+        assert_eq!(
+            r.flows[0].degraded_repaths, 0,
+            "h0–h1 repath saw the orchestrator"
+        );
+        assert_eq!(r.flows[1].failovers, 1);
+        assert_eq!(
+            r.flows[1].degraded_repaths, 1,
+            "h2–h1 repath was partitioned"
+        );
+        assert_eq!(r.flows[0].delivered_msgs, 60);
+        assert_eq!(r.flows[1].delivered_msgs, 60);
+    }
+
+    #[test]
+    fn control_faults_reproduce_byte_identical_reports() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 40));
+            sim.set_fault_plan(
+                FaultPlan::new(41)
+                    .orchestrator_outage(Nanos::from_micros(50), Nanos::from_millis(10))
+                    .nic_down(Nanos::from_micros(300), h0)
+                    .control_partition(Nanos::from_millis(15), h1, Nanos::from_millis(1)),
+            );
+            sim.run_to_completion(Nanos::from_secs(10))
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
     }
 
     #[test]

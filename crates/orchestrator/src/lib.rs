@@ -29,8 +29,8 @@ pub mod orchestrator;
 pub mod policy;
 pub mod registry;
 
-pub use events::OrchestratorEvent;
+pub use events::{FeedPoll, FeedSubscription, OrchestratorEvent, SequencedEvent};
 pub use ipam::{IpAssign, Ipam};
-pub use orchestrator::Orchestrator;
+pub use orchestrator::{ContainerSnapshot, ControlSnapshot, Orchestrator};
 pub use policy::{PolicyConfig, PolicyEngine};
 pub use registry::{ContainerLocation, ContainerRecord, Registry};

@@ -2,7 +2,7 @@
 //! IPAM, policy and the event feed — what agents and per-container
 //! libraries hold an `Arc` of.
 
-use crate::events::{EventFeed, OrchestratorEvent};
+use crate::events::{EventFeed, FeedSubscription, OrchestratorEvent};
 use crate::ipam::{IpAssign, Ipam};
 use crate::policy::{PolicyConfig, PolicyEngine};
 use crate::registry::{ContainerLocation, ContainerRecord, HostHealth, Registry};
@@ -11,7 +11,9 @@ use freeflow_types::transport::PathDecision;
 use freeflow_types::{
     ContainerId, Error, HostCaps, HostId, OverlayCidr, OverlayIp, Result, TenantId, VmId,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 struct State {
@@ -19,11 +21,54 @@ struct State {
     ipam: Ipam,
 }
 
+/// Availability of the control plane's *dissemination* side (client RPCs
+/// and event delivery). The state store itself stays consistent across an
+/// outage — it models persisted registry state that survives an
+/// orchestrator crash/restart, which is what lets a scheduler-driven
+/// migration land *during* the outage and be reconciled afterwards.
+#[derive(Debug, Default)]
+struct ControlAvailability {
+    /// Cluster-wide outage (orchestrator process down / restarting).
+    down: AtomicBool,
+    /// Hosts whose control channel is partitioned away.
+    partitioned: Mutex<HashSet<HostId>>,
+}
+
+/// One container's placement in a [`ControlSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerSnapshot {
+    /// The container's overlay IP (the cache key).
+    pub ip: OverlayIp,
+    /// Physical host it currently runs on.
+    pub host: HostId,
+    /// Registry placement generation (bumps on every move).
+    pub generation: u64,
+}
+
+/// A consistent control-plane snapshot for one host: what a subscriber
+/// that detected a sequence gap pulls to reconcile its cache and routes.
+///
+/// `seq` is the feed sequence the snapshot covers: every event numbered
+/// below `seq` is reflected in it. (It may additionally reflect a state
+/// change whose event carries `seq` or later — publishes happen after the
+/// state commit — in which case the subscriber re-applies that event
+/// idempotently.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlSnapshot {
+    /// Feed sequence this snapshot covers (resume polling from here).
+    pub seq: u64,
+    /// Every container on an alive host, sorted by IP.
+    pub containers: Vec<ContainerSnapshot>,
+    /// The requesting host's routing view (same as `routes_for`).
+    pub routes: Vec<(OverlayIp, HostId)>,
+}
+
 /// The central network orchestrator.
 pub struct Orchestrator {
     state: RwLock<State>,
     policy: PolicyEngine,
     feed: EventFeed,
+    control: ControlAvailability,
     /// Telemetry hub. Standalone orchestrators get a private hub; a
     /// cluster swaps in its shared one via [`Orchestrator::attach_telemetry`].
     telemetry: RwLock<Arc<Telemetry>>,
@@ -39,6 +84,7 @@ impl Orchestrator {
             }),
             policy: PolicyEngine::new(policy),
             feed: EventFeed::new(),
+            control: ControlAvailability::default(),
             telemetry: RwLock::new(Telemetry::new()),
         })
     }
@@ -56,23 +102,36 @@ impl Orchestrator {
     }
 
     /// Publish one control-plane event: count it, record it in the flight
-    /// recorder, then fan it out to subscribers.
+    /// recorder, then fan it out to every subscriber the control plane can
+    /// currently reach. The sequence number advances even for withheld
+    /// deliveries, so an outage or partition surfaces as a gap on the
+    /// subscriber side, never as silence. Wedged subscribers pruned here
+    /// are counted in `ff_orch_feed_drops_total`.
     fn publish(&self, event: OrchestratorEvent) {
-        {
-            let hub = self.telemetry.read();
+        let hub = self.telemetry.read();
+        hub.registry()
+            .counter(
+                "ff_orchestrator_events_total",
+                "control-plane events published, by kind",
+                LabelSet::none().with_extra("event", event.kind()),
+            )
+            .inc();
+        hub.record(Event::Orchestrator {
+            kind: event.kind(),
+            host: event.host().map(HostId::raw).unwrap_or(u64::MAX),
+        });
+        let outcome = self
+            .feed
+            .publish_filtered(event, |host| self.control_reachable_from(host));
+        if outcome.pruned > 0 {
             hub.registry()
                 .counter(
-                    "ff_orchestrator_events_total",
-                    "control-plane events published, by kind",
-                    LabelSet::none().with_extra("event", event.kind()),
+                    "ff_orch_feed_drops_total",
+                    "wedged/dead event-feed subscribers pruned on publish",
+                    LabelSet::none(),
                 )
-                .inc();
-            hub.record(Event::Orchestrator {
-                kind: event.kind(),
-                host: event.host().map(HostId::raw).unwrap_or(u64::MAX),
-            });
+                .add(outcome.pruned as u64);
         }
-        self.feed.publish(event);
     }
 
     /// Orchestrator with the default overlay (`10.0.0.0/16`) and policy.
@@ -129,6 +188,79 @@ impl Orchestrator {
         self.set_health(host, |h| h.alive = true)
     }
 
+    // --- control-plane availability -----------------------------------------
+
+    /// Whether the control plane can currently be reached from `host`
+    /// (`None` = an untagged observer). The state store stays consistent
+    /// either way; only RPCs and event delivery are affected.
+    pub fn control_reachable_from(&self, host: Option<HostId>) -> bool {
+        if self.control.down.load(Ordering::Acquire) {
+            return false;
+        }
+        match host {
+            Some(h) => !self.control.partitioned.lock().contains(&h),
+            None => true,
+        }
+    }
+
+    /// Whether a cluster-wide control outage is in effect.
+    pub fn is_control_down(&self) -> bool {
+        self.control.down.load(Ordering::Acquire)
+    }
+
+    /// Take the control plane down cluster-wide: client RPCs fail after
+    /// their retry budget and no events are delivered (sequence numbers
+    /// keep advancing, so recovery surfaces the gap). Idempotent.
+    pub fn fail_control(&self) {
+        if !self.control.down.swap(true, Ordering::AcqRel) {
+            self.telemetry.read().record(Event::ControlPlane {
+                kind: "outage",
+                host: u64::MAX,
+                detail: self.feed.next_seq(),
+            });
+        }
+    }
+
+    /// Bring the control plane back. Publishes
+    /// [`OrchestratorEvent::ControlRestored`] so every subscriber that was
+    /// deaf during the outage promptly observes its sequence gap and
+    /// resyncs — even if no further state change ever happens.
+    pub fn restore_control(&self) {
+        if self.control.down.swap(false, Ordering::AcqRel) {
+            self.telemetry.read().record(Event::ControlPlane {
+                kind: "restore",
+                host: u64::MAX,
+                detail: self.feed.next_seq(),
+            });
+            self.publish(OrchestratorEvent::ControlRestored { scope: None });
+        }
+    }
+
+    /// Partition `host` away from the control plane: its RPCs fail and it
+    /// receives no events; the rest of the cluster is unaffected.
+    pub fn partition_control(&self, host: HostId) {
+        if self.control.partitioned.lock().insert(host) {
+            self.telemetry.read().record(Event::ControlPlane {
+                kind: "partition",
+                host: host.raw(),
+                detail: self.feed.next_seq(),
+            });
+        }
+    }
+
+    /// Heal `host`'s control partition and publish
+    /// [`OrchestratorEvent::ControlRestored`] scoped to it.
+    pub fn heal_control(&self, host: HostId) {
+        if self.control.partitioned.lock().remove(&host) {
+            self.telemetry.read().record(Event::ControlPlane {
+                kind: "heal",
+                host: host.raw(),
+                detail: self.feed.next_seq(),
+            });
+            self.publish(OrchestratorEvent::ControlRestored { scope: Some(host) });
+        }
+    }
+
     fn set_health(&self, host: HostId, update: impl FnOnce(&mut HostHealth)) -> Result<()> {
         let (prev, health) = {
             let mut st = self.state.write();
@@ -176,6 +308,7 @@ impl Orchestrator {
                 tenant,
                 location,
                 ip: assigned,
+                generation: 1,
             };
             if let Err(e) = st.registry.insert_container(record) {
                 st.ipam.release(assigned).expect("just allocated");
@@ -194,17 +327,19 @@ impl Orchestrator {
 
     /// Move a container (reschedule / live migration). Its IP is kept.
     pub fn move_container(&self, id: ContainerId, to: ContainerLocation) -> Result<()> {
-        let (ip, physical_host) = {
+        let (ip, generation, physical_host) = {
             let mut st = self.state.write();
             st.registry.move_container(id, to)?;
-            let ip = st.registry.container(id)?.ip;
-            (ip, st.registry.physical_host(to)?)
+            let rec = st.registry.container(id)?;
+            let (ip, generation) = (rec.ip, rec.generation);
+            (ip, generation, st.registry.physical_host(to)?)
         };
         self.publish(OrchestratorEvent::ContainerMoved {
             id,
             ip,
             location: to,
             physical_host,
+            generation,
         });
         Ok(())
     }
@@ -287,9 +422,57 @@ impl Orchestrator {
             .collect()
     }
 
-    /// Subscribe to cluster change events.
-    pub fn subscribe(&self) -> crossbeam::channel::Receiver<OrchestratorEvent> {
+    /// Full state snapshot for a subscriber on `host` that detected a
+    /// sequence gap: every alive container's `(ip, host, generation)`
+    /// plus the host's routing view, stamped with the feed sequence it
+    /// covers. The subscriber reconciles its cache against it and resumes
+    /// polling from `seq` (see `FeedSubscription::advance_to`).
+    pub fn snapshot_for(&self, host: HostId) -> ControlSnapshot {
+        let st = self.state.read();
+        // The feed sequence is read under the state lock: the snapshot can
+        // only be *newer* than `seq` claims (publishes happen after state
+        // commits), never older — re-applying a covered event is
+        // idempotent on the subscriber side.
+        let seq = self.feed.next_seq();
+        let mut containers: Vec<ContainerSnapshot> = st
+            .registry
+            .host_ids()
+            .filter(|h| st.registry.host_health(*h).alive)
+            .flat_map(|h| {
+                st.registry
+                    .containers_on(h)
+                    .into_iter()
+                    .map(move |c| ContainerSnapshot {
+                        ip: c.ip,
+                        host: h,
+                        generation: c.generation,
+                    })
+            })
+            .collect();
+        containers.sort_by_key(|c| c.ip);
+        let mut routes: Vec<(OverlayIp, HostId)> = containers
+            .iter()
+            .filter(|c| c.host != host)
+            .map(|c| (c.ip, c.host))
+            .collect();
+        routes.sort_by_key(|(ip, _)| *ip);
+        ControlSnapshot {
+            seq,
+            containers,
+            routes,
+        }
+    }
+
+    /// Subscribe to cluster change events (untagged: never partitioned).
+    pub fn subscribe(&self) -> FeedSubscription {
         self.feed.subscribe()
+    }
+
+    /// Subscribe on behalf of a reader running on `host`, so that a
+    /// control partition of that host withholds delivery (surfacing as a
+    /// sequence gap on heal).
+    pub fn subscribe_from(&self, host: HostId) -> FeedSubscription {
+        self.feed.subscribe_from(host)
     }
 
     /// Number of registered containers.
@@ -341,7 +524,7 @@ mod tests {
     #[test]
     fn register_assigns_ips_and_publishes() {
         let orch = setup();
-        let feed = orch.subscribe();
+        let mut feed = orch.subscribe();
         let ip1 = orch
             .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
             .unwrap();
@@ -350,7 +533,7 @@ mod tests {
             .unwrap();
         assert_ne!(ip1, ip2);
         assert!(orch.ip_in_use(ip1));
-        match feed.try_recv().unwrap() {
+        match feed.try_next().event().unwrap() {
             OrchestratorEvent::ContainerUp { id, ip, .. } => {
                 assert_eq!(id, ContainerId::new(1));
                 assert_eq!(ip, ip1);
@@ -423,7 +606,7 @@ mod tests {
                 .transport(),
             Some(TransportKind::Rdma)
         );
-        let feed = orch.subscribe();
+        let mut feed = orch.subscribe();
         // Container 2 migrates onto host 0 → the same pair is now shm.
         orch.move_container(ContainerId::new(2), bm(0)).unwrap();
         assert_eq!(
@@ -433,8 +616,8 @@ mod tests {
             Some(TransportKind::SharedMemory)
         );
         assert!(matches!(
-            feed.try_recv().unwrap(),
-            OrchestratorEvent::ContainerMoved { .. }
+            feed.try_next().event().unwrap(),
+            OrchestratorEvent::ContainerMoved { generation: 2, .. }
         ));
     }
 
@@ -488,11 +671,11 @@ mod tests {
                 .transport(),
             Some(TransportKind::Rdma)
         );
-        let feed = orch.subscribe();
+        let mut feed = orch.subscribe();
         orch.mark_nic_down(HostId::new(1)).unwrap();
         assert!(!orch.host_health(HostId::new(1)).nic_up);
         assert!(matches!(
-            feed.try_recv().unwrap(),
+            feed.try_next().event().unwrap(),
             OrchestratorEvent::HostHealthChanged {
                 host,
                 nic_up: false,
@@ -635,6 +818,118 @@ mod tests {
             ]
         );
         snap.verify_exposition_round_trip().unwrap();
+    }
+
+    #[test]
+    fn outage_withholds_events_and_restore_reveals_the_gap() {
+        use crate::events::FeedPoll;
+        let orch = setup();
+        let mut feed = orch.subscribe_from(HostId::new(0));
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        assert!(matches!(feed.try_next(), FeedPoll::Event(_)));
+
+        orch.fail_control();
+        assert!(!orch.control_reachable_from(Some(HostId::new(0))));
+        assert!(!orch.control_reachable_from(None));
+        // The store keeps working during the outage (persisted registry
+        // state): a scheduler-driven move lands, but nobody hears it.
+        orch.move_container(ContainerId::new(1), bm(1)).unwrap();
+        assert!(matches!(feed.try_next(), FeedPoll::Empty));
+
+        orch.restore_control();
+        assert!(orch.control_reachable_from(Some(HostId::new(0))));
+        // ControlRestored arrives with a gap of exactly the deaf window.
+        match feed.try_next() {
+            FeedPoll::Gap { missed, event } => {
+                assert_eq!(missed, 1);
+                assert_eq!(event, OrchestratorEvent::ControlRestored { scope: None });
+            }
+            other => panic!("expected gap, got {other:?}"),
+        }
+        // Restoring twice is a no-op (no duplicate event).
+        orch.restore_control();
+        assert!(matches!(feed.try_next(), FeedPoll::Empty));
+    }
+
+    #[test]
+    fn partition_is_per_host_and_heals_with_scoped_restore() {
+        use crate::events::FeedPoll;
+        let orch = setup();
+        let mut on0 = orch.subscribe_from(HostId::new(0));
+        let mut on1 = orch.subscribe_from(HostId::new(1));
+        orch.partition_control(HostId::new(1));
+        assert!(orch.control_reachable_from(Some(HostId::new(0))));
+        assert!(!orch.control_reachable_from(Some(HostId::new(1))));
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        assert!(matches!(on0.try_next(), FeedPoll::Event(_)));
+        assert!(matches!(on1.try_next(), FeedPoll::Empty));
+        orch.heal_control(HostId::new(1));
+        assert!(matches!(on0.try_next(), FeedPoll::Event(_))); // ControlRestored
+        match on1.try_next() {
+            FeedPoll::Gap { missed, event } => {
+                assert_eq!(missed, 1);
+                assert_eq!(
+                    event,
+                    OrchestratorEvent::ControlRestored {
+                        scope: Some(HostId::new(1))
+                    }
+                );
+            }
+            other => panic!("expected gap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_covers_the_feed_and_reflects_moves() {
+        let orch = setup();
+        let ip1 = orch
+            .register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let ip2 = orch
+            .register_container(ContainerId::new(2), TenantId::new(1), bm(1), IpAssign::Auto)
+            .unwrap();
+        let snap = orch.snapshot_for(HostId::new(0));
+        assert_eq!(snap.containers.len(), 2);
+        assert_eq!(snap.routes, vec![(ip2, HostId::new(1))]);
+        let mut sub = orch.subscribe();
+        assert_eq!(snap.seq, sub.expected_seq());
+
+        // A move during an outage shows up in the next snapshot with a
+        // bumped generation and a higher covered sequence.
+        orch.fail_control();
+        orch.move_container(ContainerId::new(1), bm(1)).unwrap();
+        let snap2 = orch.snapshot_for(HostId::new(0));
+        assert_eq!(snap2.seq, snap.seq + 1);
+        let moved = snap2.containers.iter().find(|c| c.ip == ip1).unwrap();
+        assert_eq!(moved.host, HostId::new(1));
+        assert_eq!(moved.generation, 2);
+        // advance_to(snap2.seq) leaves no gap to report after restore
+        // beyond the ControlRestored event itself.
+        sub.advance_to(snap2.seq);
+        orch.restore_control();
+        assert!(matches!(
+            sub.try_next().event().unwrap(),
+            OrchestratorEvent::ControlRestored { scope: None }
+        ));
+    }
+
+    #[test]
+    fn feed_drops_are_counted() {
+        let orch = setup();
+        let hub = Telemetry::new();
+        orch.attach_telemetry(&hub);
+        {
+            let _dropped = orch.subscribe();
+        }
+        orch.register_container(ContainerId::new(1), TenantId::new(1), bm(0), IpAssign::Auto)
+            .unwrap();
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter_value("ff_orch_feed_drops_total", LabelSet::none()),
+            Some(1)
+        );
     }
 
     #[test]

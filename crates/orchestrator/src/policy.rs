@@ -205,6 +205,7 @@ mod tests {
             tenant: TenantId::new(tenant),
             location: loc,
             ip: freeflow_types::OverlayIp::from_octets(10, 0, 0, last),
+            generation: 1,
         })
         .unwrap();
     }

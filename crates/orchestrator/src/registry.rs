@@ -29,6 +29,10 @@ pub struct ContainerRecord {
     pub location: ContainerLocation,
     /// Assigned overlay IP.
     pub ip: OverlayIp,
+    /// Placement generation: starts at 1 and bumps on every move. Caches
+    /// compare it against snapshots to detect migrations they slept
+    /// through (an event gap hides the move; the generation does not).
+    pub generation: u64,
 }
 
 /// Liveness of a host's resources, as observed by the control plane.
@@ -152,6 +156,7 @@ impl Registry {
             .get_mut(&id)
             .ok_or_else(|| Error::not_found(format!("{id}")))?;
         rec.location = to;
+        rec.generation += 1;
         Ok(())
     }
 
@@ -212,6 +217,7 @@ mod tests {
             tenant: TenantId::new(tenant),
             location: loc,
             ip: ip.parse().unwrap(),
+            generation: 1,
         }
     }
 
@@ -266,7 +272,7 @@ mod tests {
             r.by_ip("10.0.0.1".parse().unwrap()).unwrap().id,
             ContainerId::new(1)
         );
-        // Move to the other host; IP unchanged.
+        // Move to the other host; IP unchanged, generation bumped.
         r.move_container(
             ContainerId::new(1),
             ContainerLocation::BareMetal(HostId::new(1)),
@@ -276,6 +282,7 @@ mod tests {
             r.by_ip("10.0.0.1".parse().unwrap()).unwrap().ip.to_string(),
             "10.0.0.1"
         );
+        assert_eq!(r.container(ContainerId::new(1)).unwrap().generation, 2);
         let gone = r.remove_container(ContainerId::new(1)).unwrap();
         assert_eq!(gone.id, ContainerId::new(1));
         assert!(r.by_ip("10.0.0.1".parse().unwrap()).is_err());

@@ -65,12 +65,14 @@ proptest! {
             tenant: TenantId::new(1),
             location: ContainerLocation::BareMetal(sh),
             ip: "10.0.0.1".parse().unwrap(),
+            generation: 1,
         }).unwrap();
         reg.insert_container(ContainerRecord {
             id: ContainerId::new(2),
             tenant: TenantId::new(if same_tenant { 1 } else { 2 }),
             location: ContainerLocation::BareMetal(dh),
             ip: "10.0.0.2".parse().unwrap(),
+            generation: 1,
         }).unwrap();
 
         let engine = PolicyEngine::new(PolicyConfig {

@@ -114,6 +114,21 @@ pub enum Event {
         /// Host the event concerns.
         host: u64,
     },
+    /// A control-plane availability transition or degraded-mode decision:
+    /// outage begin/end, per-host partition/heal, a stale cache entry
+    /// served while the orchestrator was unreachable, a path decision that
+    /// fell back to the universal TCP path, a feed gap detected by a
+    /// subscriber, or a snapshot resync.
+    ControlPlane {
+        /// Interned kind (`outage`, `restore`, `partition`, `heal`,
+        /// `stale_serve`, `degraded_decision`, `gap`, `resync`).
+        kind: &'static str,
+        /// Host the record concerns (`u64::MAX` for cluster-wide).
+        host: u64,
+        /// Kind-specific detail: gap size for `gap`, feed sequence for
+        /// `resync`/`restore`, zero otherwise.
+        detail: u64,
+    },
     /// A waiter actually blocked on a doorbell.
     DoorbellWait {
         /// Host of the waiting side.

@@ -266,6 +266,12 @@ fn event_json(out: &mut String, event: &Event) {
                 "\"type\":\"orchestrator\",\"kind\":\"{kind}\",\"host\":{host}"
             );
         }
+        Event::ControlPlane { kind, host, detail } => {
+            let _ = write!(
+                out,
+                "\"type\":\"control_plane\",\"kind\":\"{kind}\",\"host\":{host},\"detail\":{detail}"
+            );
+        }
         Event::DoorbellWait { host, bell } => {
             let _ = write!(
                 out,

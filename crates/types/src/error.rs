@@ -33,6 +33,11 @@ pub enum Error {
     Disconnected(String),
     /// An operation would block and the caller asked for non-blocking.
     WouldBlock,
+    /// The control plane (orchestrator) could not be reached within the
+    /// operation's deadline. Distinct from [`Error::Unreachable`] (a data
+    /// plane / peer failure): callers holding cached state may degrade
+    /// gracefully instead of failing.
+    Unavailable(String),
     /// A size/argument limit was violated.
     TooLarge(String),
     /// Configuration is inconsistent.
@@ -80,6 +85,11 @@ impl Error {
         Error::Disconnected(msg.into())
     }
 
+    /// Construct a [`Error::Unavailable`].
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        Error::Unavailable(msg.into())
+    }
+
     /// Construct a [`Error::TooLarge`].
     pub fn too_large(msg: impl Into<String>) -> Self {
         Error::TooLarge(msg.into())
@@ -92,7 +102,10 @@ impl Error {
 
     /// Whether retrying later may succeed (transient conditions).
     pub fn is_transient(&self) -> bool {
-        matches!(self, Error::WouldBlock | Error::Exhausted(_))
+        matches!(
+            self,
+            Error::WouldBlock | Error::Exhausted(_) | Error::Unavailable(_)
+        )
     }
 }
 
@@ -108,6 +121,7 @@ impl fmt::Display for Error {
             Error::PolicyDenied(m) => write!(f, "policy denied: {m}"),
             Error::Disconnected(m) => write!(f, "disconnected: {m}"),
             Error::WouldBlock => write!(f, "operation would block"),
+            Error::Unavailable(m) => write!(f, "control plane unavailable: {m}"),
             Error::TooLarge(m) => write!(f, "too large: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
         }
@@ -132,6 +146,7 @@ mod tests {
     fn transient_classification() {
         assert!(Error::WouldBlock.is_transient());
         assert!(Error::exhausted("ring full").is_transient());
+        assert!(Error::unavailable("orchestrator down").is_transient());
         assert!(!Error::policy_denied("cross-tenant shm").is_transient());
         assert!(!Error::disconnected("peer gone").is_transient());
     }

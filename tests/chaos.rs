@@ -9,14 +9,24 @@
 //!   QP. The QP must never hang — outstanding work requests complete with
 //!   `RETRY_EXC_ERR` within the configured timeout, the QP re-paths
 //!   through the orchestrator, and the next send succeeds over host TCP.
+//! * **Control plane**: the orchestrator itself fails (or a host is
+//!   partitioned from it). Established shm and RDMA traffic must keep
+//!   flowing on cached routes with zero errors, new decisions degrade to
+//!   universal TCP, and after `restore_orchestrator()` a snapshot resync
+//!   reconciles everything that happened while deaf — including a live
+//!   migration (DESIGN.md §9).
 
+use freeflow::binding::BindingPhase;
 use freeflow::qp::FfPath;
-use freeflow::FreeFlowCluster;
+use freeflow::{Container, FreeFlowCluster};
 use freeflow_netsim::{FaultPlan, NetSim, SimRng, Workload};
+use freeflow_socket::{FfStream, SocketStack};
+use freeflow_telemetry::{Event, TelemetrySnapshot};
 use freeflow_types::{HostCaps, Nanos, TenantId, TransportKind};
 use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
-use freeflow_verbs::WcStatus;
-use std::time::Duration;
+use freeflow_verbs::{CompletionQueue, MemoryRegion, WcStatus};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const T: Duration = Duration::from_secs(15);
 
@@ -268,4 +278,347 @@ fn chaos_host_crash_errors_qp_without_hanging() {
     assert_eq!(wc.status, WcStatus::RetryExcError);
     assert_eq!(qp_a.failover_count(), 0, "no surviving path to fail onto");
     assert!(qp_a.post_send(SendWr::send(8, mr_a.sge(0, 4))).is_err());
+}
+
+// --- control-plane resilience ----------------------------------------------
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Count flight-recorder `ControlPlane` records of one kind.
+fn control_events(snap: &TelemetrySnapshot, kind: &str) -> u64 {
+    snap.events
+        .iter()
+        .filter(|te| matches!(te.event, Event::ControlPlane { kind: k, .. } if k == kind))
+        .count() as u64
+}
+
+type QpPair = (
+    Arc<MemoryRegion>,
+    Arc<MemoryRegion>,
+    Arc<CompletionQueue>,
+    Arc<CompletionQueue>,
+    Arc<freeflow::FfQp>,
+    Arc<freeflow::FfQp>,
+);
+
+fn connect_pair(x: &Container, y: &Container) -> QpPair {
+    let mr_x = x.register(4096, AccessFlags::all()).unwrap();
+    let mr_y = y.register(4096, AccessFlags::all()).unwrap();
+    let cq_x = x.create_cq(64);
+    let cq_y = y.create_cq(64);
+    let qp_x = x.create_qp(&cq_x, &cq_x, 32, 32).unwrap();
+    let qp_y = y.create_qp(&cq_y, &cq_y, 32, 32).unwrap();
+    qp_x.connect(qp_y.endpoint()).unwrap();
+    qp_y.connect(qp_x.endpoint()).unwrap();
+    (mr_x, mr_y, cq_x, cq_y, qp_x, qp_y)
+}
+
+/// Exchange `n` messages over a pair, asserting every completion on both
+/// sides is clean — the "zero errors" half of the acceptance criterion.
+fn exchange(pair: &QpPair, n: u64) {
+    let (mr_x, mr_y, cq_x, cq_y, qp_x, qp_y) = pair;
+    for i in 0..n {
+        qp_y.post_recv(RecvWr::new(i, mr_y.sge(0, 4096))).unwrap();
+        let msg = [i as u8; 64];
+        mr_x.write(0, &msg).unwrap();
+        qp_x.post_send(SendWr::send(1000 + i, mr_x.sge(0, 64)))
+            .unwrap();
+        let rwc = cq_y.wait_one(T).expect("recv completion");
+        assert!(rwc.status.is_ok(), "recv errored: {rwc:?}");
+        let swc = cq_x.wait_one(T).expect("send completion");
+        assert!(swc.status.is_ok(), "send errored: {swc:?}");
+        let mut got = [0u8; 64];
+        mr_y.read(0, &mut got).unwrap();
+        assert_eq!(got, msg);
+    }
+}
+
+/// The control-plane acceptance scenario: with the orchestrator failed,
+/// an established shared-memory pair and an established RDMA pair both
+/// complete a full message exchange with zero errors (stale serves
+/// counted), a new connection between already-known peers rides the stale
+/// cache, a connection to an unknown peer degrades to universal TCP —
+/// and after `restore_orchestrator()` the degraded decision is
+/// re-verified and upgraded to RDMA. Counters must match the flight
+/// recorder throughout.
+#[test]
+fn chaos_established_paths_survive_orchestrator_outage() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+    let a = cluster.launch(tenant, h0).unwrap();
+    let b = cluster.launch(tenant, h0).unwrap();
+    let c = cluster.launch(tenant, h0).unwrap();
+    let d = cluster.launch(tenant, h1).unwrap();
+    // Launched before the outage but never resolved by `c`: the degraded
+    // cache-miss case.
+    let e = cluster.launch(tenant, h1).unwrap();
+
+    // Establish both data planes while the control plane is healthy.
+    let shm = connect_pair(&a, &b);
+    assert!(
+        matches!(shm.4.path(), FfPath::Local { .. }),
+        "co-located pair binds shm"
+    );
+    let rdma = connect_pair(&c, &d);
+    match rdma.4.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::Rdma),
+        other => panic!("expected remote RDMA path, got {other:?}"),
+    }
+    exchange(&shm, 4);
+    exchange(&rdma, 4);
+
+    // The orchestrator dies. Established traffic must not notice.
+    cluster.fail_orchestrator();
+    assert!(cluster.orchestrator().is_control_down());
+    exchange(&shm, 16);
+    exchange(&rdma, 16);
+
+    // A new connection between peers whose location is cached rides the
+    // stale entry (counted as stale serves) on the same transport.
+    let rdma2 = connect_pair(&c, &d);
+    match rdma2.4.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::Rdma),
+        other => panic!("expected stale-served RDMA path, got {other:?}"),
+    }
+    exchange(&rdma2, 4);
+
+    // A connection to a peer we never resolved cannot ask the dead
+    // orchestrator: the decision degrades to the universal TCP path.
+    let deg = connect_pair(&c, &e);
+    match deg.4.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::TcpHost),
+        other => panic!("expected degraded TcpHost path, got {other:?}"),
+    }
+    exchange(&deg, 4);
+
+    // Counters and flight recorder agree mid-outage.
+    let snap = cluster.telemetry();
+    let stale = snap.counter_total("ff_orch_stale_serves_total");
+    let degraded = snap.counter_total("ff_orch_degraded_decisions_total");
+    assert!(stale >= 1, "stale serves must be counted: {stale}");
+    assert!(
+        degraded >= 1,
+        "degraded decisions must be counted: {degraded}"
+    );
+    assert_eq!(control_events(&snap, "stale_serve"), stale);
+    assert_eq!(control_events(&snap, "degraded_decision"), degraded);
+    assert_eq!(control_events(&snap, "outage"), 1);
+    assert!(
+        snap.counter_total("ff_orch_client_failures_total") >= 1,
+        "exhausted retry budgets must be visible"
+    );
+
+    // Control returns: degraded entries are re-verified on the next
+    // resolve and the universal-TCP fallback upgrades onto RDMA.
+    cluster.restore_orchestrator();
+    wait_until(
+        "degraded path upgraded to RDMA",
+        Duration::from_secs(5),
+        || {
+            matches!(
+                deg.4.path(),
+                FfPath::Remote {
+                    transport: TransportKind::Rdma,
+                    ..
+                }
+            ) && deg.4.binding_phase() == BindingPhase::Bound
+        },
+    );
+    exchange(&deg, 4);
+    exchange(&shm, 4);
+    exchange(&rdma, 4);
+
+    let snap = cluster.telemetry();
+    assert_eq!(control_events(&snap, "restore"), 1);
+    assert_eq!(
+        deg.4.upgrade_count(),
+        1,
+        "one planned upgrade off the degraded path"
+    );
+}
+
+fn streaming_pair(cluster: &Arc<FreeFlowCluster>) -> (Container, Container, FfStream, FfStream) {
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let a = cluster.launch(TenantId::new(1), h0).unwrap();
+    let b = cluster.launch(TenantId::new(1), h1).unwrap();
+    let stack = SocketStack::new();
+    let listener = stack.bind(&b, 7300).unwrap();
+    let server_ip = b.ip();
+    let accept = std::thread::spawn(move || {
+        let s = listener.accept(&b, Duration::from_secs(10)).unwrap();
+        (s, b)
+    });
+    let client = stack.connect(&a, server_ip, 7300).unwrap();
+    let (server, b) = accept.join().unwrap();
+    (a, b, client, server)
+}
+
+fn roundtrip(client: &mut FfStream, server: &mut FfStream, msg: &[u8]) {
+    client.write_all(msg).unwrap();
+    let mut got = vec![0u8; msg.len()];
+    server.read_exact(&mut got).unwrap();
+    assert_eq!(got, msg);
+    server.write_all(&got).unwrap();
+    let mut back = vec![0u8; msg.len()];
+    client.read_exact(&mut back).unwrap();
+    assert_eq!(back, msg);
+}
+
+/// One migration soak: an RDMA stream, optionally with the orchestrator
+/// dead around the migration, ending co-located. Returns the client QP's
+/// `(failovers, upgrades, epoch)` plus the final telemetry snapshot.
+fn migration_soak(outage: bool) -> (u64, u64, u64, TelemetrySnapshot) {
+    let cluster = FreeFlowCluster::with_defaults();
+    let (a, b, mut client, mut server) = streaming_pair(&cluster);
+    let h0 = a.host();
+    roundtrip(&mut client, &mut server, b"established on rdma");
+
+    if outage {
+        // The orchestrator dies; the established stream keeps flowing on
+        // the cached route.
+        cluster.fail_orchestrator();
+        roundtrip(&mut client, &mut server, b"deaf but flowing");
+    }
+
+    // The server migrates onto the client's host. With the control plane
+    // down the ContainerMoved event is withheld: the client's library
+    // only learns of it from the post-restore snapshot resync.
+    let b = cluster.migrate(b, h0).unwrap();
+
+    if outage {
+        cluster.restore_orchestrator();
+    }
+
+    wait_until(
+        "collapse onto shared memory",
+        Duration::from_secs(10),
+        || {
+            matches!(client.qp().path(), FfPath::Local { .. })
+                && client.qp().binding_phase() == BindingPhase::Bound
+                && matches!(server.qp().path(), FfPath::Local { .. })
+                && server.qp().binding_phase() == BindingPhase::Bound
+        },
+    );
+    roundtrip(&mut client, &mut server, b"co-located after resync");
+
+    let out = (
+        client.qp().failover_count(),
+        client.qp().upgrade_count(),
+        client.qp().epoch(),
+        cluster.telemetry(),
+    );
+    client.shutdown().unwrap();
+    drop(b);
+    out
+}
+
+/// The tentpole soak (deterministic, seedless by construction — the only
+/// schedule is the program order): a migration that happens while the
+/// orchestrator is dead must, after restore + resync, leave the stream
+/// exactly where a fully-live migration leaves it — same final transport,
+/// same failover/upgrade/epoch counters — with the resync visible in
+/// telemetry and the counters matching the flight-recorder timeline.
+#[test]
+fn chaos_migration_during_orchestrator_outage_matches_live_run() {
+    let (live_fo, live_up, live_epoch, live_snap) = migration_soak(false);
+    let (deaf_fo, deaf_up, deaf_epoch, deaf_snap) = migration_soak(true);
+
+    // Identical endpoint state: the outage was invisible to the data path.
+    assert_eq!(deaf_fo, live_fo, "failovers must match the live run");
+    assert_eq!(deaf_up, live_up, "upgrades must match the live run");
+    assert_eq!(deaf_epoch, live_epoch, "epochs must match the live run");
+
+    // The live run never resyncs; the deaf run must have reconciled the
+    // missed migration through at least one snapshot resync.
+    assert_eq!(live_snap.counter_total("ff_orch_resyncs_total"), 0);
+    let resyncs = deaf_snap.counter_total("ff_orch_resyncs_total");
+    let gaps = deaf_snap.counter_total("ff_orch_feed_gaps_total");
+    assert!(resyncs >= 1, "the deaf migration must trigger a resync");
+    assert!(gaps >= 1, "the withheld events must surface as a feed gap");
+
+    // Counters match the flight-recorder timeline, event for event.
+    assert_eq!(control_events(&deaf_snap, "resync"), resyncs);
+    assert_eq!(control_events(&deaf_snap, "gap"), gaps);
+    assert_eq!(
+        deaf_snap
+            .events
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::ControlPlane {
+                    kind: "gap",
+                    detail,
+                    ..
+                } => Some(detail),
+                _ => None,
+            })
+            .sum::<u64>(),
+        deaf_snap.counter_total("ff_orch_feed_gap_events_total"),
+        "gap sizes in the timeline must sum to the gap-event counter"
+    );
+    assert_eq!(control_events(&deaf_snap, "outage"), 1);
+    assert_eq!(control_events(&deaf_snap, "restore"), 1);
+}
+
+/// Per-host control partition: the partitioned host's library degrades
+/// new decisions, the rest of the cluster still resolves authoritatively,
+/// and healing the partition upgrades the degraded path.
+#[test]
+fn chaos_control_partition_degrades_only_the_partitioned_host() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let h2 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+    let a = cluster.launch(tenant, h0).unwrap();
+    let b = cluster.launch(tenant, h1).unwrap();
+    let c = cluster.launch(tenant, h2).unwrap();
+    let d = cluster.launch(tenant, h1).unwrap();
+
+    cluster.partition_control(h0);
+
+    // h0 is deaf: a → b degrades to universal TCP.
+    let deg = connect_pair(&a, &b);
+    match deg.4.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::TcpHost),
+        other => panic!("expected degraded TcpHost path, got {other:?}"),
+    }
+    exchange(&deg, 4);
+
+    // h2 is fine: c → d resolves authoritatively onto RDMA.
+    let fine = connect_pair(&c, &d);
+    match fine.4.path() {
+        FfPath::Remote { transport, .. } => assert_eq!(transport, TransportKind::Rdma),
+        other => panic!("expected authoritative RDMA path, got {other:?}"),
+    }
+    exchange(&fine, 4);
+
+    cluster.heal_control(h0);
+    wait_until(
+        "healed partition upgrades to RDMA",
+        Duration::from_secs(5),
+        || {
+            matches!(
+                deg.4.path(),
+                FfPath::Remote {
+                    transport: TransportKind::Rdma,
+                    ..
+                }
+            ) && deg.4.binding_phase() == BindingPhase::Bound
+        },
+    );
+    exchange(&deg, 4);
+
+    let snap = cluster.telemetry();
+    assert_eq!(control_events(&snap, "partition"), 1);
+    assert_eq!(control_events(&snap, "heal"), 1);
+    assert!(snap.counter_total("ff_orch_degraded_decisions_total") >= 1);
 }
