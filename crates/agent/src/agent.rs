@@ -20,9 +20,9 @@
 
 use crate::proto::{status, RelayMsg, RelayPayload, WireEp};
 use crate::wire::PeerWire;
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use freeflow_shmem::{ShmDuplex, ShmFabric, ShmMessage, ShmReceiver, ShmSender};
-use freeflow_telemetry::{Counter, Event, LabelSet, Telemetry};
+use freeflow_telemetry::{Counter, Event, Histogram, LabelSet, Telemetry};
 use freeflow_types::{Error, HostId, OverlayIp, Result, TransportKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -46,6 +46,14 @@ const WIRE_SEND_RETRIES: usize = 256;
 /// How long a relayed request may stay unanswered before the agent
 /// synthesizes a [`status::TIMEOUT`] nack to its local source.
 const DEFAULT_RELAY_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Ceiling on how many relay frames one coalesced wire message may carry.
+/// The adaptive per-wire limit grows toward this under backlog and decays
+/// toward one when traffic thins (see [`Agent::adapt_batch_limit`]).
+const MAX_WIRE_BATCH: usize = 64;
+
+/// How many frames one vectored container-channel drain pulls per call.
+const DRAIN_CHUNK: usize = 64;
 
 /// Identity of one in-flight relayed request awaiting its reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +100,11 @@ struct AgentInstruments {
     nacks: Arc<Counter>,
     /// In-flight relay entries expired without a reply.
     relays_expired: Arc<Counter>,
+    /// Frames per coalesced wire message (a lone message records 1).
+    batch_size: Arc<Histogram>,
+    /// Container doorbell rings saved by batched delivery: a batch of `n`
+    /// frames to one container adds `n - 1`.
+    doorbells_coalesced: Arc<Counter>,
 }
 
 impl AgentInstruments {
@@ -119,6 +132,16 @@ impl AgentInstruments {
                 "in-flight relays expired without a reply",
                 labels,
             ),
+            batch_size: reg.histogram(
+                "ff_batch_size",
+                "relay frames per coalesced wire message",
+                labels,
+            ),
+            doorbells_coalesced: reg.counter(
+                "ff_doorbells_coalesced_total",
+                "container doorbell rings saved by batched delivery",
+                labels,
+            ),
             hub,
         }
     }
@@ -127,6 +150,14 @@ impl AgentInstruments {
 struct AgentInner {
     containers: HashMap<OverlayIp, ContainerLink>,
     wires: Vec<PeerWire>,
+    /// Per-wire adaptive coalescing limit (frames per wire message),
+    /// parallel to `wires`. Grows ×2 toward [`MAX_WIRE_BATCH`] when a
+    /// poll's backlog fills whole batches; halves toward 1 when the wire
+    /// runs near-idle. Because the forwarding engine only coalesces frames
+    /// already waiting in the same poll, a lone message always ships
+    /// immediately regardless of the limit — adaptation trades per-message
+    /// wire overhead against fan-out granularity, never latency.
+    batch_limits: Vec<usize>,
     /// Overlay IP → wire index, installed from orchestrator routes.
     routes: HashMap<OverlayIp, usize>,
 }
@@ -172,6 +203,7 @@ impl Agent {
             inner: Mutex::new(AgentInner {
                 containers: HashMap::new(),
                 wires: Vec::new(),
+                batch_limits: Vec::new(),
                 routes: HashMap::new(),
             }),
             stats: AgentStats::default(),
@@ -336,7 +368,14 @@ impl Agent {
     pub fn attach_wire(&self, wire: PeerWire) -> usize {
         let mut inner = self.inner.lock();
         inner.wires.push(wire);
+        inner.batch_limits.push(1);
         inner.wires.len() - 1
+    }
+
+    /// Current adaptive coalescing limit of wire `idx` (for tests and
+    /// observability; the forwarding engine reads it internally).
+    pub fn wire_batch_limit(&self, idx: usize) -> Option<usize> {
+        self.inner.lock().batch_limits.get(idx).copied()
     }
 
     /// Install/replace the route for one remote container IP.
@@ -421,22 +460,43 @@ impl Agent {
     /// Drain pending work once. Returns the number of messages processed.
     pub fn poll(&self) -> usize {
         let mut work = 0;
-        // Container → agent.
+        // Container → agent: a vectored drain, so the space doorbell rings
+        // once per burst instead of once per frame.
         let from_containers: Vec<Bytes> = {
             let inner = self.inner.lock();
             let mut msgs = Vec::new();
+            let mut scratch: Vec<ShmMessage> = Vec::with_capacity(DRAIN_CHUNK);
             for link in inner.containers.values() {
-                while let Ok(m) = link.rx.try_recv() {
-                    if let ShmMessage::Inline(b) = m {
-                        msgs.push(b);
+                loop {
+                    scratch.clear();
+                    let got = link
+                        .rx
+                        .try_recv_many(DRAIN_CHUNK, &mut scratch)
+                        .unwrap_or(0);
+                    for m in scratch.drain(..) {
+                        if let ShmMessage::Inline(b) = m {
+                            msgs.push(b);
+                        }
+                    }
+                    if got < DRAIN_CHUNK {
+                        break;
                     }
                 }
             }
             msgs
         };
+        // Route: local destinations deliver immediately; remote frames
+        // bucket per wire so everything bound for the same peer host in
+        // this poll shares coalesced wire messages.
+        let mut outbound: HashMap<usize, Vec<RelayMsg>> = HashMap::new();
         for raw in from_containers {
             work += 1;
-            self.route_from_local(raw);
+            if let Some((idx, msg)) = self.route_from_local(raw) {
+                outbound.entry(idx).or_default().push(msg);
+            }
+        }
+        for (idx, msgs) in outbound {
+            self.flush_to_wire(idx, msgs);
         }
         // Wire → agent.
         let from_wires: Vec<Bytes> = {
@@ -450,9 +510,7 @@ impl Agent {
             msgs
         };
         for raw in from_wires {
-            work += 1;
-            self.stats.relayed_in.fetch_add(1, Ordering::Relaxed);
-            self.deliver_from_wire(raw);
+            work += self.deliver_from_wire(raw);
         }
         // Expire after draining, so replies that just arrived clear their
         // entries before the deadline check.
@@ -589,75 +647,130 @@ impl Agent {
         (stop, handle)
     }
 
-    /// Route a message originating from a local container.
-    fn route_from_local(&self, raw: Bytes) {
+    /// Route a message originating from a local container. Local
+    /// destinations are delivered (and unroutable ones nacked) here;
+    /// remote frames come back as `(wire index, materialized message)` so
+    /// the caller can coalesce everything sharing a wire into batched
+    /// wire messages.
+    fn route_from_local(&self, raw: Bytes) -> Option<(usize, RelayMsg)> {
         let msg = match RelayMsg::decode(raw.clone()) {
             Ok(m) => m,
-            Err(_) => return, // corrupt local message: drop
+            Err(_) => return None, // corrupt local message: drop
         };
         let dst_ip = msg.dst().ip;
         // Local destination?
-        if self.deliver_local(dst_ip, raw.clone(), &msg) {
-            return;
+        if self.deliver_local(dst_ip, raw, &msg) {
+            return None;
         }
         // Remote: find a route.
         let wire_idx = { self.inner.lock().routes.get(&dst_ip).copied() };
         match wire_idx {
-            Some(idx) => {
-                let outbound = self.materialize_for_wire(msg);
-                let bytes = outbound.encode();
-                // The peer pump drains the wire; retry with backoff on a
-                // full queue, but *bounded* — a wire that never drains
-                // (wedged or dead peer) must surface as a failed
-                // completion, not a hung forwarding thread.
-                let mut budget_exhausted = true;
-                for attempt in 0..WIRE_SEND_RETRIES {
-                    let sent = {
-                        let inner = self.inner.lock();
-                        inner.wires[idx].send(bytes.clone())
-                    };
-                    match sent {
-                        Ok(()) => {
-                            self.stats.relayed_out.fetch_add(1, Ordering::Relaxed);
-                            if attempt > 0 {
-                                let tm = self.telemetry.read();
-                                tm.wire_retries.add(attempt as u64);
-                                tm.hub.record(Event::RelayRetry {
-                                    host: self.host.raw(),
-                                    attempts: attempt as u32,
-                                    exhausted: false,
-                                });
-                            }
-                            self.track_relay(&outbound);
-                            return;
+            Some(idx) => Some((idx, self.materialize_for_wire(msg))),
+            None => {
+                self.nack(&msg, status::REMOTE_OP);
+                None
+            }
+        }
+    }
+
+    /// Ship one poll's backlog for wire `idx`, coalescing frames into
+    /// wire messages of at most the wire's adaptive batch limit, then
+    /// adapt the limit to the observed backlog. Frames are encoded into
+    /// one borrowed buffer per wire message — no per-frame allocation —
+    /// and a backlog of one goes out in the plain single-message format.
+    fn flush_to_wire(&self, idx: usize, msgs: Vec<RelayMsg>) {
+        let limit = self.adapt_batch_limit(idx, msgs.len());
+        for chunk in msgs.chunks(limit) {
+            let mut buf = BytesMut::with_capacity(64 * chunk.len());
+            RelayMsg::encode_coalesced(chunk, &mut buf);
+            let bytes = buf.freeze();
+            // The peer pump drains the wire; retry with backoff on a
+            // full queue, but *bounded* — a wire that never drains
+            // (wedged or dead peer) must surface as failed completions,
+            // not a hung forwarding thread.
+            let mut budget_exhausted = true;
+            let mut sent_ok = false;
+            for attempt in 0..WIRE_SEND_RETRIES {
+                let sent = {
+                    let inner = self.inner.lock();
+                    inner.wires[idx].send(bytes.clone())
+                };
+                match sent {
+                    Ok(()) => {
+                        self.stats
+                            .relayed_out
+                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        let tm = self.telemetry.read();
+                        tm.batch_size.record(chunk.len() as u64);
+                        if attempt > 0 {
+                            tm.wire_retries.add(attempt as u64);
+                            tm.hub.record(Event::RelayRetry {
+                                host: self.host.raw(),
+                                attempts: attempt as u32,
+                                exhausted: false,
+                            });
                         }
-                        Err(Error::Exhausted(_)) => {
-                            if attempt < 32 {
-                                std::thread::yield_now();
-                            } else {
-                                std::thread::sleep(Duration::from_micros(50));
-                            }
+                        drop(tm);
+                        for m in chunk {
+                            self.track_relay(m);
                         }
-                        // Wire down or peer gone: fail over immediately.
-                        Err(_) => {
-                            budget_exhausted = false;
-                            break;
+                        sent_ok = true;
+                        break;
+                    }
+                    Err(Error::Exhausted(_)) => {
+                        if attempt < 32 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(Duration::from_micros(50));
                         }
                     }
+                    // Wire down or peer gone: fail over immediately.
+                    Err(_) => {
+                        budget_exhausted = false;
+                        break;
+                    }
                 }
-                if budget_exhausted {
-                    let tm = self.telemetry.read();
-                    tm.retry_exhausted.inc();
-                    tm.hub.record(Event::RelayRetry {
-                        host: self.host.raw(),
-                        attempts: WIRE_SEND_RETRIES as u32,
-                        exhausted: true,
-                    });
-                }
-                self.nack(&outbound, status::TIMEOUT);
             }
-            None => self.nack(&msg, status::REMOTE_OP),
+            if sent_ok {
+                continue;
+            }
+            if budget_exhausted {
+                let tm = self.telemetry.read();
+                tm.retry_exhausted.inc();
+                tm.hub.record(Event::RelayRetry {
+                    host: self.host.raw(),
+                    attempts: WIRE_SEND_RETRIES as u32,
+                    exhausted: true,
+                });
+            }
+            for m in chunk {
+                self.nack(m, status::TIMEOUT);
+            }
         }
+    }
+
+    /// Adapt wire `idx`'s coalescing limit to the backlog one poll
+    /// observed, returning the limit to flush with: a backlog that
+    /// overflows one batch doubles the limit (toward [`MAX_WIRE_BATCH`]);
+    /// a backlog of no more than half the limit halves it (toward 1), so
+    /// a wire that goes quiet returns to single-message framing. A lone
+    /// message is never held back by any limit — coalescing only ever
+    /// groups frames already waiting in the same poll.
+    fn adapt_batch_limit(&self, idx: usize, backlog: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let Some(slot) = inner.batch_limits.get_mut(idx) else {
+            return 1;
+        };
+        let limit = (*slot).clamp(1, MAX_WIRE_BATCH);
+        let next = if backlog > limit {
+            (limit * 2).min(MAX_WIRE_BATCH)
+        } else if backlog * 2 <= limit {
+            (limit / 2).max(1)
+        } else {
+            limit
+        };
+        *slot = next;
+        next
     }
 
     /// Deliver a message whose destination is on this host. Returns false
@@ -760,58 +873,109 @@ impl Agent {
         }
     }
 
-    /// Deliver a wire message to a local container, re-staging big inline
-    /// payloads into the arena when zero-copy is on.
-    fn deliver_from_wire(&self, raw: Bytes) {
-        let msg = match RelayMsg::decode(raw.clone()) {
-            Ok(m) => m,
-            Err(_) => return,
-        };
-        // A returning reply settles the request we relayed out earlier.
-        self.settle_relay(&msg);
-        let dst_ip = msg.dst().ip;
-        let use_arena = self.zero_copy.load(Ordering::Relaxed);
-        let (restaged, zero_copied) = if use_arena {
-            self.restage_into_arena(msg.clone())
-        } else {
-            (msg.clone(), 0)
-        };
-        let raw_out = if zero_copied > 0 {
-            restaged.encode()
-        } else {
-            raw
-        };
-        let delivered = {
-            let inner = self.inner.lock();
-            match inner.containers.get(&dst_ip) {
-                Some(link) => link.tx.send(&raw_out).is_ok(),
-                None => false,
-            }
-        };
-        if delivered {
-            if zero_copied > 0 {
-                self.stats
-                    .zero_copy_bytes
-                    .fetch_add(zero_copied, Ordering::Relaxed);
-            }
-        } else {
-            // Undo any staged block, then nack the remote sender.
-            if let RelayMsg::Send {
-                payload: RelayPayload::Arena { offset, len },
-                ..
-            }
-            | RelayMsg::Write {
-                payload: RelayPayload::Arena { offset, len },
-                ..
-            } = restaged
-            {
-                let _ = self.fabric.arena().free(freeflow_shmem::ArenaHandle {
-                    offset,
-                    len: len.next_multiple_of(64),
-                });
-            }
-            self.nack(&msg, status::REMOTE_OP);
+    /// Deliver a wire message — possibly a coalesced batch — to local
+    /// containers, re-staging big inline payloads into the arena when
+    /// zero-copy is on. Consecutive frames for the same container are
+    /// pushed with one vectored channel send, so that container's data
+    /// doorbell rings once per run instead of once per frame. Returns the
+    /// number of frames processed.
+    fn deliver_from_wire(&self, raw: Bytes) -> usize {
+        struct Prepared {
+            msg: RelayMsg,
+            restaged: RelayMsg,
+            raw: Bytes,
+            zero_copied: u64,
         }
+        let frames = match RelayMsg::split_frames(raw) {
+            Ok(f) => f,
+            Err(_) => return 1, // corrupt envelope: drop, but it was work
+        };
+        let total = frames.len();
+        let use_arena = self.zero_copy.load(Ordering::Relaxed);
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(total);
+        for raw in frames {
+            let msg = match RelayMsg::decode(raw.clone()) {
+                Ok(m) => m,
+                Err(_) => continue, // corrupt frame: drop it alone
+            };
+            // A returning reply settles the request we relayed out earlier.
+            self.settle_relay(&msg);
+            let (restaged, zero_copied) = if use_arena {
+                self.restage_into_arena(msg.clone())
+            } else {
+                (msg.clone(), 0)
+            };
+            let raw_out = if zero_copied > 0 {
+                restaged.encode()
+            } else {
+                raw
+            };
+            prepared.push(Prepared {
+                msg,
+                restaged,
+                raw: raw_out,
+                zero_copied,
+            });
+        }
+        self.stats
+            .relayed_in
+            .fetch_add(prepared.len() as u64, Ordering::Relaxed);
+        // Deliver runs of consecutive frames sharing a destination with
+        // one vectored send each; wire order within a container holds.
+        let mut i = 0;
+        while i < prepared.len() {
+            let dst_ip = prepared[i].msg.dst().ip;
+            let mut j = i + 1;
+            while j < prepared.len() && prepared[j].msg.dst().ip == dst_ip {
+                j += 1;
+            }
+            let run = &prepared[i..j];
+            i = j;
+            let delivered = {
+                let inner = self.inner.lock();
+                match inner.containers.get(&dst_ip) {
+                    Some(link) => {
+                        let parts: Vec<&[u8]> = run.iter().map(|p| &p.raw[..]).collect();
+                        link.tx.send_batch(&parts).is_ok()
+                    }
+                    None => false,
+                }
+            };
+            if delivered {
+                let zero: u64 = run.iter().map(|p| p.zero_copied).sum();
+                if zero > 0 {
+                    self.stats
+                        .zero_copy_bytes
+                        .fetch_add(zero, Ordering::Relaxed);
+                }
+                if run.len() > 1 {
+                    self.telemetry
+                        .read()
+                        .doorbells_coalesced
+                        .add(run.len() as u64 - 1);
+                }
+            } else {
+                for p in run {
+                    // Undo any staged block, then nack the remote sender.
+                    if let RelayMsg::Send {
+                        payload: RelayPayload::Arena { offset, len },
+                        ..
+                    }
+                    | RelayMsg::Write {
+                        payload: RelayPayload::Arena { offset, len },
+                        ..
+                    } = &p.restaged
+                    {
+                        let _ = self.fabric.arena().free(freeflow_shmem::ArenaHandle {
+                            offset: *offset,
+                            len: len.next_multiple_of(64),
+                        });
+                    }
+                    self.nack(&p.msg, status::REMOTE_OP);
+                }
+            }
+        }
+        total
     }
 
     /// Stage big inline payloads into the host arena. Returns the possibly
@@ -1313,6 +1477,77 @@ mod tests {
         assert_eq!(a1.wire_kind(w1), Some(TransportKind::TcpHost));
         assert_eq!(a0.wire_to(HostId::new(1)), Some(w0));
         assert_eq!(a0.wire_to(HostId::new(9)), None);
+    }
+
+    #[test]
+    fn backlog_coalesces_wire_messages_and_adapts_batch_limit() {
+        let a0 = Agent::new(HostId::new(0), 1 << 20);
+        let a1 = Agent::new(HostId::new(1), 1 << 20);
+        let hub = Telemetry::new();
+        a0.attach_telemetry(&hub);
+        a1.attach_telemetry(&hub);
+        let (w0, _w1) = connect_agents(&a0, &a1, TransportKind::Rdma);
+        let src = a0.attach_container(ip(1)).unwrap();
+        let dst = a1.attach_container(ip(2)).unwrap();
+        a0.install_route(ip(2), w0).unwrap();
+        assert_eq!(a0.wire_batch_limit(w0), Some(1));
+
+        // Build up a backlog, then poll once: every frame this poll saw
+        // for host 1 must share coalesced wire messages, and the adaptive
+        // limit must grow.
+        const BURST: u64 = 48;
+        for i in 0..BURST {
+            src.channel
+                .tx
+                .send(&send_msg(1, 2, i, b"burst").encode())
+                .unwrap();
+        }
+        let wire_msgs_before = {
+            let inner = a0.inner.lock();
+            inner.wires[w0].stats().msgs.load(Ordering::Relaxed)
+        };
+        a0.poll();
+        let wire_msgs = {
+            let inner = a0.inner.lock();
+            inner.wires[w0].stats().msgs.load(Ordering::Relaxed)
+        } - wire_msgs_before;
+        assert!(
+            wire_msgs < BURST,
+            "48 frames must not take 48 wire messages, took {wire_msgs}"
+        );
+        assert_eq!(a0.stats().relayed_out.load(Ordering::Relaxed), BURST);
+        assert!(a0.wire_batch_limit(w0).unwrap() > 1, "limit must grow");
+
+        // The receiving agent fans the batch out in order with coalesced
+        // container doorbells.
+        a1.poll();
+        for i in 0..BURST {
+            match recv_inline(&dst) {
+                RelayMsg::Send { wr_id, .. } => assert_eq!(wr_id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(a1.stats().relayed_in.load(Ordering::Relaxed), BURST);
+        let labels0 = LabelSet::host(0);
+        let labels1 = LabelSet::host(1);
+        let snap = hub.snapshot();
+        let hist = snap.histogram("ff_batch_size", labels0).expect("histogram");
+        assert_eq!(hist.count(), wire_msgs, "one sample per wire message");
+        assert_eq!(hist.sum, BURST, "samples sum to the frames shipped");
+        let saved = snap
+            .counter_value("ff_doorbells_coalesced_total", labels1)
+            .unwrap();
+        assert!(saved > 0, "batched delivery must coalesce doorbells");
+
+        // Idle polls decay the limit back toward single-message framing.
+        for _ in 0..16 {
+            src.channel
+                .tx
+                .send(&send_msg(1, 2, 999, b"lone").encode())
+                .unwrap();
+            a0.poll();
+        }
+        assert_eq!(a0.wire_batch_limit(w0), Some(1), "idle wire decays");
     }
 
     #[test]

@@ -177,6 +177,11 @@ const TAG_READ_REQ: u8 = 3;
 const TAG_READ_RESP: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_NACK: u8 = 6;
+/// A coalesced wire message: several relay messages destined for the same
+/// peer host, packed into one send. Never appears on single-message paths —
+/// a lone message keeps its plain tag, so batching adds zero bytes and zero
+/// parse work when there is nothing to coalesce.
+const TAG_BATCH: u8 = 7;
 
 const PAYLOAD_INLINE: u8 = 0;
 const PAYLOAD_ARENA: u8 = 1;
@@ -296,6 +301,16 @@ impl RelayMsg {
     /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serialize into a caller-owned buffer — the hot-path variant.
+    ///
+    /// Appends the encoding to `buf` without allocating a fresh `Vec` or
+    /// `BytesMut` per message, so a relay coalescing many frames into one
+    /// wire send pays for one buffer, not one per frame.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             RelayMsg::Send {
                 src,
@@ -305,11 +320,11 @@ impl RelayMsg {
                 payload,
             } => {
                 buf.put_u8(TAG_SEND);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*wr_id);
-                put_imm(&mut buf, *imm);
-                put_payload(&mut buf, payload);
+                put_imm(buf, *imm);
+                put_payload(buf, payload);
             }
             RelayMsg::Write {
                 src,
@@ -321,13 +336,13 @@ impl RelayMsg {
                 payload,
             } => {
                 buf.put_u8(TAG_WRITE);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*wr_id);
                 buf.put_u64(*addr);
                 buf.put_u32(*rkey);
-                put_imm(&mut buf, *imm);
-                put_payload(&mut buf, payload);
+                put_imm(buf, *imm);
+                put_payload(buf, payload);
             }
             RelayMsg::ReadReq {
                 src,
@@ -338,8 +353,8 @@ impl RelayMsg {
                 len,
             } => {
                 buf.put_u8(TAG_READ_REQ);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*req_id);
                 buf.put_u64(*addr);
                 buf.put_u32(*rkey);
@@ -353,11 +368,11 @@ impl RelayMsg {
                 payload,
             } => {
                 buf.put_u8(TAG_READ_RESP);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*req_id);
                 buf.put_u8(*status);
-                put_payload(&mut buf, payload);
+                put_payload(buf, payload);
             }
             RelayMsg::Ack {
                 src,
@@ -366,8 +381,8 @@ impl RelayMsg {
                 byte_len,
             } => {
                 buf.put_u8(TAG_ACK);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*wr_id);
                 buf.put_u64(*byte_len);
             }
@@ -378,13 +393,113 @@ impl RelayMsg {
                 status,
             } => {
                 buf.put_u8(TAG_NACK);
-                put_ep(&mut buf, *src);
-                put_ep(&mut buf, *dst);
+                put_ep(buf, *src);
+                put_ep(buf, *dst);
                 buf.put_u64(*wr_id);
                 buf.put_u8(*status);
             }
         }
-        buf.freeze()
+    }
+
+    /// Coalesce several messages into one wire message.
+    ///
+    /// Wire shape: `[TAG_BATCH][u32 count][u32 frame_len, frame]*`. A lone
+    /// message is emitted in its plain single-message format — the batch
+    /// envelope only ever wraps two or more frames, so coalescing never
+    /// costs a lone message a byte of framing or a microsecond of parsing.
+    /// The first byte discriminates: plain tags are 1–6, a batch is 7.
+    ///
+    /// Panics in debug builds if `msgs` is empty — an empty flush is a
+    /// caller bug, there is nothing to put on the wire.
+    pub fn encode_coalesced(msgs: &[RelayMsg], buf: &mut BytesMut) {
+        debug_assert!(!msgs.is_empty(), "coalescing zero messages");
+        if msgs.len() == 1 {
+            msgs[0].encode_into(buf);
+            return;
+        }
+        buf.put_u8(TAG_BATCH);
+        buf.put_u32(msgs.len() as u32);
+        for msg in msgs {
+            // Reserve the length slot, encode, then patch the real length —
+            // one pass over the payload instead of encode-then-copy.
+            let len_at = buf.len();
+            buf.put_u32(0);
+            let start = buf.len();
+            msg.encode_into(buf);
+            let frame_len = (buf.len() - start) as u32;
+            buf[len_at..len_at + 4].copy_from_slice(&frame_len.to_be_bytes());
+        }
+    }
+
+    /// Parse a wire message that may be a coalesced batch.
+    ///
+    /// Single messages (tags 1–6) decode exactly as [`RelayMsg::decode`]
+    /// and yield one element. A `TAG_BATCH` envelope yields its frames in
+    /// order. Returns the number of messages appended to `out`.
+    ///
+    /// Corruption surfaces as `Err`, never a panic, and rejects the whole
+    /// batch: a torn frame length, a frame that overruns the buffer, a
+    /// zero-frame batch, trailing bytes after the last frame, or a corrupt
+    /// inner frame all fail without delivering a prefix — a relay must not
+    /// ack half a wire message it could not fully parse.
+    pub fn decode_many(buf: Bytes, out: &mut Vec<RelayMsg>) -> Result<usize> {
+        if buf.first() != Some(&TAG_BATCH) {
+            out.push(RelayMsg::decode(buf)?);
+            return Ok(1);
+        }
+        let frames = Self::split_frames(buf)?;
+        let mut decoded = Vec::with_capacity(frames.len());
+        for frame in frames {
+            decoded.push(RelayMsg::decode(frame)?);
+        }
+        let count = decoded.len();
+        out.extend(decoded);
+        Ok(count)
+    }
+
+    /// Split a wire message into its raw frames without decoding them.
+    ///
+    /// A plain message (tags 1–6) yields itself as the only frame; a
+    /// `TAG_BATCH` envelope yields one `Bytes` per inner frame. Framing
+    /// corruption (torn lengths, overruns, undersized counts, trailing
+    /// bytes) is rejected whole, exactly as in [`RelayMsg::decode_many`];
+    /// the frames themselves are *not* decoded, so a forwarder can fan
+    /// them out and let each consumer surface per-frame corruption.
+    pub fn split_frames(buf: Bytes) -> Result<Vec<Bytes>> {
+        if buf.first() != Some(&TAG_BATCH) {
+            return Ok(vec![buf]);
+        }
+        let mut buf = buf.slice(1..);
+        if buf.len() < 4 {
+            return Err(Error::parse("truncated batch count"));
+        }
+        let count = buf.get_u32() as usize;
+        if count < 2 {
+            return Err(Error::parse(format!(
+                "batch of {count} messages: lone messages use plain tags"
+            )));
+        }
+        let mut frames = Vec::with_capacity(count);
+        for i in 0..count {
+            if buf.len() < 4 {
+                return Err(Error::parse(format!("truncated length of frame {i}")));
+            }
+            let len = buf.get_u32() as usize;
+            if buf.len() < len {
+                return Err(Error::parse(format!(
+                    "frame {i} truncated: want {len}, have {}",
+                    buf.len()
+                )));
+            }
+            frames.push(buf.split_to(len));
+        }
+        if !buf.is_empty() {
+            return Err(Error::parse(format!(
+                "{} trailing bytes after batch",
+                buf.len()
+            )));
+        }
+        Ok(frames)
     }
 
     /// Parse from wire bytes.
@@ -602,5 +717,78 @@ mod tests {
         assert_eq!(RelayPayload::Inline(Bytes::from_static(b"abc")).len(), 3);
         assert_eq!(RelayPayload::Arena { offset: 0, len: 64 }.len(), 64);
         assert!(RelayPayload::Inline(Bytes::new()).is_empty());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for msg in all_messages() {
+            let mut buf = BytesMut::new();
+            msg.encode_into(&mut buf);
+            assert_eq!(buf.freeze(), msg.encode());
+        }
+    }
+
+    #[test]
+    fn coalesced_batch_roundtrips_in_order() {
+        let msgs = all_messages();
+        let mut buf = BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        let mut out = Vec::new();
+        let n = RelayMsg::decode_many(buf.freeze(), &mut out).unwrap();
+        assert_eq!(n, msgs.len());
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn lone_message_coalesces_to_plain_format() {
+        let msg = all_messages().remove(0);
+        let mut buf = BytesMut::new();
+        RelayMsg::encode_coalesced(std::slice::from_ref(&msg), &mut buf);
+        let wire = buf.freeze();
+        // Identical bytes to the unbatched encoder: zero overhead.
+        assert_eq!(wire, msg.encode());
+        let mut out = Vec::new();
+        assert_eq!(RelayMsg::decode_many(wire, &mut out).unwrap(), 1);
+        assert_eq!(out, vec![msg]);
+    }
+
+    #[test]
+    fn torn_batch_rejected_whole() {
+        let msgs = all_messages();
+        let mut buf = BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        let wire = buf.freeze();
+        for cut in 1..wire.len() {
+            let mut out = Vec::new();
+            assert!(
+                RelayMsg::decode_many(wire.slice(..cut), &mut out).is_err(),
+                "cut at {cut} must fail"
+            );
+            assert!(out.is_empty(), "cut at {cut} must not deliver a prefix");
+        }
+    }
+
+    #[test]
+    fn batch_trailing_bytes_rejected() {
+        let msgs = all_messages();
+        let mut buf = BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        buf.put_u8(0xEE);
+        let mut out = Vec::new();
+        assert!(RelayMsg::decode_many(buf.freeze(), &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn undersized_batch_count_rejected() {
+        // count < 2 on the wire is corruption: lone messages never get the
+        // batch envelope.
+        for count in [0u32, 1] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(7); // TAG_BATCH
+            buf.put_u32(count);
+            let mut out = Vec::new();
+            assert!(RelayMsg::decode_many(buf.freeze(), &mut out).is_err());
+        }
     }
 }

@@ -163,4 +163,70 @@ proptest! {
             prop_assert_eq!(re, decoded);
         }
     }
+
+    /// Coalescing any sequence of messages into one wire message and
+    /// decoding it back yields the exact original frame sequence — same
+    /// messages, same order, nothing merged, dropped or duplicated.
+    #[test]
+    fn coalesced_batch_roundtrips_exactly(msgs in prop::collection::vec(arb_msg(), 1..20)) {
+        let mut buf = bytes::BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        let wire = buf.freeze();
+        if msgs.len() == 1 {
+            // A lone message must not pay the batch envelope.
+            prop_assert_eq!(wire.clone(), msgs[0].encode());
+        }
+        let mut out = Vec::new();
+        let n = RelayMsg::decode_many(wire.clone(), &mut out).unwrap();
+        prop_assert_eq!(n, msgs.len());
+        prop_assert_eq!(&out, &msgs);
+        // The zero-decode frame split agrees with the full decode.
+        let frames = RelayMsg::split_frames(wire).unwrap();
+        prop_assert_eq!(frames.len(), msgs.len());
+        for (frame, msg) in frames.into_iter().zip(&msgs) {
+            prop_assert_eq!(&RelayMsg::decode(frame).unwrap(), msg);
+        }
+    }
+
+    /// A torn (truncated) coalesced wire message is rejected whole: no
+    /// prefix of frames is ever delivered from a batch the decoder could
+    /// not fully parse.
+    #[test]
+    fn torn_batch_delivers_nothing(
+        msgs in prop::collection::vec(arb_msg(), 2..12),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        let wire = buf.freeze();
+        let cut = ((wire.len() as f64) * cut_ratio) as usize;
+        if cut < wire.len() {
+            let mut out = Vec::new();
+            prop_assert!(RelayMsg::decode_many(wire.slice(..cut), &mut out).is_err());
+            prop_assert!(out.is_empty(), "torn batch must not deliver a prefix");
+        }
+    }
+
+    /// Bit-flip corruption anywhere in a coalesced wire message never
+    /// panics the decoder, and a decode that fails appends nothing — the
+    /// all-or-nothing contract under arbitrary corruption, not just
+    /// truncation.
+    #[test]
+    fn corrupted_batch_is_total_and_all_or_nothing(
+        msgs in prop::collection::vec(arb_msg(), 2..12),
+        flips in prop::collection::vec((any::<u16>(), 0u8..8), 1..16),
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        RelayMsg::encode_coalesced(&msgs, &mut buf);
+        let mut wire = buf.freeze().to_vec();
+        for (pos, bit) in flips {
+            let idx = (pos as usize) % wire.len();
+            wire[idx] ^= 1 << bit;
+        }
+        let mut out = Vec::new();
+        match RelayMsg::decode_many(Bytes::from(wire), &mut out) {
+            Ok(n) => prop_assert_eq!(n, out.len()),
+            Err(_) => prop_assert!(out.is_empty(), "failed decode must deliver nothing"),
+        }
+    }
 }

@@ -1,0 +1,286 @@
+//! Batched-data-plane smoke benchmarks and the recorded perf baselines.
+//!
+//! Each workload here is measured twice over identical traffic: once
+//! posting/polling one WR at a time (`baseline`) and once through the
+//! chained batch entry points (`batched`) — [`freeflow_verbs::QueuePair::post_send_batch`],
+//! [`freeflow::FfQp::post_send_batch`] and
+//! [`freeflow_verbs::CompletionQueue::poll_many`]. The absolute numbers
+//! are machine-dependent; the committed artifacts (`BENCH_baseline.json`,
+//! `BENCH_batched.json`) exist so the *ratio* between the two modes can be
+//! tracked. `bench_smoke --check` fails when a fresh run's batched/baseline
+//! ratio falls more than 10% below the committed one.
+
+use crate::realpath::bench_pair;
+use freeflow_types::OverlayIp;
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
+use freeflow_verbs::{VerbsNetwork, WorkCompletion};
+use std::time::{Duration, Instant};
+
+/// Depth of every chained batch in the suite — the paper-style "32-deep
+/// doorbell batching" configuration the acceptance numbers are quoted at.
+pub const BATCH_DEPTH: usize = 32;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+/// One measured workload in one mode.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Workload identifier, stable across modes (ratios join on it).
+    pub name: String,
+    /// Total work requests completed.
+    pub ops: u64,
+    /// Payload bytes per work request.
+    pub bytes_per_op: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_ns: u128,
+}
+
+impl BenchRun {
+    /// Millions of completed operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// A full suite run in one mode.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"baseline"` (single-WR) or `"batched"` (32-deep chains).
+    pub mode: String,
+    /// One entry per workload.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Serialize as pretty-printed JSON, one run per line so the committed
+    /// artifact diffs cleanly and parses with [`BenchReport::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"batch_depth\": {BATCH_DEPTH},\n"));
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ops\": {}, \"bytes_per_op\": {}, \
+                 \"elapsed_ns\": {}, \"mops_per_s\": {:.4}}}{}\n",
+                r.name,
+                r.ops,
+                r.bytes_per_op,
+                r.elapsed_ns,
+                r.mops(),
+                if i + 1 == self.runs.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the exact shape [`BenchReport::to_json`] emits (one run per
+    /// line). Not a general JSON parser — it only needs to read back the
+    /// committed artifacts, which this tool itself writes.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+            let pat = format!("\"{key}\": ");
+            let at = line
+                .find(&pat)
+                .ok_or_else(|| format!("missing {key} in {line:?}"))?;
+            let rest = &line[at + pat.len()..];
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated {key} in {line:?}"))?;
+            Ok(rest[..end].trim().trim_matches('"'))
+        }
+        let mode = text
+            .lines()
+            .find(|l| l.contains("\"mode\""))
+            .and_then(|l| field(l, "mode").ok())
+            .ok_or("missing mode")?
+            .to_string();
+        let mut runs = Vec::new();
+        for line in text.lines().filter(|l| l.contains("\"name\"")) {
+            runs.push(BenchRun {
+                name: field(line, "name")?.to_string(),
+                ops: field(line, "ops")?.parse().map_err(|e| format!("{e}"))?,
+                bytes_per_op: field(line, "bytes_per_op")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+                elapsed_ns: field(line, "elapsed_ns")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?,
+            });
+        }
+        if runs.is_empty() {
+            return Err("no runs found".into());
+        }
+        Ok(Self { mode, runs })
+    }
+
+    /// Mops for the named run, if present.
+    pub fn mops_of(&self, name: &str) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|r| r.name == name)
+            .map(BenchRun::mops)
+    }
+}
+
+/// Raw verbs-engine WRITEs: the micro hot path. `batched` chains
+/// [`BATCH_DEPTH`] signaled WRITEs per post and drains completions with
+/// `poll_many`; baseline posts and polls one at a time.
+fn verbs_write(len: u32, iters: usize, batched: bool) -> BenchRun {
+    let net = VerbsNetwork::new();
+    let dev_a = net.create_device(OverlayIp::from_octets(10, 9, 0, 1));
+    let dev_b = net.create_device(OverlayIp::from_octets(10, 9, 0, 2));
+    let pd_a = dev_a.alloc_pd();
+    let pd_b = dev_b.alloc_pd();
+    let mr_a = pd_a.register(1 << 20, AccessFlags::all()).unwrap();
+    let mr_b = pd_b.register(1 << 20, AccessFlags::all()).unwrap();
+    let cq_a = dev_a.create_cq(2 * BATCH_DEPTH);
+    let cq_b = dev_b.create_cq(2 * BATCH_DEPTH);
+    let qp_a = pd_a
+        .create_qp(&cq_a, &cq_a, 2 * BATCH_DEPTH, 2 * BATCH_DEPTH)
+        .unwrap();
+    let qp_b = pd_b
+        .create_qp(&cq_b, &cq_b, 2 * BATCH_DEPTH, 2 * BATCH_DEPTH)
+        .unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+    mr_a.write(0, &vec![7u8; len as usize]).unwrap();
+
+    let rounds = iters / BATCH_DEPTH;
+    let ops = (rounds * BATCH_DEPTH) as u64;
+    let mut out: Vec<WorkCompletion> = Vec::with_capacity(BATCH_DEPTH);
+    let wr = |i: usize| SendWr::write(i as u64, mr_a.sge(0, len), mr_b.addr(), mr_b.rkey());
+    let start = Instant::now();
+    for _ in 0..rounds {
+        if batched {
+            qp_a.post_send_batch((0..BATCH_DEPTH).map(wr).collect())
+                .unwrap();
+            let mut got = 0;
+            while got < BATCH_DEPTH {
+                out.clear();
+                got += cq_a.poll_many(BATCH_DEPTH - got, &mut out);
+                for wc in &out {
+                    assert!(wc.status.is_ok());
+                }
+            }
+        } else {
+            for i in 0..BATCH_DEPTH {
+                qp_a.post_send(wr(i)).unwrap();
+                assert!(cq_a.poll_one().unwrap().status.is_ok());
+            }
+        }
+    }
+    BenchRun {
+        name: format!("verbs/write_{len}B"),
+        ops,
+        bytes_per_op: len as u64,
+        elapsed_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Cross-host SENDs through the full stack — library rings, agent
+/// coalescing, wire, remote delivery. This is the path where vectored
+/// relay sends and doorbell coalescing earn their keep.
+fn relay_send(len: u32, iters: usize, batched: bool) -> BenchRun {
+    let p = bench_pair(false);
+    p.mr_a.write(0, &vec![3u8; len as usize]).unwrap();
+    let rounds = iters / BATCH_DEPTH;
+    let ops = (rounds * BATCH_DEPTH) as u64;
+    let mut out: Vec<WorkCompletion> = Vec::with_capacity(BATCH_DEPTH);
+    let drain = |cq: &freeflow_verbs::CompletionQueue, n: usize| {
+        let mut got = 0;
+        while got < n {
+            let mut scratch = Vec::with_capacity(n - got);
+            let polled = cq.poll_many(n - got, &mut scratch);
+            if polled == 0 {
+                assert!(cq.wait_one(WAIT).unwrap().status.is_ok());
+                got += 1;
+                continue;
+            }
+            for wc in &scratch {
+                assert!(wc.status.is_ok(), "{wc:?}");
+            }
+            got += polled;
+        }
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for i in 0..BATCH_DEPTH {
+            p.qp_b
+                .post_recv(RecvWr::new(i as u64, p.mr_b.sge(0, len)))
+                .unwrap();
+        }
+        let wrs: Vec<SendWr> = (0..BATCH_DEPTH)
+            .map(|i| SendWr::send(i as u64, p.mr_a.sge(0, len)))
+            .collect();
+        if batched {
+            p.qp_a.post_send_batch(wrs).unwrap();
+        } else {
+            for wr in wrs {
+                p.qp_a.post_send(wr).unwrap();
+            }
+        }
+        out.clear();
+        drain(&p.cq_a, BATCH_DEPTH);
+        drain(&p.cq_b, BATCH_DEPTH);
+    }
+    BenchRun {
+        name: format!("relay/send_{len}B"),
+        ops,
+        bytes_per_op: len as u64,
+        elapsed_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Run the whole suite in one mode. `quick` shrinks iteration counts for
+/// unit tests (debug builds); the recorded baselines use `quick = false`
+/// under `--release`.
+pub fn run_suite(batched: bool, quick: bool) -> BenchReport {
+    let (micro, big, relay) = if quick {
+        (2 * BATCH_DEPTH, 2 * BATCH_DEPTH, 2 * BATCH_DEPTH)
+    } else {
+        (50_000, 10_000, 6_400)
+    };
+    BenchReport {
+        mode: if batched { "batched" } else { "baseline" }.to_string(),
+        runs: vec![
+            verbs_write(64, micro, batched),
+            verbs_write(4096, big, batched),
+            relay_send(1024, relay, batched),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_json_round_trips() {
+        for batched in [false, true] {
+            let report = run_suite(batched, true);
+            assert_eq!(report.runs.len(), 3);
+            for r in &report.runs {
+                assert_eq!(r.ops, 2 * BATCH_DEPTH as u64, "{}", r.name);
+                assert!(r.elapsed_ns > 0);
+            }
+            let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+            assert_eq!(parsed.mode, report.mode);
+            assert_eq!(parsed.runs.len(), report.runs.len());
+            for (a, b) in parsed.runs.iter().zip(&report.runs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.ops, b.ops);
+                assert_eq!(a.elapsed_ns, b.elapsed_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{\"mode\": \"x\"}").is_err());
+    }
+}

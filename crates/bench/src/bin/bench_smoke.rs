@@ -1,0 +1,112 @@
+//! Batched-hot-path smoke runner.
+//!
+//! ```text
+//! cargo run --release -p freeflow-bench --bin bench_smoke            # record
+//! cargo run --release -p freeflow-bench --bin bench_smoke -- --check # gate
+//! ```
+//!
+//! Without flags, measures the suite in both modes and writes
+//! `BENCH_baseline.json` / `BENCH_batched.json` to the current directory
+//! (the repo root when run via cargo). With `--check`, re-measures and
+//! compares the fresh batched/baseline *ratio* per workload against the
+//! committed artifacts: absolute throughput is machine-dependent, the
+//! speedup is not. The gate fails when a ratio regresses more than 10%,
+//! or when the 64 B micro workload loses its required 2x at 32-deep
+//! batches.
+
+use freeflow_bench::batch::{run_suite, BenchReport, BATCH_DEPTH};
+use std::process::ExitCode;
+
+const RATIO_SLACK: f64 = 0.9; // fresh ratio may be at most 10% below committed
+const MICRO_FLOOR: f64 = 2.0; // 64 B verbs writes must stay >= 2x batched
+const MICRO: &str = "verbs/write_64B";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(unknown) = args.iter().find(|a| *a != "--check" && *a != "--quick") {
+        eprintln!("unknown flag {unknown}; usage: bench_smoke [--check] [--quick]");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("measuring single-WR baseline ...");
+    let baseline = run_suite(false, quick);
+    eprintln!("measuring {BATCH_DEPTH}-deep batched hot path ...");
+    let batched = run_suite(true, quick);
+
+    println!(
+        "{:<20} {:>14} {:>14} {:>8}",
+        "workload", "baseline Mops", "batched Mops", "ratio"
+    );
+    for run in &baseline.runs {
+        let b = batched.mops_of(&run.name).unwrap_or(0.0);
+        println!(
+            "{:<20} {:>14.3} {:>14.3} {:>7.2}x",
+            run.name,
+            run.mops(),
+            b,
+            b / run.mops()
+        );
+    }
+
+    if !check {
+        std::fs::write("BENCH_baseline.json", baseline.to_json()).expect("write baseline");
+        std::fs::write("BENCH_batched.json", batched.to_json()).expect("write batched");
+        eprintln!("wrote BENCH_baseline.json and BENCH_batched.json");
+        return ExitCode::SUCCESS;
+    }
+
+    let committed_base = match std::fs::read_to_string("BENCH_baseline.json") {
+        Ok(t) => BenchReport::from_json(&t).expect("parse committed baseline"),
+        Err(e) => {
+            eprintln!("cannot read BENCH_baseline.json: {e} (run without --check to record)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed_batch = match std::fs::read_to_string("BENCH_batched.json") {
+        Ok(t) => BenchReport::from_json(&t).expect("parse committed batched"),
+        Err(e) => {
+            eprintln!("cannot read BENCH_batched.json: {e} (run without --check to record)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for run in &baseline.runs {
+        let fresh_ratio = batched.mops_of(&run.name).unwrap_or(0.0) / run.mops();
+        let committed_ratio = match (
+            committed_batch.mops_of(&run.name),
+            committed_base.mops_of(&run.name),
+        ) {
+            (Some(b), Some(s)) if s > 0.0 => b / s,
+            _ => {
+                eprintln!("FAIL {}: missing from committed artifacts", run.name);
+                failed = true;
+                continue;
+            }
+        };
+        if fresh_ratio < committed_ratio * RATIO_SLACK {
+            eprintln!(
+                "FAIL {}: batched speedup regressed: fresh {fresh_ratio:.2}x vs \
+                 committed {committed_ratio:.2}x (>10% drop)",
+                run.name
+            );
+            failed = true;
+        }
+        if run.name == MICRO && fresh_ratio < MICRO_FLOOR {
+            eprintln!(
+                "FAIL {}: {fresh_ratio:.2}x at {BATCH_DEPTH}-deep batches, \
+                 required >= {MICRO_FLOOR}x",
+                run.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench smoke OK: batched hot path within 10% of recorded speedups");
+        ExitCode::SUCCESS
+    }
+}

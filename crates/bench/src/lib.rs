@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod figures;
 pub mod realpath;
 pub mod table;

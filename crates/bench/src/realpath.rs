@@ -286,15 +286,21 @@ pub fn ablation_zero_copy() -> Table {
                 }
             }
         }
-        // Final signaled write flushes the pipe.
-        p.qp_a
-            .post_send(SendWr::write(
+        // Final signaled write flushes the pipe (same backpressure retry
+        // as the unsignaled stream — acks arrive in coalesced bursts, so
+        // the SQ may be momentarily full here too).
+        loop {
+            match p.qp_a.post_send(SendWr::write(
                 u64::MAX,
                 p.mr_a.sge(0, MSG),
                 p.mr_b.addr(),
                 p.mr_b.rkey(),
-            ))
-            .unwrap();
+            )) {
+                Ok(()) => break,
+                Err(freeflow_verbs::VerbsError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("{e}"),
+            }
+        }
         assert!(p.cq_a.wait_one(T).unwrap().status.is_ok());
         let elapsed = start.elapsed();
         let bits = (COUNT as u64 + 1) * MSG as u64 * 8;

@@ -36,6 +36,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+/// Frames the library pump pulls from the agent ring per drain sweep.
+/// One sweep costs one coalesced space doorbell regardless of size.
+const PUMP_DRAIN: usize = 64;
+
 /// A resolved path to a destination IP.
 #[derive(Debug, Clone, Copy)]
 pub struct ResolvedPath {
@@ -171,6 +175,29 @@ impl LibShared {
         // Blocking send: the agent pump drains this channel continuously.
         let _ = self.agent_tx.lock().send(&bytes);
     }
+
+    /// Hand a batch of relay messages to the host agent as one vectored
+    /// push: every frame is serialized into one scratch buffer (no
+    /// per-message `Vec<u8>`), the ring is written under a single
+    /// reservation, and the agent's data doorbell rings once for the
+    /// whole batch instead of once per message.
+    pub fn send_to_agent_batch(&self, msgs: &[RelayMsg]) {
+        match msgs {
+            [] => {}
+            [only] => self.send_to_agent(only),
+            _ => {
+                let mut buf = bytes::BytesMut::with_capacity(64 * msgs.len());
+                let mut bounds = Vec::with_capacity(msgs.len());
+                for msg in msgs {
+                    let start = buf.len();
+                    msg.encode_into(&mut buf);
+                    bounds.push((start, buf.len()));
+                }
+                let frames: Vec<&[u8]> = bounds.iter().map(|&(s, e)| &buf[s..e]).collect();
+                let _ = self.agent_tx.lock().send_batch(&frames);
+            }
+        }
+    }
 }
 
 /// The FreeFlow network library of one container.
@@ -258,24 +285,36 @@ impl NetLibrary {
                 // Set when a sequence gap (or feed loss) shows events were
                 // missed; cleared by a successful snapshot resync.
                 let mut needs_resync = false;
+                // Scratch for batched inbound drains (reused across ticks).
+                let mut inbound: Vec<ShmMessage> = Vec::with_capacity(PUMP_DRAIN);
                 while !stop.load(Ordering::Relaxed) {
-                    // Inbound relay messages → QPs.
+                    // Inbound relay messages → QPs. After the blocking
+                    // first frame, drain whatever else already sits in the
+                    // ring in one sweep — the space doorbell back to the
+                    // agent rings once per sweep, not once per frame.
                     match rx.recv_timeout(Duration::from_millis(1)) {
-                        Ok(Some(ShmMessage::Inline(raw))) => {
-                            if let Ok(msg) = RelayMsg::decode(raw) {
-                                let qpn = msg.dst().qpn;
-                                let qp = shared.qps.lock().get(&qpn).and_then(Weak::upgrade);
-                                if let Some(qp) = qp {
-                                    qp.handle_inbound(msg);
+                        Ok(Some(first)) => {
+                            inbound.clear();
+                            inbound.push(first);
+                            let _ = rx.try_recv_many(PUMP_DRAIN - 1, &mut inbound);
+                            for m in inbound.drain(..) {
+                                let ShmMessage::Inline(raw) = m else { continue };
+                                if let Ok(msg) = RelayMsg::decode(raw) {
+                                    let qpn = msg.dst().qpn;
+                                    let qp = shared.qps.lock().get(&qpn).and_then(Weak::upgrade);
+                                    if let Some(qp) = qp {
+                                        qp.handle_inbound(msg);
+                                    }
+                                    // Unknown QPN: drop. The sender times
+                                    // out into an error completion via
+                                    // agent nacks when the whole container
+                                    // is missing; a missing QP on a live
+                                    // container is an application teardown
+                                    // race.
                                 }
-                                // Unknown QPN: drop. The sender times out
-                                // into an error completion via agent nacks
-                                // when the whole container is missing; a
-                                // missing QP on a live container is an
-                                // application teardown race.
                             }
                         }
-                        Ok(Some(ShmMessage::Handle(_))) | Ok(None) => {}
+                        Ok(None) => {}
                         Err(_) => break, // agent gone
                     }
                     // Control-plane events → cache invalidation. Only

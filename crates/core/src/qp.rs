@@ -118,6 +118,12 @@ struct PendingRead {
     posted_at: Instant,
 }
 
+/// A built-but-untransmitted remote op's bookkeeping (send/write vs read).
+enum RemotePending {
+    Send(PendingSend),
+    Read(PendingRead),
+}
+
 struct InboundSend {
     src: freeflow_agent::proto::WireEp,
     op_id: u64,
@@ -1035,6 +1041,62 @@ impl FfQp {
         self.post_send_remote(wr, peer)
     }
 
+    /// Post a chain of send-side work requests as one batch. Observable
+    /// semantics are identical to posting each WR with [`FfQp::post_send`]
+    /// in order — same completion order, same signaling rules — but the
+    /// whole chain is admitted against the send-queue depth atomically
+    /// (all WRs fit or none is accepted) and leaves the container in one
+    /// shot: the Local path delegates to the verbs chained post, the
+    /// Remote path stages every payload and hands the agent one vectored
+    /// push (one ring reservation, one doorbell for the chain).
+    ///
+    /// While the binding is mid-drain/rebind the whole chain parks, in
+    /// order, behind any already-parked sends — it replays exactly once
+    /// on the new path, never straddling the rebind boundary partially.
+    pub fn post_send_batch(&self, wrs: Vec<SendWr>) -> VerbsResult<()> {
+        if wrs.is_empty() {
+            return Ok(());
+        }
+        if wrs.len() == 1 {
+            let wr = wrs.into_iter().next().expect("len checked");
+            return self.post_send(wr);
+        }
+        let peer = {
+            let mut inner = self.inner.lock();
+            if inner.state != QpState::Rts {
+                return Err(VerbsError::InvalidQpState {
+                    actual: inner.state.name(),
+                    required: "RTS",
+                });
+            }
+            let settled = inner.binding.phase() == BindingPhase::Bound
+                && !inner.replaying
+                && inner.parked_sends.is_empty();
+            let in_flight = inner.pending_sends.len() + inner.pending_reads.len();
+            if !settled {
+                if in_flight + inner.parked_sends.len() + wrs.len() > self.sq_depth {
+                    return Err(VerbsError::QueueFull { which: "send" });
+                }
+                inner.parked_sends.extend(wrs);
+                return Ok(());
+            }
+            match inner.binding.path() {
+                FfPath::Local { .. } => {
+                    drop(inner);
+                    return self.verbs_qp.post_send_batch(wrs);
+                }
+                FfPath::Remote { peer, .. } => {
+                    if in_flight + wrs.len() > self.sq_depth {
+                        return Err(VerbsError::QueueFull { which: "send" });
+                    }
+                    peer
+                }
+                FfPath::Unbound => unreachable!("RTS implies a bound path"),
+            }
+        };
+        self.post_send_remote_batch(wrs, peer)
+    }
+
     fn next_op_id(&self) -> u64 {
         let mut inner = self.inner.lock();
         let id = inner.next_op_id;
@@ -1114,13 +1176,17 @@ impl FfQp {
         Ok(RelayPayload::Inline(Bytes::from(payload)))
     }
 
-    fn post_send_remote(&self, wr: SendWr, peer: FfEndpoint) -> VerbsResult<()> {
+    /// Build the relay message and in-flight bookkeeping for one remote
+    /// WR without transmitting it — shared by the single and batched
+    /// remote post paths.
+    fn build_remote_op(
+        &self,
+        wr: SendWr,
+        me: freeflow_agent::proto::WireEp,
+        dst: freeflow_agent::proto::WireEp,
+    ) -> VerbsResult<(u64, RelayMsg, RemotePending)> {
         let payload = self.gather(&wr)?;
-        let byte_len = payload.len() as u64;
         let op_id = self.next_op_id();
-        let me = self.endpoint().wire();
-        let dst = peer.wire();
-
         let deadline = self.op_deadline();
         let posted_at = Instant::now();
         let (msg, pending) = match &wr.opcode {
@@ -1132,13 +1198,13 @@ impl FfQp {
                     imm: None,
                     payload: self.stage_payload(payload)?,
                 },
-                PendingSend {
+                RemotePending::Send(PendingSend {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::Send,
                     deadline,
                     posted_at,
-                },
+                }),
             ),
             WrOpcode::Write { remote_addr, rkey } => (
                 RelayMsg::Write {
@@ -1150,13 +1216,13 @@ impl FfQp {
                     imm: None,
                     payload: self.stage_payload(payload)?,
                 },
-                PendingSend {
+                RemotePending::Send(PendingSend {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
                     deadline,
                     posted_at,
-                },
+                }),
             ),
             WrOpcode::WriteWithImm {
                 remote_addr,
@@ -1172,41 +1238,91 @@ impl FfQp {
                     imm: Some(*imm),
                     payload: self.stage_payload(payload)?,
                 },
-                PendingSend {
+                RemotePending::Send(PendingSend {
                     wr_id: wr.wr_id,
                     signaled: wr.signaled,
                     opcode: WcOpcode::RdmaWrite,
                     deadline,
                     posted_at,
-                },
+                }),
             ),
-            WrOpcode::Read { remote_addr, rkey } => {
-                let msg = RelayMsg::ReadReq {
+            WrOpcode::Read { remote_addr, rkey } => (
+                RelayMsg::ReadReq {
                     src: me,
                     dst,
                     req_id: op_id,
                     addr: *remote_addr,
                     rkey: *rkey,
                     len: wr.total_len(),
-                };
-                let _ = byte_len;
-                self.inner.lock().pending_reads.insert(
-                    op_id,
-                    PendingRead {
-                        wr_id: wr.wr_id,
-                        signaled: wr.signaled,
-                        sge: wr.sge.clone(),
-                        deadline,
-                        posted_at,
-                    },
-                );
-                self.lib.send_to_agent(&msg);
-                return Ok(());
-            }
+                },
+                RemotePending::Read(PendingRead {
+                    wr_id: wr.wr_id,
+                    signaled: wr.signaled,
+                    sge: wr.sge.clone(),
+                    deadline,
+                    posted_at,
+                }),
+            ),
         };
-        self.inner.lock().pending_sends.insert(op_id, pending);
+        Ok((op_id, msg, pending))
+    }
+
+    /// Register one built remote op as in-flight (must happen before the
+    /// message is handed to the agent — the answer can race the return).
+    fn register_remote_op(inner: &mut QpInner, op_id: u64, pending: RemotePending) {
+        match pending {
+            RemotePending::Send(p) => {
+                inner.pending_sends.insert(op_id, p);
+            }
+            RemotePending::Read(p) => {
+                inner.pending_reads.insert(op_id, p);
+            }
+        }
+    }
+
+    fn post_send_remote(&self, wr: SendWr, peer: FfEndpoint) -> VerbsResult<()> {
+        let (op_id, msg, pending) =
+            self.build_remote_op(wr, self.endpoint().wire(), peer.wire())?;
+        Self::register_remote_op(&mut self.inner.lock(), op_id, pending);
         self.lib.send_to_agent(&msg);
         Ok(())
+    }
+
+    /// Batched remote post: every WR is gathered, staged and registered,
+    /// then the whole chain leaves in one vectored agent push (one ring
+    /// reservation, one doorbell). A WR that fails to build stops the
+    /// chain there — WRs before it are transmitted and stand, it and the
+    /// remainder are refused with the error, exactly like the verbs
+    /// batched post.
+    fn post_send_remote_batch(&self, wrs: Vec<SendWr>, peer: FfEndpoint) -> VerbsResult<()> {
+        let me = self.endpoint().wire();
+        let dst = peer.wire();
+        let mut msgs: Vec<RelayMsg> = Vec::with_capacity(wrs.len());
+        let mut built: Vec<(u64, RemotePending)> = Vec::with_capacity(wrs.len());
+        let mut chain_err = None;
+        for wr in wrs {
+            match self.build_remote_op(wr, me, dst) {
+                Ok((op_id, msg, pending)) => {
+                    msgs.push(msg);
+                    built.push((op_id, pending));
+                }
+                Err(e) => {
+                    chain_err = Some(e);
+                    break;
+                }
+            }
+        }
+        {
+            let mut inner = self.inner.lock();
+            for (op_id, pending) in built {
+                Self::register_remote_op(&mut inner, op_id, pending);
+            }
+        }
+        self.lib.send_to_agent_batch(&msgs);
+        match chain_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     // --- inbound (called from the library pump) ----------------------------

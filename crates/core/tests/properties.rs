@@ -113,6 +113,109 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Posting a message stream as arbitrary chained batches is
+    /// observationally identical to posting each WR singly: the peer sees
+    /// the same bytes in the same order, and exactly one completion per
+    /// signaled WR lands on each side — completion conservation across
+    /// every batch boundary. Payload sizes straddle the inline/arena
+    /// staging threshold so both relay encodings ride inside one batch.
+    #[test]
+    fn batched_relay_equals_single_and_conserves_completions(
+        lens in prop::collection::vec(1usize..9_000, 2..16),
+        splits in prop::collection::vec(1usize..6, 1..16),
+    ) {
+        const SLOT: usize = 16 << 10;
+        let payloads: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|k| ((k * 7 + i * 13) % 251) as u8).collect())
+            .collect();
+        let n = payloads.len();
+
+        // Run the same stream twice — once singly, once batched — and
+        // compare the streams each receiver observed.
+        let run = |batched: bool| {
+            let cluster = FreeFlowCluster::with_defaults();
+            let h0 = cluster.add_host(HostCaps::paper_testbed());
+            let h1 = cluster.add_host(HostCaps::paper_testbed());
+            let a = cluster.launch(TenantId::new(1), h0).unwrap();
+            let b = cluster.launch(TenantId::new(1), h1).unwrap();
+            let mr_a = a.register((n * SLOT) as u64, AccessFlags::all()).unwrap();
+            let mr_b = b.register((n * SLOT) as u64, AccessFlags::all()).unwrap();
+            let cq_a = a.create_cq(64);
+            let cq_b = b.create_cq(64);
+            let qp_a = a.create_qp(&cq_a, &cq_a, 32, 32).unwrap();
+            let qp_b = b.create_qp(&cq_b, &cq_b, 32, 32).unwrap();
+            qp_a.connect(qp_b.endpoint()).unwrap();
+            qp_b.connect(qp_a.endpoint()).unwrap();
+
+            for (i, payload) in payloads.iter().enumerate() {
+                qp_b.post_recv(RecvWr::new(
+                    i as u64,
+                    mr_b.sge((i * SLOT) as u64, SLOT as u32),
+                ))
+                .unwrap();
+                mr_a.write((i * SLOT) as u64, payload).unwrap();
+            }
+            let wrs: Vec<SendWr> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| SendWr::send(i as u64, mr_a.sge((i * SLOT) as u64, p.len() as u32)))
+                .collect();
+            if batched {
+                let mut it = wrs.into_iter().peekable();
+                let mut si = 0usize;
+                while it.peek().is_some() {
+                    let sz = splits[si % splits.len()];
+                    si += 1;
+                    let chunk: Vec<SendWr> = it.by_ref().take(sz).collect();
+                    qp_a.post_send_batch(chunk).unwrap();
+                }
+            } else {
+                for wr in wrs {
+                    qp_a.post_send(wr).unwrap();
+                }
+            }
+
+            // The receiver's stream, in completion order.
+            let mut stream: Vec<(u64, Vec<u8>)> = Vec::new();
+            for _ in 0..n {
+                let rwc = cq_b.wait_one(T).expect("recv completion");
+                assert!(rwc.status.is_ok(), "{:?}", rwc.status);
+                let mut out = vec![0u8; rwc.byte_len as usize];
+                mr_b.read(rwc.wr_id * SLOT as u64, &mut out).unwrap();
+                stream.push((rwc.wr_id, out));
+            }
+            // Conservation: every signaled send completes exactly once.
+            let mut send_ids: Vec<u64> = (0..n)
+                .map(|_| {
+                    let swc = cq_a.wait_one(T).expect("send completion");
+                    assert!(swc.status.is_ok(), "{:?}", swc.status);
+                    swc.wr_id
+                })
+                .collect();
+            send_ids.sort_unstable();
+            assert!(cq_a.poll_one().is_none(), "extra send completion");
+            assert!(cq_b.poll_one().is_none(), "extra recv completion");
+            (stream, send_ids)
+        };
+
+        let (single_stream, single_sends) = run(false);
+        let (batched_stream, batched_sends) = run(true);
+        // Byte-identical streams, identical completion sets.
+        prop_assert_eq!(&batched_stream, &single_stream);
+        prop_assert_eq!(&batched_sends, &single_sends);
+        prop_assert_eq!(batched_sends, (0..n as u64).collect::<Vec<u64>>());
+        for (i, (wr_id, bytes)) in batched_stream.iter().enumerate() {
+            prop_assert_eq!(*wr_id, i as u64, "receives match in posted order");
+            prop_assert_eq!(bytes, &payloads[i]);
+        }
+    }
+}
+
 /// Regression: non-64-byte-aligned payloads staged through the arena must
 /// not leak allocator padding — after many unaligned relays both host
 /// arenas return to their baseline occupancy.

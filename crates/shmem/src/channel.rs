@@ -127,19 +127,22 @@ impl ShmSender {
         self.shared.ring.capacity() - HDR
     }
 
-    fn frame_into(kind: u8, payload: &[u8]) -> Vec<u8> {
-        let mut frame = Vec::with_capacity(HDR + payload.len());
-        frame.push(kind);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(payload);
-        frame
+    fn frame_hdr(kind: u8, payload_len: usize) -> [u8; HDR] {
+        let mut hdr = [0u8; HDR];
+        hdr[0] = kind;
+        hdr[1..5].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        hdr
     }
 
-    fn push_frame(&self, frame: &[u8], data_len: usize) -> Result<()> {
+    /// Frame `payload` straight out of the caller's buffer: the header
+    /// lives on the stack and the payload is copied into the ring in
+    /// place — no intermediate frame allocation.
+    fn push_frame(&self, kind: u8, payload: &[u8], data_len: usize) -> Result<()> {
         if self.shared.rx_closed.load(Ordering::Acquire) {
             return Err(Error::disconnected("receiver dropped"));
         }
-        if !self.shared.ring.push(frame) {
+        let hdr = Self::frame_hdr(kind, payload.len());
+        if !self.shared.ring.push_vectored(&[&hdr, payload]) {
             return Err(Error::WouldBlock);
         }
         self.shared.stats.record_send(data_len as u64);
@@ -156,7 +159,89 @@ impl ShmSender {
                 self.max_message_len()
             )));
         }
-        self.push_frame(&Self::frame_into(KIND_INLINE, payload), payload.len())
+        self.push_frame(KIND_INLINE, payload, payload.len())
+    }
+
+    /// Non-blocking send of several inline messages with one doorbell ring.
+    ///
+    /// Pushes the longest prefix of `payloads` that fits in the ring right
+    /// now — each message individually framed, the whole prefix published
+    /// atomically — and rings the data doorbell once for all of them
+    /// ([`Doorbell::ring_coalesced`]). Returns how many messages were sent.
+    /// A single-element batch behaves exactly like [`ShmSender::try_send`]:
+    /// batching never delays a lone message.
+    ///
+    /// Errors: [`Error::WouldBlock`] if not even the first message fits,
+    /// [`Error::TooLarge`] if any message exceeds the channel maximum (the
+    /// batch is rejected whole so a later caller cannot see a reordered
+    /// stream), [`Error::Disconnected`] if the receiver is gone.
+    pub fn try_send_batch(&self, payloads: &[&[u8]]) -> Result<usize> {
+        if payloads.is_empty() {
+            return Ok(0);
+        }
+        if self.shared.rx_closed.load(Ordering::Acquire) {
+            return Err(Error::disconnected("receiver dropped"));
+        }
+        let max = self.max_message_len();
+        if let Some(p) = payloads.iter().find(|p| p.len() > max) {
+            return Err(Error::too_large(format!(
+                "batched message of {} bytes exceeds channel max {max}",
+                p.len(),
+            )));
+        }
+        // Take the longest prefix that fits in the space free right now.
+        // The consumer only ever *adds* free space, so the vectored push
+        // below cannot fail.
+        let free = self.shared.ring.free();
+        let mut take = 0usize;
+        let mut need = 0usize;
+        for p in payloads {
+            if need + HDR + p.len() > free {
+                break;
+            }
+            need += HDR + p.len();
+            take += 1;
+        }
+        if take == 0 {
+            return Err(Error::WouldBlock);
+        }
+        let hdrs: Vec<[u8; HDR]> = payloads[..take]
+            .iter()
+            .map(|p| Self::frame_hdr(KIND_INLINE, p.len()))
+            .collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(take * 2);
+        for (hdr, payload) in hdrs.iter().zip(&payloads[..take]) {
+            parts.push(&hdr[..]);
+            parts.push(payload);
+        }
+        let pushed = self.shared.ring.push_vectored(&parts);
+        debug_assert!(pushed, "reserved space vanished from an SPSC ring");
+        for p in &payloads[..take] {
+            self.shared.stats.record_send(p.len() as u64);
+        }
+        self.shared.data_bell.ring_coalesced(take as u64);
+        Ok(take)
+    }
+
+    /// Blocking send of several inline messages, coalescing doorbells.
+    /// Delivers all of `payloads` in order, waiting for ring space as
+    /// needed (backpressure splits the batch, never reorders it).
+    pub fn send_batch(&self, payloads: &[&[u8]]) -> Result<()> {
+        let mut sent = 0usize;
+        while sent < payloads.len() {
+            let seen = self.shared.space_bell.current();
+            match self.try_send_batch(&payloads[sent..]) {
+                Ok(n) => sent += n,
+                Err(Error::WouldBlock) => {
+                    let _ = self
+                        .shared
+                        .space_bell
+                        .wait_timeout(seen, Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Blocking send of an inline message; waits for ring space.
@@ -183,10 +268,7 @@ impl ShmSender {
         let mut payload = [0u8; 16];
         payload[..8].copy_from_slice(&handle.offset.to_le_bytes());
         payload[8..].copy_from_slice(&handle.len.to_le_bytes());
-        self.push_frame(
-            &Self::frame_into(KIND_HANDLE, &payload),
-            handle.len as usize,
-        )
+        self.push_frame(KIND_HANDLE, &payload, handle.len as usize)
     }
 
     /// Blocking send of a zero-copy arena handle.
@@ -229,6 +311,14 @@ impl ShmReceiver {
     /// Returns [`Error::WouldBlock`] when the ring is empty but the sender
     /// is alive, [`Error::Disconnected`] when empty and the sender is gone.
     pub fn try_recv(&self) -> Result<ShmMessage> {
+        let msg = self.take_frame()?;
+        self.shared.space_bell.ring();
+        Ok(msg)
+    }
+
+    /// Pop and decode one frame without ringing the space doorbell (the
+    /// caller rings once per pop — or once per batch).
+    fn take_frame(&self) -> Result<ShmMessage> {
         let mut hdr = [0u8; HDR];
         if !self.shared.ring.peek(&mut hdr) {
             return if self.shared.tx_closed.load(Ordering::Acquire) && self.shared.ring.is_empty() {
@@ -245,7 +335,6 @@ impl ShmReceiver {
             // the full frame is visible.
             unreachable!("partial frame in ring");
         }
-        self.shared.space_bell.ring();
         match kind {
             KIND_INLINE => {
                 self.shared.stats.record_recv(len as u64);
@@ -259,6 +348,39 @@ impl ShmReceiver {
                 Ok(ShmMessage::Handle(ArenaHandle { offset, len: blen }))
             }
             other => Err(Error::invalid_state(format!("corrupt frame kind {other}"))),
+        }
+    }
+
+    /// Non-blocking receive of up to `max` messages, appended to `out`,
+    /// with a single coalesced space-doorbell ring for the whole drain.
+    ///
+    /// Returns how many messages were appended. Like [`ShmReceiver::try_recv`],
+    /// an empty ring yields [`Error::WouldBlock`] (sender alive) or
+    /// [`Error::Disconnected`] (sender gone and drained); if any frames
+    /// were taken before the ring emptied, they are returned instead.
+    pub fn try_recv_many(&self, max: usize, out: &mut Vec<ShmMessage>) -> Result<usize> {
+        let mut got = 0usize;
+        let mut stopped = None;
+        while got < max {
+            match self.take_frame() {
+                Ok(msg) => {
+                    out.push(msg);
+                    got += 1;
+                }
+                Err(e) => {
+                    stopped = Some(e);
+                    break;
+                }
+            }
+        }
+        self.shared.space_bell.ring_coalesced(got as u64);
+        match stopped {
+            None => Ok(got),
+            // Emptying the ring mid-batch is success if anything was taken;
+            // a decode error (corrupt frame) must surface even then — the
+            // messages already appended to `out` remain valid.
+            Some(Error::WouldBlock) | Some(Error::Disconnected(_)) if got > 0 => Ok(got),
+            Some(e) => Err(e),
         }
     }
 
@@ -564,6 +686,134 @@ mod tests {
             prev = cur;
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn batch_send_recv_roundtrip_with_one_doorbell_per_side() {
+        let (tx, rx) = channel_pair(1024);
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 10 + i as usize]).collect();
+        let parts: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        assert_eq!(tx.try_send_batch(&parts).unwrap(), 8);
+        let t = tx.telemetry();
+        assert_eq!(t.data_bell.rings, 1, "one physical ring for the batch");
+        assert_eq!(t.data_bell.coalesced, 7);
+
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_many(64, &mut out).unwrap(), 8);
+        for (i, m) in out.iter().enumerate() {
+            match m {
+                ShmMessage::Inline(b) => assert_eq!(&b[..], &msgs[i][..]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let t = rx.telemetry();
+        assert_eq!(t.space_bell.rings, 1, "one space ring for the drain");
+        assert_eq!(t.space_bell.coalesced, 7);
+        assert!(matches!(
+            rx.try_recv_many(4, &mut out),
+            Err(Error::WouldBlock)
+        ));
+    }
+
+    #[test]
+    fn lone_message_batch_is_a_plain_send() {
+        let (tx, rx) = channel_pair(256);
+        assert_eq!(tx.try_send_batch(&[b"solo"]).unwrap(), 1);
+        let t = tx.telemetry();
+        assert_eq!((t.data_bell.rings, t.data_bell.coalesced), (1, 0));
+        match rx.recv().unwrap() {
+            ShmMessage::Inline(b) => assert_eq!(&b[..], b"solo"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_send_takes_prefix_under_backpressure() {
+        let (tx, rx) = channel_pair(64);
+        // Each 16-byte message occupies 21 ring bytes: at most 3 fit.
+        let m = [7u8; 16];
+        let sent = tx.try_send_batch(&[&m, &m, &m, &m, &m]).unwrap();
+        assert_eq!(sent, 3, "prefix that fits, in order");
+        assert!(matches!(
+            tx.try_send_batch(&[&m]).unwrap_err(),
+            Error::WouldBlock
+        ));
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_many(64, &mut out).unwrap(), 3);
+        // Space freed: the remainder goes through.
+        assert_eq!(tx.try_send_batch(&[&m, &m]).unwrap(), 2);
+    }
+
+    #[test]
+    fn oversized_batch_element_rejected_whole() {
+        let (tx, rx) = channel_pair(64);
+        let big = [0u8; 64];
+        assert!(matches!(
+            tx.try_send_batch(&[b"ok", &big]).unwrap_err(),
+            Error::TooLarge(_)
+        ));
+        assert!(
+            matches!(rx.try_recv(), Err(Error::WouldBlock)),
+            "nothing sent"
+        );
+    }
+
+    #[test]
+    fn blocking_send_batch_delivers_everything_in_order() {
+        let (tx, rx) = channel_pair(256);
+        const MSGS: u32 = 2_000;
+        let producer = std::thread::spawn(move || {
+            let payloads: Vec<[u8; 4]> = (0..MSGS).map(|i| i.to_le_bytes()).collect();
+            for chunk in payloads.chunks(32) {
+                let parts: Vec<&[u8]> = chunk.iter().map(|p| &p[..]).collect();
+                tx.send_batch(&parts).unwrap();
+            }
+            tx
+        });
+        let mut expected = 0u32;
+        let mut out = Vec::new();
+        while expected < MSGS {
+            out.clear();
+            match rx.try_recv_many(64, &mut out) {
+                Ok(_) => {}
+                Err(Error::WouldBlock) => continue,
+                Err(e) => panic!("{e}"),
+            }
+            for m in &out {
+                match m {
+                    ShmMessage::Inline(b) => {
+                        assert_eq!(u32::from_le_bytes(b[..].try_into().unwrap()), expected);
+                        expected += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        let tx = producer.join().unwrap();
+        let t = tx.telemetry();
+        assert_eq!(t.stats.msgs_sent, MSGS as u64);
+        assert_eq!(t.stats.msgs_received, MSGS as u64);
+        assert!(
+            t.data_bell.rings + t.data_bell.coalesced >= MSGS as u64,
+            "accounting covers every message"
+        );
+        assert!(
+            t.data_bell.coalesced > 0,
+            "batching must actually coalesce doorbells"
+        );
+    }
+
+    #[test]
+    fn recv_many_reports_disconnect_after_drain() {
+        let (tx, rx) = channel_pair(256);
+        tx.try_send_batch(&[b"a", b"b"]).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_many(8, &mut out).unwrap(), 2);
+        assert!(matches!(
+            rx.try_recv_many(8, &mut out),
+            Err(Error::Disconnected(_))
+        ));
     }
 
     #[test]

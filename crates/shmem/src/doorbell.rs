@@ -24,6 +24,7 @@ pub struct Doorbell {
     waits: AtomicU64,
     wakes: AtomicU64,
     timeouts: AtomicU64,
+    coalesced: AtomicU64,
     mutex: Mutex<()>,
     condvar: Condvar,
 }
@@ -43,6 +44,11 @@ pub struct DoorbellStats {
     pub wakes: u64,
     /// Parked waiters that gave up on a timeout.
     pub timeouts: u64,
+    /// Logical rings absorbed into a batched physical ring: a
+    /// [`Doorbell::ring_coalesced`] covering `n` published items counts
+    /// `n - 1` here. `rings + coalesced` is therefore the number of rings
+    /// an unbatched producer would have issued.
+    pub coalesced: u64,
 }
 
 impl Doorbell {
@@ -58,6 +64,20 @@ impl Doorbell {
         // the counter but not yet slept.
         let _guard = self.mutex.lock();
         self.condvar.notify_all();
+    }
+
+    /// Ring once on behalf of `batched` published items.
+    ///
+    /// The counter still advances by exactly one — a waiter wakes once per
+    /// batch, not once per item — and the `batched - 1` rings a per-item
+    /// producer would have issued are recorded as coalesced. `batched == 0`
+    /// is a no-op (nothing was published, so nothing to announce).
+    pub fn ring_coalesced(&self, batched: u64) {
+        if batched == 0 {
+            return;
+        }
+        self.coalesced.fetch_add(batched - 1, Ordering::Relaxed);
+        self.ring();
     }
 
     /// Current counter value. Use as the `seen` argument of a later wait.
@@ -77,6 +97,7 @@ impl Doorbell {
             waits: self.waits.load(Ordering::Relaxed),
             wakes: self.wakes.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -219,6 +240,53 @@ mod tests {
         assert_eq!(waiter.join().unwrap(), 2);
         let s = bell.stats();
         assert_eq!((s.rings, s.waits, s.wakes, s.timeouts), (2, 2, 1, 1));
+    }
+
+    #[test]
+    fn ring_coalesced_advances_once_and_accounts_the_rest() {
+        let bell = Doorbell::new();
+        bell.ring_coalesced(0); // no-op
+        assert_eq!(bell.current(), 0);
+        bell.ring_coalesced(1); // degenerate batch: a plain ring
+        bell.ring_coalesced(8); // one wakeup standing in for 8
+        let s = bell.stats();
+        assert_eq!(s.rings, 2, "one physical ring per batch");
+        assert_eq!(s.coalesced, 7, "only the 8-batch saved rings");
+    }
+
+    #[test]
+    fn coalesced_ring_is_never_lost_or_double_fired() {
+        // Satellite: a waiter parked across coalesced rings wakes exactly
+        // once per batch (no double fire) and never misses one (no loss),
+        // even when batches race the park/wake cycle.
+        let bell = Arc::new(Doorbell::new());
+        const BATCHES: u64 = 5_000;
+        let ringer = {
+            let bell = Arc::clone(&bell);
+            std::thread::spawn(move || {
+                for i in 0..BATCHES {
+                    bell.ring_coalesced(1 + i % 7);
+                }
+            })
+        };
+        let mut seen = 0;
+        let mut observed_batches = 0u64;
+        while seen < BATCHES {
+            let now = bell.wait(seen);
+            // Each observation consumes >= 1 whole batch; the counter
+            // never moves by fractions of one.
+            assert!(now > seen);
+            observed_batches += now - seen;
+            seen = now;
+        }
+        ringer.join().unwrap();
+        assert_eq!(seen, BATCHES, "no batch wakeup was lost");
+        assert_eq!(observed_batches, BATCHES, "no batch was double-counted");
+        let s = bell.stats();
+        assert_eq!(s.rings, BATCHES);
+        // sum over i of (1 + i%7 - 1) = sum of i%7.
+        let expected: u64 = (0..BATCHES).map(|i| i % 7).sum();
+        assert_eq!(s.coalesced, expected);
     }
 
     #[test]

@@ -103,6 +103,41 @@ impl SpscRing {
         true
     }
 
+    /// Producer side: append every slice in `parts` back to back, all or
+    /// nothing, publishing the whole batch with a single `Release` store.
+    ///
+    /// This is the multi-frame analog of [`SpscRing::push`]: the framing
+    /// layer passes `[header, payload]` (or several whole frames) and the
+    /// consumer observes either none of the bytes or all of them. Because
+    /// there is one index publication per call, a batch costs the same two
+    /// atomic operations as a single push regardless of how many frames it
+    /// carries.
+    pub fn push_vectored(&self, parts: &[&[u8]]) -> bool {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let head = self.head.load(Ordering::Relaxed); // producer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        let free = self.capacity() - (head - tail) as usize;
+        if total > free {
+            return false;
+        }
+        let cap = self.capacity();
+        // SAFETY: region (head..head+total) is unreachable by the consumer
+        // until the Release store below publishes it.
+        let buf = unsafe { &mut *self.buf.get() };
+        let mut at = head;
+        for part in parts {
+            let start = (at & self.mask) as usize;
+            let first = part.len().min(cap - start);
+            buf[start..start + first].copy_from_slice(&part[..first]);
+            if first < part.len() {
+                buf[..part.len() - first].copy_from_slice(&part[first..]);
+            }
+            at += part.len() as u64;
+        }
+        self.head.store(head + total as u64, Ordering::Release);
+        true
+    }
+
     /// Consumer side: read up to `out.len()` bytes, returning how many were
     /// copied (possibly zero).
     pub fn pop(&self, out: &mut [u8]) -> usize {
@@ -244,6 +279,82 @@ mod tests {
         let mut out = [0u8; 4];
         assert!(ring.peek(&mut out));
         assert_eq!(out, [9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn push_vectored_is_all_or_nothing_and_contiguous() {
+        let ring = SpscRing::new(16);
+        assert!(ring.push_vectored(&[b"abc", b"", b"defg"]));
+        assert_eq!(ring.len(), 7);
+        // 9 bytes remain free; a 10-byte batch must write nothing.
+        assert!(!ring.push_vectored(&[&[0u8; 6], &[0u8; 4]]), "10 > 9 free");
+        assert_eq!(ring.len(), 7, "failed vectored push wrote nothing");
+        let mut out = [0u8; 7];
+        assert!(ring.pop_exact(&mut out));
+        assert_eq!(&out, b"abcdefg");
+    }
+
+    #[test]
+    fn push_vectored_spans_wrap_boundary() {
+        let ring = SpscRing::new(8);
+        let mut sink = [0u8; 8];
+        assert!(ring.push(&[0; 6]));
+        assert_eq!(ring.pop(&mut sink[..6]), 6);
+        // head=tail=6: both parts straddle or follow the wrap point.
+        assert!(ring.push_vectored(&[&[1, 2, 3], &[4, 5, 6, 7]]));
+        let mut out = [0u8; 7];
+        assert!(ring.pop_exact(&mut out));
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn concurrent_vectored_producer_preserves_stream_across_wraps() {
+        // Satellite: multi-frame pushes under producer/consumer contention
+        // must keep the byte stream intact across wrap boundaries. The
+        // producer emits frames in vectored groups of 1..=4; the consumer
+        // sees one unbroken pattern.
+        let ring = Arc::new(SpscRing::new(1024));
+        let total: usize = 1 << 20;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sent = 0usize;
+                let mut group = 1usize;
+                while sent < total {
+                    let mut frames: Vec<Vec<u8>> = Vec::new();
+                    let mut len = 0usize;
+                    for k in 0..group {
+                        if sent + len >= total {
+                            break;
+                        }
+                        let n = (total - sent - len).min(37 + 13 * k);
+                        frames.push(
+                            (sent + len..sent + len + n)
+                                .map(|i| (i % 251) as u8)
+                                .collect(),
+                        );
+                        len += n;
+                    }
+                    let parts: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+                    while !ring.push_vectored(&parts) {
+                        std::hint::spin_loop();
+                    }
+                    sent += len;
+                    group = group % 4 + 1;
+                }
+            })
+        };
+        let mut got = 0usize;
+        let mut buf = [0u8; 700];
+        while got < total {
+            let n = ring.pop(&mut buf);
+            for (i, &b) in buf[..n].iter().enumerate() {
+                assert_eq!(b, ((got + i) % 251) as u8, "corruption at byte {}", got + i);
+            }
+            got += n;
+        }
+        producer.join().unwrap();
+        assert!(ring.is_empty());
     }
 
     #[test]

@@ -207,6 +207,16 @@ impl MemoryRegion {
         self.read(off, &mut out)?;
         Ok(out)
     }
+
+    /// [`MemoryRegion::dma_read`] appending into a caller-owned buffer.
+    /// The batched gather path reuses one scratch allocation across a
+    /// whole WR chain instead of allocating per SGE.
+    pub fn dma_read_into(&self, va: u64, len: u64, out: &mut Vec<u8>) -> VerbsResult<()> {
+        let off = self.va_to_offset(va, len)?;
+        let tail = out.len();
+        out.resize(tail + len as usize, 0);
+        self.read(off, &mut out[tail..])
+    }
 }
 
 impl std::fmt::Debug for MemoryRegion {

@@ -22,6 +22,7 @@
 use crate::cq::CompletionQueue;
 use crate::device::Device;
 use crate::error::{VerbsError, VerbsResult, WcStatus};
+use crate::mr::MemoryRegion;
 use crate::wr::{RecvWr, SendWr, WcOpcode, WorkCompletion, WrOpcode};
 use freeflow_types::OverlayIp;
 use parking_lot::Mutex;
@@ -420,6 +421,40 @@ impl QueuePair {
         Ok(out)
     }
 
+    /// [`QueuePair::gather`] into a reused scratch buffer, memoizing the
+    /// last lkey→MR lookup — WR chains overwhelmingly gather from one MR,
+    /// so the device table lock is taken once per chain, not per SGE.
+    fn gather_into(
+        &self,
+        wr: &SendWr,
+        lkey_cache: &mut Option<(u32, Arc<MemoryRegion>)>,
+        out: &mut Vec<u8>,
+    ) -> VerbsResult<()> {
+        if let Some(inline) = &wr.inline_data {
+            let max = self.device.attr().max_inline;
+            if inline.len() > max {
+                return Err(VerbsError::InlineTooLarge {
+                    len: inline.len(),
+                    max,
+                });
+            }
+            out.extend_from_slice(inline);
+            return Ok(());
+        }
+        for sge in &wr.sge {
+            let mr = match lkey_cache {
+                Some((k, mr)) if *k == sge.lkey => Arc::clone(mr),
+                _ => {
+                    let mr = self.device.mr_by_lkey(sge.lkey)?;
+                    *lkey_cache = Some((sge.lkey, Arc::clone(&mr)));
+                    mr
+                }
+            };
+            mr.dma_read_into(sge.addr, sge.len as u64, out)?;
+        }
+        Ok(())
+    }
+
     /// Post a send-side work request. Requires RTS.
     ///
     /// Completion rules follow verbs: signaled WRs always complete;
@@ -496,14 +531,237 @@ impl QueuePair {
         }
     }
 
+    /// Post a chain of send work requests as one batch. Requires RTS.
+    ///
+    /// Semantics match posting each WR with [`QueuePair::post_send`] in
+    /// order, with three batching guarantees layered on top:
+    ///
+    /// * **All-or-nothing admission.** The whole chain reserves send-queue
+    ///   space up front; if it does not fit, nothing posts and
+    ///   [`VerbsError::QueueFull`] is returned (mirroring a chained
+    ///   `ibv_post_send` rejected at the first WR that exceeds the SQ).
+    /// * **Ordering and signaling.** WRs execute strictly in chain order;
+    ///   signaled WRs complete in that order, unsignaled WRs complete only
+    ///   on failure — exactly the per-WR rules of the single-shot path.
+    /// * **Coalesced completions.** Sender-side completions for the batch
+    ///   are delivered with one CQ lock acquisition and one doorbell ring
+    ///   ([`CompletionQueue::push_batch`]), which is where the batched hot
+    ///   path earns its throughput.
+    ///
+    /// Failure semantics also mirror the single-shot path: a local gather
+    /// error is returned synchronously (that WR and the rest of the chain
+    /// are un-posted; earlier WRs stand, their completions intact), while
+    /// a remote failure completes the failing WR with its error status,
+    /// flushes the remainder of the chain with
+    /// [`WcStatus::WrFlushError`], and moves the QP to the error state.
+    pub fn post_send_batch(&self, wrs: Vec<SendWr>) -> VerbsResult<()> {
+        if wrs.is_empty() {
+            return Ok(());
+        }
+        let posted_at = std::time::Instant::now();
+        let peer = {
+            let mut inner = self.inner.lock();
+            if inner.state != QpState::Rts {
+                return Err(VerbsError::InvalidQpState {
+                    actual: inner.state.name(),
+                    required: "RTS",
+                });
+            }
+            if inner.sq_outstanding + wrs.len() > self.sq_depth {
+                return Err(VerbsError::QueueFull { which: "send" });
+            }
+            inner.sq_outstanding += wrs.len();
+            inner.peer.expect("RTS implies peer")
+        };
+
+        let mut completions: Vec<WorkCompletion> = Vec::with_capacity(wrs.len());
+        // WRs that resolved inside this call (completed or failed — not
+        // deferred): their SQ reservation is released in one step below.
+        let mut settled = 0usize;
+        let mut errored = false;
+        let mut result = Ok(());
+        // Chain-scoped amortization: one fabric lookup, one gather
+        // scratch, one lkey/rkey table hit for the whole batch.
+        let remote = self.device.network().find_qp(peer);
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut lkey_cache: Option<(u32, Arc<MemoryRegion>)> = None;
+        let mut rkey_cache: Option<(u32, Arc<MemoryRegion>)> = None;
+        let mut iter = wrs.into_iter();
+        while let Some(wr) = iter.next() {
+            let outcome = match &remote {
+                Some(r) => self.execute_send_chained(
+                    &wr,
+                    r,
+                    &mut scratch,
+                    &mut lkey_cache,
+                    &mut rkey_cache,
+                ),
+                None => Err(ExecError::Remote(WcStatus::RemoteOperationError)),
+            };
+            match outcome {
+                Ok(SendOutcome::Completed { opcode, byte_len }) => {
+                    settled += 1;
+                    self.send_cq
+                        .record_wr_latency(posted_at.elapsed().as_nanos() as u64);
+                    if wr.signaled {
+                        completions.push(WorkCompletion {
+                            wr_id: wr.wr_id,
+                            status: WcStatus::Success,
+                            opcode,
+                            byte_len,
+                            imm: None,
+                            qp_num: self.qpn,
+                        });
+                    }
+                }
+                Ok(SendOutcome::Deferred) => {
+                    // Completes at the RNR match; stays outstanding.
+                    self.inner.lock().sq_deferred.push((wr.wr_id, wr.signaled));
+                }
+                Err(ExecError::Local(e)) => {
+                    // Synchronous local error (documented deviation): this
+                    // WR and the unexecuted remainder are un-posted.
+                    settled += 1 + iter.len();
+                    result = Err(e);
+                    break;
+                }
+                Err(ExecError::Remote(status)) => {
+                    settled += 1;
+                    completions.push(WorkCompletion {
+                        wr_id: wr.wr_id,
+                        status,
+                        opcode: WcOpcode::Send,
+                        byte_len: 0,
+                        imm: None,
+                        qp_num: self.qpn,
+                    });
+                    // The rest of the chain flushes: failed WRs always
+                    // complete, signaled or not.
+                    for rem in iter.by_ref() {
+                        settled += 1;
+                        completions.push(WorkCompletion {
+                            wr_id: rem.wr_id,
+                            status: WcStatus::WrFlushError,
+                            opcode: WcOpcode::Send,
+                            byte_len: 0,
+                            imm: None,
+                            qp_num: self.qpn,
+                        });
+                    }
+                    errored = true;
+                    break;
+                }
+            }
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.sq_outstanding = inner.sq_outstanding.saturating_sub(settled);
+        }
+        // Batch completions land before the error-state flush of any
+        // deferred WRs, preserving chain order on the CQ.
+        self.send_cq.push_batch(&completions);
+        if errored {
+            self.enter_error();
+        }
+        result
+    }
+
     fn execute_send(&self, wr: &SendWr, peer: QpEndpoint) -> Result<SendOutcome, ExecError> {
-        // Local gather errors are synchronous (documented deviation).
-        let payload = self.gather(wr).map_err(ExecError::Local)?;
         let remote = self
             .device
             .network()
             .find_qp(peer)
             .ok_or(ExecError::Remote(WcStatus::RemoteOperationError))?;
+        self.execute_send_resolved(wr, &remote)
+    }
+
+    /// Execute one WR of a chain against an already-resolved peer, reusing
+    /// the chain's gather scratch and MR-lookup caches. This is what makes
+    /// a 32-deep batch cheaper than 32 single posts: the fabric lookup,
+    /// the lkey/rkey table locks, and the gather allocation are paid once
+    /// per chain instead of once per WR. The remote RTR/RTS gate is
+    /// checked when the write target is first resolved — the chain is
+    /// admitted as a unit, mirroring hardware that validates at doorbell
+    /// time.
+    fn execute_send_chained(
+        &self,
+        wr: &SendWr,
+        remote: &Arc<QueuePair>,
+        scratch: &mut Vec<u8>,
+        lkey_cache: &mut Option<(u32, Arc<MemoryRegion>)>,
+        rkey_cache: &mut Option<(u32, Arc<MemoryRegion>)>,
+    ) -> Result<SendOutcome, ExecError> {
+        match &wr.opcode {
+            WrOpcode::Write { remote_addr, rkey } => {
+                scratch.clear();
+                self.gather_into(wr, lkey_cache, scratch)
+                    .map_err(ExecError::Local)?;
+                let mr = match rkey_cache {
+                    Some((k, mr)) if *k == *rkey => Arc::clone(mr),
+                    _ => {
+                        let mr = remote.write_target(*rkey).map_err(ExecError::Remote)?;
+                        *rkey_cache = Some((*rkey, Arc::clone(&mr)));
+                        mr
+                    }
+                };
+                mr.dma_write(*remote_addr, scratch)
+                    .map_err(|_| ExecError::Remote(WcStatus::RemoteAccessError))?;
+                Ok(SendOutcome::Completed {
+                    opcode: WcOpcode::RdmaWrite,
+                    byte_len: scratch.len() as u64,
+                })
+            }
+            WrOpcode::Send => {
+                scratch.clear();
+                self.gather_into(wr, lkey_cache, scratch)
+                    .map_err(ExecError::Local)?;
+                // `deliver_send` may park the payload, so it takes
+                // ownership; the scratch regrows on the next SEND.
+                let payload = std::mem::take(scratch);
+                let byte_len = payload.len() as u64;
+                match remote.deliver_send(self.endpoint(), wr.wr_id, wr.signaled, payload, None) {
+                    Delivery::Matched => Ok(SendOutcome::Completed {
+                        opcode: WcOpcode::Send,
+                        byte_len,
+                    }),
+                    Delivery::Parked => Ok(SendOutcome::Deferred),
+                    Delivery::Refused(s) => Err(ExecError::Remote(s)),
+                }
+            }
+            // WRITE_WITH_IMM and READ sit off the hot loop; the resolved
+            // single-shot executor handles them.
+            _ => self.execute_send_resolved(wr, remote),
+        }
+    }
+
+    /// Resolve and vet the target MR for inbound one-sided WRITEs once per
+    /// chain: state gate, rkey lookup, access check. Chained writes to the
+    /// same rkey then go straight to [`MemoryRegion::dma_write`].
+    fn write_target(&self, rkey: u32) -> Result<Arc<MemoryRegion>, WcStatus> {
+        {
+            let inner = self.inner.lock();
+            match inner.state {
+                QpState::Rtr | QpState::Rts => {}
+                _ => return Err(WcStatus::RemoteOperationError),
+            }
+        }
+        let mr = self
+            .device
+            .mr_by_rkey(rkey)
+            .map_err(|_| WcStatus::RemoteAccessError)?;
+        if !mr.access().remote_write {
+            return Err(WcStatus::RemoteAccessError);
+        }
+        Ok(mr)
+    }
+
+    fn execute_send_resolved(
+        &self,
+        wr: &SendWr,
+        remote: &Arc<QueuePair>,
+    ) -> Result<SendOutcome, ExecError> {
+        // Local gather errors are synchronous (documented deviation).
+        let payload = self.gather(wr).map_err(ExecError::Local)?;
 
         match &wr.opcode {
             WrOpcode::Send => {

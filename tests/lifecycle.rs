@@ -15,7 +15,9 @@ use freeflow::binding::BindingPhase;
 use freeflow::qp::FfPath;
 use freeflow::{Container, FreeFlowCluster};
 use freeflow_socket::{FfStream, SocketStack};
+use freeflow_telemetry::{Event, TransitionKind};
 use freeflow_types::{HostCaps, TenantId, TransportKind};
+use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -199,4 +201,220 @@ fn stream_survives_remote_to_local_collapse_on_migration() {
     roundtrip(&mut client, &mut server, b"and still streaming");
     client.shutdown().unwrap();
     drop(b);
+}
+
+// --- parked batched sends across planned rebinds ---------------------------
+
+/// Which planned rebind interrupts the chained batch.
+#[derive(Clone, Copy)]
+enum ParkScenario {
+    /// TCP→RDMA upgrade after `restore_nic`.
+    Upgrade,
+    /// Remote→Local collapse after the peer migrates onto our host.
+    Collapse,
+}
+
+/// A chained batch posted while a planned drain is in progress must park
+/// whole and replay exactly once on the new path, in order, with every
+/// completion accounted for and the lifecycle counters matching the
+/// flight-recorder timeline.
+///
+/// The drain is *held open* deterministically: one send is posted with no
+/// receive waiting at the peer, so it parks there under RNR semantics,
+/// unacked — the sender's drain cannot settle until the test posts the
+/// receives. A second "probe" QP pair confirms (by FIFO ordering of the
+/// shared relay path) that the held send reached the peer before the
+/// scenario's fault is injected.
+fn parked_chain_replays_exactly_once(scenario: ParkScenario) {
+    const CHAIN: u64 = 6;
+    const SLOT: u64 = 256;
+
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let a = cluster.launch(TenantId::new(1), h0).unwrap();
+    let b = cluster.launch(TenantId::new(1), h1).unwrap();
+    // Generous timeouts everywhere: the held send stays deliberately
+    // unanswered and must not trip the failure sweeps.
+    for h in [h0, h1] {
+        cluster
+            .agent_of(h)
+            .unwrap()
+            .set_relay_timeout(Duration::from_secs(30));
+    }
+    if matches!(scenario, ParkScenario::Upgrade) {
+        // Connect with the bypass NIC down so the pair starts on kernel
+        // TCP and has an upgrade to perform once the NIC returns.
+        cluster.fail_nic(h0).unwrap();
+        cluster.refresh_routes();
+    }
+
+    let mr_a = a.register(8 << 10, AccessFlags::all()).unwrap();
+    let mr_b = b.register(8 << 10, AccessFlags::all()).unwrap();
+    let cq_a = a.create_cq(64);
+    let cq_b = b.create_cq(64);
+    let qp_a = a.create_qp(&cq_a, &cq_a, 32, 32).unwrap();
+    let qp_b = b.create_qp(&cq_b, &cq_b, 32, 32).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+    for qp in [&qp_a, &qp_b] {
+        qp.set_relay_timeout(Duration::from_secs(30));
+    }
+    // Probe pair: rides the same container↔agent rings and the same wire,
+    // so its traffic is FIFO-ordered behind the held send.
+    let qp_a2 = a.create_qp(&cq_a, &cq_a, 8, 8).unwrap();
+    let qp_b2 = b.create_qp(&cq_b, &cq_b, 8, 8).unwrap();
+    qp_a2.connect(qp_b2.endpoint()).unwrap();
+    qp_b2.connect(qp_a2.endpoint()).unwrap();
+    for qp in [&qp_a2, &qp_b2] {
+        qp.set_relay_timeout(Duration::from_secs(30));
+    }
+
+    // The held send: no receive exists at the peer, so it parks there
+    // unacked and the coming planned drain cannot settle.
+    mr_a.write(0, &[0xA0; 64]).unwrap();
+    qp_a.post_send(SendWr::send(0, mr_a.sge(0, 64))).unwrap();
+    // The probe completes strictly after the held send was delivered.
+    qp_b2
+        .post_recv(RecvWr::new(900, mr_b.sge(7 * SLOT, 64)))
+        .unwrap();
+    mr_a.write(7 * SLOT, b"probe---").unwrap();
+    qp_a2
+        .post_send(SendWr::send(901, mr_a.sge(7 * SLOT, 8)))
+        .unwrap();
+    assert!(cq_b
+        .wait_one(Duration::from_secs(15))
+        .unwrap()
+        .status
+        .is_ok());
+    assert!(cq_a
+        .wait_one(Duration::from_secs(15))
+        .unwrap()
+        .status
+        .is_ok());
+
+    // Inject the planned-rebind trigger.
+    let _b = match scenario {
+        ParkScenario::Upgrade => {
+            // NIC back: `PathUpdated` plans the TCP→RDMA upgrade drain.
+            cluster.restore_nic(h0).unwrap();
+            cluster.refresh_routes();
+            b
+        }
+        ParkScenario::Collapse => {
+            // The peer migrates onto our host: `ContainerMoved` plans the
+            // collapse drain. The QPs survive the move untouched.
+            cluster.migrate(b, h0).unwrap()
+        }
+    };
+    wait_until(
+        "planned drain held open by the unanswered send",
+        Duration::from_secs(5),
+        || qp_a.binding_phase() == BindingPhase::Draining,
+    );
+
+    // A chain posted mid-drain parks whole — it must neither force the
+    // rebind nor transmit anything out of order.
+    let wrs: Vec<SendWr> = (1..=CHAIN)
+        .map(|i| {
+            mr_a.write(i * SLOT, &[i as u8; 64]).unwrap();
+            SendWr::send(i, mr_a.sge(i * SLOT, 64))
+        })
+        .collect();
+    qp_a.post_send_batch(wrs).unwrap();
+    assert_eq!(
+        qp_a.binding_phase(),
+        BindingPhase::Draining,
+        "a parked chain must not short-circuit the drain"
+    );
+
+    // Receives appear: the held send settles, the drain completes, the
+    // rebind lands, and the parked chain replays — exactly once.
+    for i in 0..=CHAIN {
+        qp_b.post_recv(RecvWr::new(i, mr_b.sge(i * SLOT, SLOT as u32)))
+            .unwrap();
+    }
+    wait_until("rebind completed", Duration::from_secs(10), || {
+        qp_a.binding_phase() == BindingPhase::Bound
+            && match scenario {
+                ParkScenario::Upgrade => matches!(
+                    qp_a.path(),
+                    FfPath::Remote {
+                        transport: TransportKind::Rdma,
+                        ..
+                    }
+                ),
+                ParkScenario::Collapse => {
+                    matches!(qp_a.path(), FfPath::Local { .. })
+                        && matches!(qp_b.path(), FfPath::Local { .. })
+                        && qp_b.binding_phase() == BindingPhase::Bound
+                }
+            }
+    });
+
+    for i in 0..=CHAIN {
+        let rwc = cq_b.wait_one(Duration::from_secs(15)).unwrap();
+        assert!(rwc.status.is_ok(), "{rwc:?}");
+        assert_eq!(rwc.wr_id, i, "held send first, then the chain in order");
+        let mut got = [0u8; 64];
+        mr_b.read(i * SLOT, &mut got).unwrap();
+        let expect = if i == 0 { [0xA0u8; 64] } else { [i as u8; 64] };
+        assert_eq!(got, expect, "payload {i} byte-identical after replay");
+    }
+    let mut send_ids: Vec<u64> = (0..=CHAIN)
+        .map(|_| {
+            let wc = cq_a.wait_one(Duration::from_secs(15)).unwrap();
+            assert!(wc.status.is_ok(), "{wc:?}");
+            wc.wr_id
+        })
+        .collect();
+    send_ids.sort_unstable();
+    assert_eq!(
+        send_ids,
+        (0..=CHAIN).collect::<Vec<u64>>(),
+        "every WR completes exactly once — none lost, none duplicated"
+    );
+    assert!(cq_a.poll_one().is_none(), "no surplus send completions");
+    assert!(cq_b.poll_one().is_none(), "no surplus recv completions");
+    assert_eq!(qp_a.upgrade_count(), 1);
+    assert_eq!(
+        qp_a.failover_count(),
+        0,
+        "planned rebinds are not failovers"
+    );
+
+    // Counters match the flight-recorder timeline, event for event.
+    let snap = cluster.telemetry();
+    let rebounds = |want_upgrade: bool| {
+        snap.events
+            .iter()
+            .filter(|te| {
+                matches!(
+                    te.event,
+                    Event::PathTransition {
+                        kind: TransitionKind::Rebound,
+                        upgrade,
+                        ..
+                    } if upgrade || !want_upgrade
+                )
+            })
+            .count() as u64
+    };
+    assert_eq!(snap.counter_total("ff_qp_upgrades_total"), rebounds(true));
+    assert_eq!(snap.counter_total("ff_qp_rebinds_total"), rebounds(false));
+}
+
+/// A chained batch posted while a planned TCP→RDMA *upgrade* drains
+/// parks whole and replays exactly once on the upgraded path.
+#[test]
+fn batched_chain_parks_through_planned_upgrade_and_replays_exactly_once() {
+    parked_chain_replays_exactly_once(ParkScenario::Upgrade);
+}
+
+/// A chained batch posted while a Remote→Local *collapse* drains (the
+/// peer migrated onto our host) parks whole and replays exactly once
+/// over shared memory — same QPs, same wr_ids, no reconnect.
+#[test]
+fn batched_chain_parks_through_collapse_and_replays_exactly_once() {
+    parked_chain_replays_exactly_once(ParkScenario::Collapse);
 }
