@@ -15,11 +15,17 @@
 //! batches.
 
 use freeflow_bench::batch::{run_suite, BenchReport, BATCH_DEPTH};
+use freeflow_bench::socket::{run_socket_suite, SOCKET_WORKLOADS};
 use std::process::ExitCode;
 
 const RATIO_SLACK: f64 = 0.9; // fresh ratio may be at most 10% below committed
 const MICRO_FLOOR: f64 = 2.0; // 64 B verbs writes must stay >= 2x batched
 const MICRO: &str = "verbs/write_64B";
+const CONNECT_FLOOR: f64 = 1.1; // pooled connects must stay ahead of per-QP setup
+
+// Socket workloads cross thread-scheduling hops per op, so their run-to-run
+// ratio noise is wider than the in-process verbs suite's.
+const SOCKET_SLACK: f64 = 0.75;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,10 +56,30 @@ fn main() -> ExitCode {
         );
     }
 
+    eprintln!("measuring socket suite (pooled mux vs per-QP baseline) ...");
+    let socket = run_socket_suite(quick);
+    println!();
+    println!(
+        "{:<20} {:>14} {:>14} {:>8}",
+        "workload", "perqp Mops", "pooled Mops", "ratio"
+    );
+    for stem in SOCKET_WORKLOADS {
+        let pooled = socket.mops_of(&format!("{stem}_pooled")).unwrap_or(0.0);
+        let perqp = socket.mops_of(&format!("{stem}_perqp")).unwrap_or(0.0);
+        println!(
+            "{:<20} {:>14.3} {:>14.3} {:>7.2}x",
+            stem,
+            perqp,
+            pooled,
+            pooled / perqp
+        );
+    }
+
     if !check {
         std::fs::write("BENCH_baseline.json", baseline.to_json()).expect("write baseline");
         std::fs::write("BENCH_batched.json", batched.to_json()).expect("write batched");
-        eprintln!("wrote BENCH_baseline.json and BENCH_batched.json");
+        std::fs::write("BENCH_socket.json", socket.to_json()).expect("write socket");
+        eprintln!("wrote BENCH_baseline.json, BENCH_batched.json and BENCH_socket.json");
         return ExitCode::SUCCESS;
     }
 
@@ -103,10 +129,60 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    let committed_socket = match std::fs::read_to_string("BENCH_socket.json") {
+        Ok(t) => BenchReport::from_json(&t).expect("parse committed socket"),
+        Err(e) => {
+            eprintln!("cannot read BENCH_socket.json: {e} (run without --check to record)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Socket gate: the pooled/perqp ratio per workload is the recorded
+    // result — fail when a fresh run regresses it, or when pooled
+    // connection setup loses its required floor over per-QP setup.
+    let socket_ratio = |report: &BenchReport, stem: &str| -> Option<f64> {
+        let pooled = report.mops_of(&format!("{stem}_pooled"))?;
+        let perqp = report.mops_of(&format!("{stem}_perqp"))?;
+        (perqp > 0.0).then_some(pooled / perqp)
+    };
+    for stem in SOCKET_WORKLOADS {
+        let fresh_ratio = match socket_ratio(&socket, stem) {
+            Some(r) => r,
+            None => {
+                eprintln!("FAIL {stem}: missing from fresh socket run");
+                failed = true;
+                continue;
+            }
+        };
+        let committed_ratio = match socket_ratio(&committed_socket, stem) {
+            Some(r) => r,
+            None => {
+                eprintln!("FAIL {stem}: missing from committed BENCH_socket.json");
+                failed = true;
+                continue;
+            }
+        };
+        if fresh_ratio < committed_ratio * SOCKET_SLACK {
+            eprintln!(
+                "FAIL {stem}: pooled/perqp ratio regressed: fresh {fresh_ratio:.2}x vs \
+                 committed {committed_ratio:.2}x (>25% drop)"
+            );
+            failed = true;
+        }
+        if stem == "socket/connect" && fresh_ratio < CONNECT_FLOOR {
+            eprintln!(
+                "FAIL {stem}: pooled connects at {fresh_ratio:.2}x per-QP setup, \
+                 required >= {CONNECT_FLOOR}x"
+            );
+            failed = true;
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
-        eprintln!("bench smoke OK: batched hot path within 10% of recorded speedups");
+        eprintln!(
+            "bench smoke OK: batched hot path and socket pool within 10% of recorded speedups"
+        );
         ExitCode::SUCCESS
     }
 }

@@ -26,6 +26,7 @@
 pub mod batch;
 pub mod figures;
 pub mod realpath;
+pub mod socket;
 pub mod table;
 
 pub use table::Table;

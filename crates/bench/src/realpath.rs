@@ -191,7 +191,7 @@ pub fn ablation_socket_translation() -> Table {
         let server_ip = p.b.ip();
         let b = p.b;
         let server = std::thread::spawn(move || {
-            let mut s = listener.accept(&b, T).unwrap();
+            let mut s = listener.accept(T).unwrap();
             let mut buf = vec![0u8; MSG];
             for _ in 0..ITERS {
                 s.read_exact(&mut buf).unwrap();

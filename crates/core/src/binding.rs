@@ -275,6 +275,112 @@ impl PathBinding {
     }
 }
 
+/// A lock-free, subscribe-only view of one QP's binding, published by the
+/// owning `FfQp` at every lifecycle transition.
+///
+/// Layers above the QP (the socket mux's transport-aware reliability, in
+/// particular) need to ask two questions without taking the QP's inner
+/// lock: *is the path settled right now?* and *has it changed since I
+/// last looked?* — the first gates when a sequence-resync handshake may
+/// be sent (resyncing into a still-draining path would race the parked
+/// replay), the second lets a reader detect rebinds it slept through.
+///
+/// All loads/stores are individually atomic; a reader that needs a
+/// consistent (phase, epoch) pair should read `version` before and after
+/// and retry on mismatch — in practice the mux only needs the monotone
+/// `settled`/`epoch` signals, which are safe to read independently.
+#[derive(Debug)]
+pub struct PathSignal {
+    epoch: std::sync::atomic::AtomicU64,
+    phase: std::sync::atomic::AtomicU8,
+    transport: std::sync::atomic::AtomicU8,
+    version: std::sync::atomic::AtomicU64,
+}
+
+impl PathSignal {
+    const NO_TRANSPORT: u8 = u8::MAX;
+
+    pub(crate) fn new() -> Self {
+        Self {
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            phase: std::sync::atomic::AtomicU8::new(Self::phase_code(BindingPhase::Unbound)),
+            transport: std::sync::atomic::AtomicU8::new(Self::NO_TRANSPORT),
+            version: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    const fn phase_code(p: BindingPhase) -> u8 {
+        match p {
+            BindingPhase::Unbound => 0,
+            BindingPhase::Bound => 1,
+            BindingPhase::Draining => 2,
+            BindingPhase::Rebinding => 3,
+            BindingPhase::Error => 4,
+        }
+    }
+
+    fn code_phase(c: u8) -> BindingPhase {
+        match c {
+            0 => BindingPhase::Unbound,
+            1 => BindingPhase::Bound,
+            2 => BindingPhase::Draining,
+            3 => BindingPhase::Rebinding,
+            _ => BindingPhase::Error,
+        }
+    }
+
+    /// Publish the binding's current (phase, epoch, transport). Called by
+    /// the owner under its own serialization; readers are lock-free.
+    pub(crate) fn publish(&self, binding: &PathBinding) {
+        use std::sync::atomic::Ordering;
+        self.epoch.store(binding.epoch(), Ordering::Release);
+        self.transport.store(
+            binding
+                .path()
+                .transport()
+                .map(|t| t.rank())
+                .unwrap_or(Self::NO_TRANSPORT),
+            Ordering::Release,
+        );
+        self.phase
+            .store(Self::phase_code(binding.phase()), Ordering::Release);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The binding epoch at the last publish.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The lifecycle phase at the last publish.
+    pub fn phase(&self) -> BindingPhase {
+        Self::code_phase(self.phase.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// Whether the QP currently has a live, settled path (`Bound`). Every
+    /// data plane FreeFlow binds — shared memory, RC RDMA, the relayed
+    /// DPDK/TCP wires — delivers reliably *within* a binding epoch; it is
+    /// the epoch boundaries (drain → rebind) where frames can be flushed.
+    /// So "settled" is exactly the window in which the mux's seq layer
+    /// may stay passive, and the window a resync handshake must wait for.
+    pub fn settled(&self) -> bool {
+        self.phase() == BindingPhase::Bound
+    }
+
+    /// Transport rank of the bound path (`None` while unbound/errored).
+    pub fn transport_rank(&self) -> Option<u8> {
+        match self.transport.load(std::sync::atomic::Ordering::Acquire) {
+            Self::NO_TRANSPORT => None,
+            r => Some(r),
+        }
+    }
+
+    /// Monotone publish counter: bump ⇒ something changed.
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,13 @@ impl Container {
         &self.lib
     }
 
+    /// A cloneable handle onto the library — what long-lived networking
+    /// objects (socket listeners, channel pools) hold instead of
+    /// borrowing the container.
+    pub fn handle(&self) -> crate::library::LibHandle {
+        self.lib.handle()
+    }
+
     pub(crate) fn into_lib(self) -> NetLibrary {
         self.lib
     }

@@ -80,6 +80,6 @@ mod tests;
 pub use cluster::FreeFlowCluster;
 pub use container::Container;
 pub use endpoint::FfEndpoint;
-pub use library::NetLibrary;
+pub use library::{LibHandle, NetLibrary};
 pub use orch_client::{OrchClient, OrchClientConfig};
 pub use qp::FfQp;

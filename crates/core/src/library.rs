@@ -200,6 +200,131 @@ impl LibShared {
     }
 }
 
+/// A cloneable, `'static` handle onto one container's network library.
+///
+/// [`NetLibrary`] itself owns the pump thread and cannot be cloned; the
+/// handle carries only the shared state plus the PD, which is everything
+/// the data-plane entry points need. Long-lived networking objects that
+/// outlive the caller's borrow of the [`crate::container::Container`] — the socket stack's
+/// listeners and channel pools in particular — hold one of these instead
+/// of a `&Container`.
+///
+/// The handle does not keep the library alive in any meaningful sense:
+/// if the container is torn down its agent channel closes and operations
+/// fail with completions, exactly as they would for a stale `&Container`.
+#[derive(Clone)]
+pub struct LibHandle {
+    shared: Arc<LibShared>,
+    pd: ProtectionDomain,
+}
+
+impl LibHandle {
+    /// The container's cluster-wide id.
+    pub fn id(&self) -> ContainerId {
+        self.shared.id
+    }
+
+    /// The container's overlay IP.
+    pub fn ip(&self) -> OverlayIp {
+        self.shared.ip
+    }
+
+    /// The physical host currently underneath (diagnostics).
+    pub fn host(&self) -> HostId {
+        self.shared.host()
+    }
+
+    /// The cluster telemetry hub.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// Register `len` bytes of memory (arena-backed when possible).
+    pub fn register(&self, len: u64, access: AccessFlags) -> VerbsResult<Arc<MemoryRegion>> {
+        let fabric = self.shared.fabric();
+        if let Ok(handle) = fabric.arena().alloc(len) {
+            return self
+                .pd
+                .register_arena(Arc::clone(fabric.arena()), handle, access);
+        }
+        self.pd.register(len, access)
+    }
+
+    /// Create a completion queue, instrumented under this container's
+    /// `(host, container)` telemetry labels. Labels snapshot the host at
+    /// creation time; CQs created before a migration keep reporting under
+    /// the original host, which preserves the timeline's continuity.
+    pub fn create_cq(&self, depth: usize) -> Arc<CompletionQueue> {
+        let cq = self.shared.device.create_cq(depth);
+        let hub = &self.shared.telemetry;
+        let host = self.shared.host().raw();
+        let labels = LabelSet::host(host).with_container(self.shared.id.raw());
+        cq.instrument(CqInstruments {
+            hub: Arc::clone(hub),
+            host,
+            completions: hub.registry().counter(
+                "ff_cq_completions_total",
+                "work completions pushed (success and error)",
+                labels,
+            ),
+            completion_errors: hub.registry().counter(
+                "ff_cq_completion_errors_total",
+                "work completions with a non-success status",
+                labels,
+            ),
+            wait_blocks: hub.registry().counter(
+                "ff_cq_wait_blocks_total",
+                "CQ waits that actually parked on the doorbell",
+                labels,
+            ),
+            wr_latency_ns: hub.registry().histogram(
+                "ff_wr_latency_ns",
+                "work-request post-to-completion latency, nanoseconds",
+                labels,
+            ),
+        });
+        cq
+    }
+
+    /// Create a virtual queue pair.
+    pub fn create_qp(
+        &self,
+        send_cq: &Arc<CompletionQueue>,
+        recv_cq: &Arc<CompletionQueue>,
+        sq_depth: usize,
+        rq_depth: usize,
+    ) -> VerbsResult<Arc<FfQp>> {
+        let verbs_qp = self.pd.create_qp(send_cq, recv_cq, sq_depth, rq_depth)?;
+        let qp = FfQp::create(
+            Arc::clone(&self.shared),
+            verbs_qp,
+            Arc::clone(send_cq),
+            Arc::clone(recv_cq),
+            sq_depth,
+            rq_depth,
+        );
+        self.shared
+            .qps
+            .lock()
+            .insert(qp.qp_num(), Arc::downgrade(&qp));
+        Ok(qp)
+    }
+
+    /// Resolve a destination (socket/MPI layers).
+    pub fn resolve(&self, dst: OverlayIp) -> Result<ResolvedPath> {
+        self.shared.resolve(dst)
+    }
+}
+
+impl std::fmt::Debug for LibHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LibHandle")
+            .field("container", &self.shared.id)
+            .field("ip", &self.shared.ip)
+            .finish()
+    }
+}
+
 /// The FreeFlow network library of one container.
 pub struct NetLibrary {
     shared: Arc<LibShared>,
@@ -517,52 +642,26 @@ impl NetLibrary {
         &self.shared.cache
     }
 
+    /// A cloneable handle onto this library for long-lived networking
+    /// objects (listeners, channel pools) that must not borrow the
+    /// container.
+    pub fn handle(&self) -> LibHandle {
+        LibHandle {
+            shared: Arc::clone(&self.shared),
+            pd: self.pd.clone(),
+        }
+    }
+
     /// Register `len` bytes of memory. Arena-backed (zero-copy capable)
     /// when the host segment has room, private otherwise.
     pub fn register(&self, len: u64, access: AccessFlags) -> VerbsResult<Arc<MemoryRegion>> {
-        let fabric = self.shared.fabric();
-        if let Ok(handle) = fabric.arena().alloc(len) {
-            return self
-                .pd
-                .register_arena(Arc::clone(fabric.arena()), handle, access);
-        }
-        self.pd.register(len, access)
+        self.handle().register(len, access)
     }
 
     /// Create a completion queue, instrumented under this container's
-    /// `(host, container)` telemetry labels. Labels snapshot the host at
-    /// creation time; CQs created before a migration keep reporting under
-    /// the original host, which preserves the timeline's continuity.
+    /// `(host, container)` telemetry labels (see [`LibHandle::create_cq`]).
     pub fn create_cq(&self, depth: usize) -> Arc<CompletionQueue> {
-        let cq = self.shared.device.create_cq(depth);
-        let hub = &self.shared.telemetry;
-        let host = self.shared.host().raw();
-        let labels = LabelSet::host(host).with_container(self.shared.id.raw());
-        cq.instrument(CqInstruments {
-            hub: Arc::clone(hub),
-            host,
-            completions: hub.registry().counter(
-                "ff_cq_completions_total",
-                "work completions pushed (success and error)",
-                labels,
-            ),
-            completion_errors: hub.registry().counter(
-                "ff_cq_completion_errors_total",
-                "work completions with a non-success status",
-                labels,
-            ),
-            wait_blocks: hub.registry().counter(
-                "ff_cq_wait_blocks_total",
-                "CQ waits that actually parked on the doorbell",
-                labels,
-            ),
-            wr_latency_ns: hub.registry().histogram(
-                "ff_wr_latency_ns",
-                "work-request post-to-completion latency, nanoseconds",
-                labels,
-            ),
-        });
-        cq
+        self.handle().create_cq(depth)
     }
 
     /// Create a virtual queue pair.
@@ -573,20 +672,8 @@ impl NetLibrary {
         sq_depth: usize,
         rq_depth: usize,
     ) -> VerbsResult<Arc<FfQp>> {
-        let verbs_qp = self.pd.create_qp(send_cq, recv_cq, sq_depth, rq_depth)?;
-        let qp = FfQp::create(
-            Arc::clone(&self.shared),
-            verbs_qp,
-            Arc::clone(send_cq),
-            Arc::clone(recv_cq),
-            sq_depth,
-            rq_depth,
-        );
-        self.shared
-            .qps
-            .lock()
-            .insert(qp.qp_num(), Arc::downgrade(&qp));
-        Ok(qp)
+        self.handle()
+            .create_qp(send_cq, recv_cq, sq_depth, rq_depth)
     }
 
     /// Resolve a destination (exposed for the socket/MPI layers).

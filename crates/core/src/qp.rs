@@ -26,7 +26,7 @@
 //! [`crate::binding::PathBinding`]; this module performs the drains,
 //! replays and verbs bring-up around its transitions (see DESIGN.md §7).
 
-use crate::binding::{BindingPhase, PathBinding, RebindReason};
+use crate::binding::{BindingPhase, PathBinding, PathSignal, RebindReason};
 use crate::endpoint::FfEndpoint;
 use crate::library::LibShared;
 use bytes::Bytes;
@@ -163,6 +163,10 @@ pub struct FfQp {
     sq_depth: usize,
     rq_depth: usize,
     inner: Mutex<QpInner>,
+    /// Lock-free binding view for layers above (socket mux reliability):
+    /// published at every lifecycle transition, readable without the
+    /// inner lock.
+    signal: Arc<PathSignal>,
     /// Per-op answer timeout in nanoseconds.
     op_timeout_ns: AtomicU64,
     /// How many times this QP re-established its path after a transport
@@ -226,6 +230,7 @@ impl FfQp {
                 replaying: false,
                 next_op_id: 1,
             }),
+            signal: Arc::new(PathSignal::new()),
             op_timeout_ns: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_nanos() as u64),
             failovers: AtomicU64::new(0),
             tm_failovers,
@@ -290,6 +295,15 @@ impl FfQp {
     /// The binding lifecycle phase (diagnostics/tests).
     pub fn binding_phase(&self) -> BindingPhase {
         self.inner.lock().binding.phase()
+    }
+
+    /// The lock-free binding signal: (phase, epoch, transport) published
+    /// at every lifecycle transition. The socket mux subscribes to this
+    /// to decide when its reliability layer must arm (a rebind epoch is
+    /// crossing) and when a sequence resync may be sent (the path is
+    /// settled again).
+    pub fn path_signal(&self) -> Arc<PathSignal> {
+        Arc::clone(&self.signal)
     }
 
     /// The current binding epoch: 1 after connect, +1 for every completed
@@ -369,6 +383,7 @@ impl FfQp {
                 required: "unbound binding",
             })?;
         inner.state = QpState::Rtr;
+        self.signal.publish(&inner.binding);
         self.record_transition(
             TransitionKind::Bound,
             None,
@@ -416,6 +431,7 @@ impl FfQp {
             let reason = inner.binding.reason();
             let epoch = inner.binding.epoch();
             inner.binding.fail();
+            self.signal.publish(&inner.binding);
             self.record_transition(TransitionKind::Failed, reason, epoch, old, "error", false);
             let parked: Vec<SendWr> = inner.parked_sends.drain(..).collect();
             let recvs = if matches!(inner.binding.path(), FfPath::Local { .. }) {
@@ -581,6 +597,7 @@ impl FfQp {
         if inner.binding.begin_drain(RebindReason::Failover).is_err() {
             return false; // raced with another lifecycle transition
         }
+        self.signal.publish(&inner.binding);
         self.failovers.fetch_add(1, Ordering::Relaxed);
         // Counter and flight-recorder event move together: every
         // failover_count increment has exactly one DrainStarted(failover)
@@ -606,6 +623,7 @@ impl FfQp {
             // finishes on the pump and the rebind completes there.
             return true;
         }
+        self.signal.publish(&inner.binding);
         self.record_transition(
             TransitionKind::RebindStarted,
             Some(RebindReason::Failover),
@@ -625,6 +643,7 @@ impl FfQp {
                 resolved.generation,
             )
             .expect("rebinding phase was just entered");
+        self.signal.publish(&inner.binding);
         let upgrade = inner.binding.upgrades() > ups;
         self.tm_rebinds.inc();
         if upgrade {
@@ -673,6 +692,7 @@ impl FfQp {
             && inner.binding.phase() == BindingPhase::Bound
             && inner.binding.begin_drain(reason).is_ok()
         {
+            self.signal.publish(&inner.binding);
             self.record_transition(
                 TransitionKind::DrainStarted,
                 Some(reason),
@@ -693,6 +713,7 @@ impl FfQp {
             if inner.binding.phase() == BindingPhase::Draining {
                 let unsettled = inner.pending_sends.len() + inner.pending_reads.len();
                 if unsettled == 0 && inner.binding.begin_rebind(0).is_ok() {
+                    self.signal.publish(&inner.binding);
                     let label = inner.binding.path().label();
                     self.record_transition(
                         TransitionKind::RebindStarted,
@@ -764,6 +785,7 @@ impl FfQp {
             {
                 return;
             }
+            self.signal.publish(&inner.binding);
             let upgrade = inner.binding.upgrades() > ups;
             self.tm_rebinds.inc();
             if upgrade {
@@ -794,6 +816,7 @@ impl FfQp {
             if inner.binding.abort_rebind().is_err() {
                 return;
             }
+            self.signal.publish(&inner.binding);
             let label = inner.binding.path().label();
             self.record_transition(
                 TransitionKind::Aborted,
@@ -879,6 +902,7 @@ impl FfQp {
                 .complete_rebind(FfPath::Local { peer }, generation)
                 .is_ok();
             if ok {
+                self.signal.publish(&inner.binding);
                 let upgrade = inner.binding.upgrades() > ups;
                 self.tm_rebinds.inc();
                 if upgrade {

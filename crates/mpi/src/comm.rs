@@ -92,11 +92,10 @@ impl World {
         std::thread::scope(|s| -> Result<()> {
             let mut acceptors = Vec::new();
             for (j, listener) in listeners.iter().enumerate() {
-                let container = &containers[j];
                 acceptors.push(s.spawn(move || -> Result<Vec<(usize, FfStream)>> {
                     let mut got = Vec::new();
                     for _ in 0..j {
-                        let mut stream = listener.accept(container, Duration::from_secs(30))?;
+                        let mut stream = listener.accept(Duration::from_secs(30))?;
                         let mut hello = [0u8; 8];
                         stream.read_exact(&mut hello)?;
                         got.push((u64::from_le_bytes(hello) as usize, stream));

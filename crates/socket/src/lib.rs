@@ -12,24 +12,38 @@
 //! otherwise. The socket code cannot tell and does not care; that is the
 //! point.
 //!
-//! ## Translation scheme
+//! ## Translation scheme (TSoR layering)
 //!
-//! * A stream is one connected QP pair. Each side owns `NSLOTS` receive
-//!   slots of `SLOT_SIZE` bytes in a registered MR and pre-posts them all.
-//! * Writes are segmented into ≤`SLOT_SIZE` messages, copied into send
-//!   slots and SENT; a one-byte tag distinguishes `DATA` / `CREDIT` / `FIN`
-//!   frames on the wire.
-//! * Flow control is credit-based: a sender consumes one credit per
-//!   message; the receiver returns credits only after the application has
-//!   actually consumed the bytes — so a slow reader backpressures the
-//!   writer through every transport, like TCP receive windows.
+//! * **Channel pool** (`channel`): connections between a container pair
+//!   share a small pool of RC QPs. The first `connect` between a pair
+//!   builds a channel (QP + CQs + slotted MRs + pump thread); every
+//!   further socket is a stream-id allocation on it — thousands of
+//!   streams per QP, counted by `ff_channel_qp_reuse_total`.
+//! * **Mux framing** (`mux`): every frame names its stream; flow
+//!   control is per-stream credits returned only as the application
+//!   consumes bytes, so a stalled reader blocks its own writer and never
+//!   the channel (no head-of-line blocking across streams). The channel's
+//!   shared CQs are drained in batches and demuxed fairly.
+//! * **Transport-aware reliability** (`reliability`): sequenced frames
+//!   feed send/receive ledgers that do *nothing* on a settled path —
+//!   retransmit and reorder counters stay exactly zero. Only a
+//!   `RETRY_EXC_ERR` flush (a live rebind: failover, TCP→RDMA upgrade,
+//!   Remote→Local collapse) arms recovery: a resync handshake asks the
+//!   receiver's in-order high-water mark, the confirmed prefix is freed,
+//!   and the suffix retransmits over the new binding. The application
+//!   sees one contiguous byte stream, never a reconnect.
 //! * Connection setup goes through a [`SocketStack`] — the connection
-//!   manager that maps `ip:port` to listeners and brokers the endpoint
-//!   exchange (what rsockets does over a TCP side channel).
+//!   manager that maps `ip:port` to listeners and brokers the channel /
+//!   stream handshake (what rsockets does over a TCP side channel).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub(crate) mod channel;
+pub(crate) mod mux;
+#[cfg(test)]
+mod proptests;
+pub(crate) mod reliability;
 pub mod stack;
 pub mod stream;
 

@@ -1,40 +1,77 @@
-//! The connection manager: `bind` / `accept` / `connect`.
+//! The connection manager: `bind` / `accept` / `connect` — and the
+//! channel-reuse handshake.
 //!
 //! Verbs has no notion of listening; real RDMA socket layers broker the
 //! (GID, QPN) exchange over a side channel. [`SocketStack`] is that side
 //! channel: a cluster-wide registry mapping bound `ip:port` addresses to
-//! listener queues. `connect` creates the client's QP first, posts a
-//! connect request carrying its endpoint, and blocks for the listener's
-//! endpoint in return; both sides then transition their QPs and wrap them
-//! in [`FfStream`]s. The data path never touches this stack again.
+//! listener queues. What travels over it changed with the channel pool:
+//! a connect request is now either *"here is my new channel's endpoint"*
+//! (first connection between a container pair) or *"put this stream on
+//! the channel you know as QPN x"* (every connection after that). The
+//! expensive QP handshake happens once per container pair; every further
+//! socket is a stream-id allocation — the TSoR fast path.
+//!
+//! The data path never touches this stack again.
 
+use crate::channel::{Channel, ChannelPool};
 use crate::stream::FfStream;
 use freeflow::{Container, FfEndpoint};
-use freeflow_types::{Error, OverlayAddr, OverlayIp, Result};
+use freeflow_types::{ContainerId, Error, OverlayAddr, OverlayIp, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BACKLOG: usize = 64;
-const STREAM_SQ: usize = crate::stream::NSLOTS * 2 + 8;
-const STREAM_RQ: usize = crate::stream::NSLOTS + 4;
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a connect request wants its stream carried.
+enum ReqKind {
+    /// First connection between the pair: the client built a fresh
+    /// channel; here is its endpoint — connect yours and reply in kind.
+    NewChannel { client_ep: FfEndpoint },
+    /// The client already has a channel to this container — the one the
+    /// acceptor knows by its own QPN `server_qpn` — and allocated
+    /// `stream_id` on it.
+    Existing { server_qpn: u32 },
+}
+
+enum ConnectReply {
+    /// New channel accepted; the server's endpoint to connect to.
+    NewChannel { server_ep: FfEndpoint },
+    /// Stream registered on the existing channel.
+    Existing,
+    /// The acceptor does not know that channel (died or pruned on its
+    /// side); the client should fall back to a fresh one.
+    Refused,
+}
 
 struct ConnectReq {
-    client_ep: FfEndpoint,
-    reply: crossbeam::channel::Sender<FfEndpoint>,
+    stream_id: u32,
+    kind: ReqKind,
+    reply: crossbeam::channel::Sender<ConnectReply>,
 }
 
 /// The cluster-wide socket connection manager.
 #[derive(Default)]
 pub struct SocketStack {
     listeners: Mutex<HashMap<OverlayAddr, crossbeam::channel::Sender<ConnectReq>>>,
+    /// One channel pool per container that has touched the stack.
+    pools: Mutex<HashMap<ContainerId, Arc<ChannelPool>>>,
+    /// Milliseconds a connect waits for the listener's reply (0 = default).
+    handshake_timeout_ms: AtomicU64,
 }
 
 /// A listening socket.
+///
+/// Holds a cloneable library handle taken at bind time, so accepting
+/// needs no further reference to the [`Container`] — listeners move
+/// freely into server threads.
 pub struct FfListener {
     addr: OverlayAddr,
     stack: Arc<SocketStack>,
+    pool: Arc<ChannelPool>,
     incoming: crossbeam::channel::Receiver<ConnectReq>,
 }
 
@@ -44,6 +81,49 @@ impl SocketStack {
         Arc::new(Self::default())
     }
 
+    /// Override how long `connect` waits for a listener to accept before
+    /// failing with [`Error::Unreachable`] (default 10 s). Tests of the
+    /// abandoned-listener path use this to fail fast.
+    pub fn set_handshake_timeout(&self, timeout: Duration) {
+        self.handshake_timeout_ms
+            .store(timeout.as_millis().max(1) as u64, Ordering::Relaxed);
+    }
+
+    fn handshake_timeout(&self) -> Duration {
+        match self.handshake_timeout_ms.load(Ordering::Relaxed) {
+            0 => DEFAULT_HANDSHAKE_TIMEOUT,
+            ms => Duration::from_millis(ms),
+        }
+    }
+
+    fn listener_tx(&self, remote: &OverlayAddr) -> Result<crossbeam::channel::Sender<ConnectReq>> {
+        self.listeners
+            .lock()
+            .get(remote)
+            .cloned()
+            .ok_or_else(|| Error::unreachable(format!("connection refused: {remote}")))
+    }
+
+    /// The container's channel pool (created on first use).
+    fn pool_for(&self, container: &Container) -> Arc<ChannelPool> {
+        let mut pools = self.pools.lock();
+        Arc::clone(
+            pools
+                .entry(container.id())
+                .or_insert_with(|| ChannelPool::new(container.handle())),
+        )
+    }
+
+    /// Live shared channels `container` currently holds (diagnostics:
+    /// the examples assert this stays ≪ the stream count).
+    pub fn channel_count(&self, container: &Container) -> usize {
+        self.pools
+            .lock()
+            .get(&container.id())
+            .map(|p| p.live_channels())
+            .unwrap_or(0)
+    }
+
     /// Bind `container` to `port`, returning a listener.
     ///
     /// Unlike host-mode networking, the bind key includes the container's
@@ -51,6 +131,7 @@ impl SocketStack {
     /// portability property host mode loses).
     pub fn bind(self: &Arc<Self>, container: &Container, port: u16) -> Result<FfListener> {
         let addr = OverlayAddr::new(container.ip(), port);
+        let pool = self.pool_for(container);
         let mut listeners = self.listeners.lock();
         if listeners.contains_key(&addr) {
             return Err(Error::already_exists(format!("socket {addr}")));
@@ -60,11 +141,19 @@ impl SocketStack {
         Ok(FfListener {
             addr,
             stack: Arc::clone(self),
+            pool,
             incoming: rx,
         })
     }
 
     /// Connect from `container` to `remote`. Blocks for the handshake.
+    ///
+    /// Reuses an established channel to the peer when one exists (no new
+    /// QP — the stream is an id allocation plus one side-channel round
+    /// trip); otherwise builds one. Fails with [`Error::Unreachable`] if
+    /// nothing listens on `remote`, or if a listener exists but nobody
+    /// accepts within the handshake timeout (e.g. the listener was bound
+    /// and then abandoned).
     pub fn connect(
         self: &Arc<Self>,
         container: &Container,
@@ -72,33 +161,96 @@ impl SocketStack {
         remote_port: u16,
     ) -> Result<FfStream> {
         let remote = OverlayAddr::new(remote_ip, remote_port);
-        let listener_tx = self
-            .listeners
-            .lock()
-            .get(&remote)
-            .cloned()
-            .ok_or_else(|| Error::unreachable(format!("connection refused: {remote}")))?;
-        // Client QP first, so the request can carry our endpoint.
-        // Distinct CQs per direction: the stream logic reaps sends and
-        // waits on receives independently.
-        let send_cq = container.create_cq(STREAM_SQ * 2);
-        let recv_cq = container.create_cq(STREAM_RQ * 2);
-        let qp = container
-            .create_qp(&send_cq, &recv_cq, STREAM_SQ, STREAM_RQ)
-            .map_err(|e| Error::config(e.to_string()))?;
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        listener_tx
-            .try_send(ConnectReq {
-                client_ep: qp.endpoint(),
+        self.listener_tx(&remote)?; // fail fast when nothing listens
+        let pool = self.pool_for(container);
+        let timeout = self.handshake_timeout();
+
+        // Fast path: a live channel to this peer already exists.
+        if let Some(ch) = pool.reusable(remote_ip) {
+            let stream_id = ch.open_local_stream()?;
+            let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+            let req = ConnectReq {
+                stream_id,
+                kind: ReqKind::Existing {
+                    server_qpn: ch.peer_qpn(),
+                },
                 reply: reply_tx,
-            })
-            .map_err(|_| Error::exhausted(format!("backlog full at {remote}")))?;
-        let server_ep = reply_rx
-            .recv_timeout(Duration::from_secs(30))
-            .map_err(|_| Error::unreachable(format!("accept timed out at {remote}")))?;
-        qp.connect(server_ep)
-            .map_err(|e| Error::unreachable(e.to_string()))?;
-        FfStream::from_qp(container, qp, send_cq, recv_cq)
+            };
+            // The sender clone must not outlive the send: a dropped
+            // listener frees the queued request (and with it our reply
+            // sender) only once no handle pins the channel — that is
+            // what lets the wait below fail promptly instead of
+            // sleeping out the full timeout.
+            match self
+                .listener_tx(&remote)
+                .and_then(|tx| send_req(&tx, req, &remote))
+            {
+                Ok(()) => {}
+                Err(e) => {
+                    ch.abort_stream(stream_id);
+                    return Err(e);
+                }
+            }
+            match reply_rx.recv_timeout(timeout) {
+                Ok(ConnectReply::Existing) => {
+                    pool.note_reuse();
+                    return Ok(FfStream::new(ch, stream_id));
+                }
+                Ok(ConnectReply::Refused) => {
+                    // The acceptor no longer knows the channel; fall
+                    // through and build a fresh one.
+                    ch.abort_stream(stream_id);
+                }
+                Ok(ConnectReply::NewChannel { .. }) => {
+                    ch.abort_stream(stream_id);
+                    return Err(Error::invalid_state("mismatched handshake reply"));
+                }
+                Err(_) => {
+                    ch.abort_stream(stream_id);
+                    return Err(Error::unreachable(format!("accept timed out at {remote}")));
+                }
+            }
+        }
+
+        // Slow path: build a channel, offer our endpoint, connect to the
+        // acceptor's.
+        let ch = Channel::new(pool.handle(), true, pool.metrics().clone())?;
+        let stream_id = ch.open_local_stream()?;
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        let req = ConnectReq {
+            stream_id,
+            kind: ReqKind::NewChannel {
+                client_ep: ch.endpoint(),
+            },
+            reply: reply_tx,
+        };
+        self.listener_tx(&remote)
+            .and_then(|tx| send_req(&tx, req, &remote))?;
+        match reply_rx.recv_timeout(timeout) {
+            Ok(ConnectReply::NewChannel { server_ep }) => {
+                ch.establish(server_ep)?;
+                pool.insert(remote_ip, Arc::clone(&ch));
+                Ok(FfStream::new(ch, stream_id))
+            }
+            Ok(_) => Err(Error::invalid_state("mismatched handshake reply")),
+            Err(_) => Err(Error::unreachable(format!("accept timed out at {remote}"))),
+        }
+    }
+}
+
+fn send_req(
+    tx: &crossbeam::channel::Sender<ConnectReq>,
+    req: ConnectReq,
+    remote: &OverlayAddr,
+) -> Result<()> {
+    use crossbeam::channel::TrySendError;
+    match tx.try_send(req) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(_)) => Err(Error::exhausted(format!("backlog full at {remote}"))),
+        // The listener was dropped between lookup and send.
+        Err(TrySendError::Disconnected(_)) => {
+            Err(Error::unreachable(format!("connection refused: {remote}")))
+        }
     }
 }
 
@@ -110,30 +262,62 @@ impl FfListener {
 
     /// Accept one connection, blocking up to `timeout`.
     ///
-    /// `container` must be the same container the listener was bound on
-    /// (the accept-side QP is created on its virtual NIC).
-    pub fn accept(&self, container: &Container, timeout: Duration) -> Result<FfStream> {
-        debug_assert_eq!(
-            container.ip(),
-            self.addr.ip,
-            "accept on the bound container"
-        );
-        let req = self
-            .incoming
-            .recv_timeout(timeout)
-            .map_err(|_| Error::WouldBlock)?;
-        let send_cq = container.create_cq(STREAM_SQ * 2);
-        let recv_cq = container.create_cq(STREAM_RQ * 2);
-        let qp = container
-            .create_qp(&send_cq, &recv_cq, STREAM_SQ, STREAM_RQ)
-            .map_err(|e| Error::config(e.to_string()))?;
-        qp.connect(req.client_ep)
-            .map_err(|e| Error::unreachable(e.to_string()))?;
-        // Tell the client who we are only after our QP can receive.
-        req.reply
-            .send(qp.endpoint())
-            .map_err(|_| Error::disconnected("client gave up"))?;
-        FfStream::from_qp(container, qp, send_cq, recv_cq)
+    /// The accept-side networking objects come from the library handle
+    /// captured at bind time — no container reference needed here.
+    pub fn accept(&self, timeout: Duration) -> Result<FfStream> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::WouldBlock);
+            }
+            let req = self
+                .incoming
+                .recv_timeout(remaining)
+                .map_err(|_| Error::WouldBlock)?;
+            match req.kind {
+                ReqKind::Existing { server_qpn } => {
+                    let Some(ch) = self.pool.lookup_qpn(server_qpn) else {
+                        // Unknown (or dead) channel: tell the client to
+                        // fall back to a fresh one; keep accepting.
+                        let _ = req.reply.send(ConnectReply::Refused);
+                        continue;
+                    };
+                    if ch.open_remote_stream(req.stream_id).is_err() {
+                        let _ = req.reply.send(ConnectReply::Refused);
+                        continue;
+                    }
+                    if req.reply.send(ConnectReply::Existing).is_err() {
+                        // Client gave up while we registered; roll back
+                        // and keep accepting.
+                        ch.abort_stream(req.stream_id);
+                        continue;
+                    }
+                    self.pool.note_reuse();
+                    return Ok(FfStream::new(ch, req.stream_id));
+                }
+                ReqKind::NewChannel { client_ep } => {
+                    let ch = Channel::new(self.pool.handle(), false, self.pool.metrics().clone())?;
+                    ch.open_remote_stream(req.stream_id)?;
+                    // Connect + pre-post receives *before* replying, so
+                    // nothing the client sends can beat our RQ.
+                    ch.establish(client_ep)?;
+                    if req
+                        .reply
+                        .send(ConnectReply::NewChannel {
+                            server_ep: ch.endpoint(),
+                        })
+                        .is_err()
+                    {
+                        // Stale request from a client that timed out;
+                        // the channel never carried data — drop it.
+                        continue;
+                    }
+                    self.pool.insert(client_ep.ip, Arc::clone(&ch));
+                    return Ok(FfStream::new(ch, req.stream_id));
+                }
+            }
+        }
     }
 }
 
@@ -169,7 +353,7 @@ mod tests {
         let server_ip = b.ip();
 
         let server = std::thread::spawn(move || {
-            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut stream = listener.accept(Duration::from_secs(10)).unwrap();
             let mut buf = [0u8; 4096];
             loop {
                 let n = stream.read(&mut buf).unwrap();
@@ -210,7 +394,7 @@ mod tests {
         let listener = stack.bind(&b, 9000).unwrap();
         let server_ip = b.ip();
         let t = std::thread::spawn(move || {
-            let s = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let s = listener.accept(Duration::from_secs(10)).unwrap();
             (s, b)
         });
         let client = stack.connect(&a, server_ip, 9000).unwrap();
@@ -232,7 +416,7 @@ mod tests {
         let expect = data.clone();
 
         let server = std::thread::spawn(move || {
-            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut stream = listener.accept(Duration::from_secs(10)).unwrap();
             let mut got = vec![0u8; LEN];
             stream.read_exact(&mut got).unwrap();
             (got, b)
@@ -283,13 +467,52 @@ mod tests {
     }
 
     #[test]
+    fn abandoned_listener_times_out_with_unreachable() {
+        // A listener that exists but never accepts must not hang connect
+        // forever: the handshake times out with Unreachable.
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        stack.set_handshake_timeout(Duration::from_millis(100));
+        let _l = stack.bind(&b, 7000).unwrap();
+        let t0 = Instant::now();
+        assert!(matches!(
+            stack.connect(&a, b.ip(), 7000),
+            Err(Error::Unreachable(_))
+        ));
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+    }
+
+    #[test]
+    fn listener_dropped_after_enqueue_fails_promptly() {
+        // Connect's request is already queued when the listener goes
+        // away: the reply channel disconnects and connect errors out
+        // without waiting for the full timeout.
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        stack.set_handshake_timeout(Duration::from_secs(30));
+        let listener = stack.bind(&b, 7001).unwrap();
+        let stack2 = Arc::clone(&stack);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            drop(listener);
+        });
+        let t0 = Instant::now();
+        assert!(stack2.connect(&a, b.ip(), 7001).is_err());
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "disconnect must beat the timeout"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
     fn eof_after_shutdown() {
         let (_cluster, a, b) = two_containers(true);
         let stack = SocketStack::new();
         let listener = stack.bind(&b, 80).unwrap();
         let server_ip = b.ip();
         let server = std::thread::spawn(move || {
-            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut stream = listener.accept(Duration::from_secs(10)).unwrap();
             let mut buf = [0u8; 16];
             let n = stream.read(&mut buf).unwrap();
             assert_eq!(&buf[..n], b"bye");
@@ -310,7 +533,7 @@ mod tests {
         let server_ip = b.ip();
         const LEN: usize = 600 * 1024; // ≫ window (16 × 16 KiB)
         let server = std::thread::spawn(move || {
-            let mut stream = listener.accept(&b, Duration::from_secs(10)).unwrap();
+            let mut stream = listener.accept(Duration::from_secs(10)).unwrap();
             let mut got = Vec::new();
             let mut buf = [0u8; 1000]; // tiny reads → slow drain
             loop {
@@ -328,5 +551,112 @@ mod tests {
         client.shutdown().unwrap();
         let (got, _b) = server.join().unwrap();
         assert_eq!(got, data);
+    }
+
+    #[test]
+    fn many_streams_share_one_channel() {
+        // The tentpole property at the unit level: N sockets between one
+        // container pair ride one QP, counted by the reuse metric.
+        let (_cluster, a, b) = two_containers(true);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+        const N: usize = 32;
+
+        let server = std::thread::spawn(move || {
+            let mut streams = Vec::new();
+            for _ in 0..N {
+                streams.push(listener.accept(Duration::from_secs(10)).unwrap());
+            }
+            for (i, s) in streams.iter_mut().enumerate() {
+                let mut buf = [0u8; 16];
+                let n = s.read(&mut buf).unwrap();
+                assert_eq!(&buf[..n], format!("hello {i}").as_bytes());
+                s.write_all(&buf[..n]).unwrap();
+            }
+            (streams, b)
+        });
+
+        let mut clients = Vec::new();
+        for _ in 0..N {
+            clients.push(stack.connect(&a, server_ip, 80).unwrap());
+        }
+        assert_eq!(
+            stack.channel_count(&a),
+            1,
+            "one shared channel for {N} streams"
+        );
+        let qpn = clients[0].qp().qp_num();
+        for c in &clients {
+            assert_eq!(c.qp().qp_num(), qpn, "all streams on the same QP");
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.write_all(format!("hello {i}").as_bytes()).unwrap();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            let msg = format!("hello {i}");
+            let mut out = vec![0u8; msg.len()];
+            c.read_exact(&mut out).unwrap();
+            assert_eq!(out, msg.as_bytes());
+        }
+        let (_streams, _b) = server.join().unwrap();
+    }
+
+    #[test]
+    fn interleaved_streams_stay_isolated() {
+        // Two streams alternating writes on one channel: bytes never
+        // bleed across stream ids.
+        let (_cluster, a, b) = two_containers(false);
+        let stack = SocketStack::new();
+        let listener = stack.bind(&b, 80).unwrap();
+        let server_ip = b.ip();
+
+        let server = std::thread::spawn(move || {
+            let mut s1 = listener.accept(Duration::from_secs(10)).unwrap();
+            let mut s2 = listener.accept(Duration::from_secs(10)).unwrap();
+            let mut got1 = Vec::new();
+            let mut got2 = Vec::new();
+            let mut buf = [0u8; 512];
+            loop {
+                let mut progress = false;
+                match s1.try_read(&mut buf) {
+                    Ok(0) => {}
+                    Ok(n) => {
+                        got1.extend_from_slice(&buf[..n]);
+                        progress = true;
+                    }
+                    Err(Error::WouldBlock) => {}
+                    Err(e) => panic!("{e}"),
+                }
+                match s2.try_read(&mut buf) {
+                    Ok(0) => {}
+                    Ok(n) => {
+                        got2.extend_from_slice(&buf[..n]);
+                        progress = true;
+                    }
+                    Err(Error::WouldBlock) => {}
+                    Err(e) => panic!("{e}"),
+                }
+                if got1.len() >= 40_000 && got2.len() >= 40_000 {
+                    break;
+                }
+                if !progress {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            (got1, got2, b)
+        });
+
+        let mut c1 = stack.connect(&a, server_ip, 80).unwrap();
+        let mut c2 = stack.connect(&a, server_ip, 80).unwrap();
+        let d1: Vec<u8> = (0..40_000).map(|i| (i % 7) as u8).collect();
+        let d2: Vec<u8> = (0..40_000).map(|i| (i % 11) as u8).collect();
+        for (x, y) in d1.chunks(1000).zip(d2.chunks(1000)) {
+            c1.write_all(x).unwrap();
+            c2.write_all(y).unwrap();
+        }
+        let (got1, got2, _b) = server.join().unwrap();
+        assert_eq!(got1, d1);
+        assert_eq!(got2, d2);
     }
 }

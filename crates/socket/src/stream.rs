@@ -1,156 +1,52 @@
-//! The stream itself: segmentation, credits, ordering, EOF — and the
-//! retransmission layer that carries a stream across a live rebind.
+//! The stream handle: what the application reads and writes.
 //!
-//! Data frames carry a sequence number so the stream survives transport
-//! failover and planned rebinds (TCP→RDMA upgrade, Remote→Local collapse):
-//! a send completing with `RETRY_EXC_ERR` is retransmitted from its intact
-//! slot over the QP's new binding, and the receiver drops duplicates and
-//! reorders stragglers by sequence number. The application sees one
-//! contiguous byte stream, never a reconnect.
+//! An [`FfStream`] is a stream id on a shared `crate::channel::Channel`
+//! — not a QP of its own. Everything heavy (framing, credits, sequencing,
+//! retransmission across rebinds) lives in the channel and the layers
+//! under it (`crate::mux`, `crate::reliability`); the handle is a
+//! cursor. That is the TSoR translation: sockets are cheap, connections
+//! under them are pooled.
+//!
+//! The application sees one contiguous, reliable byte stream per handle,
+//! whatever the transport underneath does — shared memory, RDMA, a TCP
+//! detour during failover, and back.
 
-use freeflow::{Container, FfEndpoint, FfQp};
-use freeflow_telemetry::{Counter, Event, LabelSet, Telemetry};
+use crate::channel::Channel;
+use freeflow::{FfEndpoint, FfQp};
 use freeflow_types::{Error, Result};
-use freeflow_verbs::wr::{AccessFlags, RecvWr, SendWr, WcOpcode};
-use freeflow_verbs::{CompletionQueue, MemoryRegion, VerbsError, WcStatus};
-use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
-
-/// Bytes of payload per message slot.
-pub const SLOT_SIZE: usize = 16 * 1024;
-/// Receive (and send) slots per direction.
-pub const NSLOTS: usize = 16;
-
-const TAG_DATA: u8 = 0;
-const TAG_CREDIT: u8 = 1;
-const TAG_FIN: u8 = 2;
-
-/// Data frame header: tag byte + 4-byte little-endian sequence number.
-const DATA_HDR: usize = 5;
-
-/// Control-frame `wr_id`s set this bit; data frames use their slot index.
-const CTRL_BIT: u64 = 1 << 63;
 
 /// A connected, reliable, ordered byte stream over FreeFlow verbs.
 ///
 /// Methods take `&mut self` (like `std::net::TcpStream` used from one
-/// thread); use two streams for two threads.
+/// thread); use two streams for two threads. Dropping the handle
+/// half-closes the stream and releases its state once the peer closes
+/// too — the underlying channel lives on, carrying its other streams.
 pub struct FfStream {
-    qp: Arc<FfQp>,
-    send_cq: Arc<CompletionQueue>,
-    recv_cq: Arc<CompletionQueue>,
-    send_mr: Arc<MemoryRegion>,
-    recv_mr: Arc<MemoryRegion>,
-    /// Send slots currently in flight (wr_id = slot index).
-    send_slots_free: VecDeque<u64>,
-    /// Messages we may still send before the peer returns credits.
-    credits: usize,
-    /// Credits consumed locally but not yet returned to the peer.
-    pending_credit_return: u32,
-    /// Bytes received and not yet read by the application.
-    rx_buffer: VecDeque<u8>,
-    /// Next sequence number to assign to an outgoing data frame.
-    next_seq: u32,
-    /// Sequence number the receive side expects next.
-    expected_seq: u32,
-    /// In-flight data frames by slot: `(seq, frame_len)`. The slot's
-    /// bytes stay untouched until the send completes OK, so a failed
-    /// completion can retransmit the identical frame.
-    inflight_data: HashMap<u64, (u32, u32)>,
-    /// In-flight control frames by wr_id: `(tag, arg)` for retransmit.
-    inflight_ctrl: HashMap<u64, (u8, u32)>,
-    /// Next control wr_id (CTRL_BIT is ORed in).
-    next_ctrl: u64,
-    /// Frames that failed and await retransmission (by wr_id).
-    retransmit_queue: VecDeque<u64>,
-    /// Frames that arrived ahead of `expected_seq`, keyed by sequence.
-    reassembly: BTreeMap<u32, Vec<u8>>,
-    /// Data-frame retransmissions performed (diagnostics).
-    retransmits: u64,
-    /// Peer sent FIN.
-    peer_closed: bool,
-    /// We sent FIN.
-    closed: bool,
-    /// Cluster telemetry hub (shared with the QP's library).
-    hub: Arc<Telemetry>,
-    /// Data/control frames retransmitted after a failed completion.
-    tm_retransmits: Arc<Counter>,
-    /// Data frames that arrived out of order and were parked for
-    /// reassembly.
-    tm_reorders: Arc<Counter>,
+    channel: Arc<Channel>,
+    id: u32,
 }
 
 impl FfStream {
-    /// Wire a stream over an already-connected QP. Both sides must call
-    /// this with symmetric parameters (the [`crate::stack`] handshake does).
-    pub fn from_qp(
-        container: &Container,
-        qp: Arc<FfQp>,
-        send_cq: Arc<CompletionQueue>,
-        recv_cq: Arc<CompletionQueue>,
-    ) -> Result<Self> {
-        let send_mr = container
-            .register((SLOT_SIZE * NSLOTS) as u64, AccessFlags::local_rw())
-            .map_err(|e| Error::config(e.to_string()))?;
-        let recv_mr = container
-            .register((SLOT_SIZE * NSLOTS) as u64, AccessFlags::local_rw())
-            .map_err(|e| Error::config(e.to_string()))?;
-        // Pre-post every receive slot.
-        for slot in 0..NSLOTS as u64 {
-            qp.post_recv(RecvWr::new(
-                slot,
-                recv_mr.sge(slot * SLOT_SIZE as u64, SLOT_SIZE as u32),
-            ))
-            .map_err(|e| Error::config(e.to_string()))?;
-        }
-        let hub = qp.telemetry_hub();
-        let labels = LabelSet::host(container.host().raw()).with_container(container.id().raw());
-        let tm_retransmits = hub.registry().counter(
-            "ff_stream_retransmits_total",
-            "stream frames retransmitted after a failed completion",
-            labels,
-        );
-        let tm_reorders = hub.registry().counter(
-            "ff_stream_reorders_total",
-            "stream frames that arrived out of order and were parked",
-            labels,
-        );
-        Ok(Self {
-            qp,
-            send_cq,
-            recv_cq,
-            send_mr,
-            recv_mr,
-            send_slots_free: (0..NSLOTS as u64).collect(),
-            credits: NSLOTS,
-            pending_credit_return: 0,
-            rx_buffer: VecDeque::new(),
-            next_seq: 0,
-            expected_seq: 0,
-            inflight_data: HashMap::new(),
-            inflight_ctrl: HashMap::new(),
-            next_ctrl: 0,
-            retransmit_queue: VecDeque::new(),
-            reassembly: BTreeMap::new(),
-            retransmits: 0,
-            peer_closed: false,
-            closed: false,
-            hub,
-            tm_retransmits,
-            tm_reorders,
-        })
+    pub(crate) fn new(channel: Arc<Channel>, id: u32) -> Self {
+        Self { channel, id }
     }
 
-    /// The underlying QP (diagnostics: lets tests assert which data plane
-    /// the stream landed on).
+    /// The underlying *shared* QP (diagnostics: lets tests assert which
+    /// data plane the stream landed on). Many streams return the same QP
+    /// — that is the point.
     pub fn qp(&self) -> &Arc<FfQp> {
-        &self.qp
+        self.channel.qp()
+    }
+
+    /// This stream's id on its channel.
+    pub fn stream_id(&self) -> u32 {
+        self.id
     }
 
     /// The peer endpoint.
     pub fn peer(&self) -> Option<FfEndpoint> {
-        match self.qp.path() {
+        match self.channel.qp().path() {
             freeflow::qp::FfPath::Local { peer } | freeflow::qp::FfPath::Remote { peer, .. } => {
                 Some(peer)
             }
@@ -158,346 +54,77 @@ impl FfStream {
         }
     }
 
-    /// Data-frame retransmissions this stream has performed (each one is
-    /// a transport failure the application never saw).
+    /// Frames retransmitted on behalf of this stream (each one is a
+    /// transport failure the application never saw). Exactly zero on a
+    /// path that never rebinds.
     pub fn retransmit_count(&self) -> u64 {
-        self.retransmits
+        self.channel.stream_retransmits(self.id)
     }
 
-    /// Make send-side progress without transferring application data:
-    /// reap completions and retransmit failed frames. `write_all`/`read`
-    /// do this implicitly; explicit flushes are for event-loop callers
-    /// that may go a long time without either.
+    /// Make send-side progress without transferring application data.
+    /// `write_all`/`read` do this implicitly; explicit flushes are for
+    /// event-loop callers that may go a long time without either.
     pub fn flush(&mut self) -> Result<()> {
-        self.reap_send_completions()
+        self.channel.flush()
     }
 
-    /// Drain send completions without blocking: successes free their
-    /// slots; `RETRY_EXC_ERR` queues the frame for retransmission over
-    /// the QP's post-rebind transport. Anything else is fatal.
-    fn reap_send_completions(&mut self) -> Result<()> {
-        while let Some(wc) = self.send_cq.poll_one() {
-            if wc.opcode != WcOpcode::Send {
-                continue;
-            }
-            match wc.status {
-                WcStatus::Success => {
-                    if wc.wr_id & CTRL_BIT != 0 {
-                        self.inflight_ctrl.remove(&wc.wr_id);
-                    } else if self.inflight_data.remove(&wc.wr_id).is_some() {
-                        self.send_slots_free.push_back(wc.wr_id);
-                    }
-                }
-                WcStatus::RetryExcError => {
-                    // The binding failed mid-flight. The frame may or may
-                    // not have reached the peer (sequence numbers dedup);
-                    // resend it over whatever the QP rebinds to.
-                    self.retransmit_queue.push_back(wc.wr_id);
-                }
-                other => {
-                    return Err(Error::disconnected(format!("send failed: {other}")));
-                }
-            }
-        }
-        self.flush_retransmits()
-    }
-
-    /// Re-post queued failed frames, stopping (not failing) on a full
-    /// send queue — the next reap retries.
-    fn flush_retransmits(&mut self) -> Result<()> {
-        while let Some(id) = self.retransmit_queue.front().copied() {
-            let posted = if id & CTRL_BIT != 0 {
-                match self.inflight_ctrl.get(&id) {
-                    Some(&(tag, arg)) => {
-                        let mut frame = vec![tag];
-                        frame.extend_from_slice(&arg.to_le_bytes());
-                        self.qp.post_send(SendWr::send_inline(id, frame))
-                    }
-                    None => {
-                        self.retransmit_queue.pop_front();
-                        continue;
-                    }
-                }
-            } else {
-                match self.inflight_data.get(&id) {
-                    Some(&(_seq, len)) => self.qp.post_send(SendWr::send(
-                        id,
-                        self.send_mr.sge(id * SLOT_SIZE as u64, len),
-                    )),
-                    None => {
-                        self.retransmit_queue.pop_front();
-                        continue;
-                    }
-                }
-            };
-            match posted {
-                Ok(()) => {
-                    self.retransmit_queue.pop_front();
-                    self.retransmits += 1;
-                    self.tm_retransmits.inc();
-                    self.hub.record(Event::StreamRetransmit {
-                        qpn: self.qp.qp_num(),
-                        wr_id: id,
-                    });
-                }
-                Err(VerbsError::QueueFull { .. }) => break,
-                Err(e) => return Err(Error::disconnected(e.to_string())),
-            }
-        }
-        Ok(())
-    }
-
-    /// Accept an in-order or out-of-order data payload, draining the
-    /// reassembly buffer as the gap closes. Duplicates are dropped.
-    fn accept_data(&mut self, seq: u32, payload: Vec<u8>) {
-        if seq < self.expected_seq || self.reassembly.contains_key(&seq) {
-            // Duplicate of a frame whose ack was lost before a rebind:
-            // already delivered to the application, drop it. Its credit
-            // still returns (it consumed a receive slot).
-            return;
-        }
-        if seq == self.expected_seq {
-            self.rx_buffer.extend(&payload);
-            self.expected_seq += 1;
-            while let Some(next) = self.reassembly.remove(&self.expected_seq) {
-                self.rx_buffer.extend(&next);
-                self.expected_seq += 1;
-            }
-        } else {
-            // Straggler ordering: retransmitted frames can arrive behind
-            // frames posted after them. Park until the gap fills.
-            self.reassembly.insert(seq, payload);
-            self.tm_reorders.inc();
-            self.hub.record(Event::StreamReorder {
-                qpn: self.qp.qp_num(),
-                seq: u64::from(seq),
-            });
-        }
-    }
-
-    /// Process one receive completion (data / credit / fin), reposting the
-    /// slot. `block` controls whether we wait for one.
-    fn process_one_recv(&mut self, block: bool) -> Result<bool> {
-        let wc = if block {
-            match self.recv_cq.wait_one(Duration::from_secs(30)) {
-                Some(wc) => wc,
-                None => return Err(Error::unreachable("stream receive timed out")),
-            }
-        } else {
-            match self.recv_cq.poll_one() {
-                Some(wc) => wc,
-                None => return Ok(false),
-            }
-        };
-        if !wc.status.is_ok() {
-            return Err(Error::disconnected(format!("recv failed: {}", wc.status)));
-        }
-        let slot = wc.wr_id;
-        let mut frame = vec![0u8; wc.byte_len as usize];
-        self.recv_mr
-            .read(slot * SLOT_SIZE as u64, &mut frame)
-            .map_err(|e| Error::config(e.to_string()))?;
-        // Repost the slot immediately; the payload is already copied out.
-        self.qp
-            .post_recv(RecvWr::new(
-                slot,
-                self.recv_mr.sge(slot * SLOT_SIZE as u64, SLOT_SIZE as u32),
-            ))
-            .map_err(|e| Error::disconnected(e.to_string()))?;
-        match frame.first().copied() {
-            Some(TAG_DATA) => {
-                if frame.len() < DATA_HDR {
-                    return Err(Error::parse("short data frame"));
-                }
-                let seq = u32::from_le_bytes(frame[1..DATA_HDR].try_into().expect("4 bytes"));
-                self.accept_data(seq, frame.split_off(DATA_HDR));
-                // The slot is free again but the *application* hasn't read
-                // the bytes; withhold the credit until it does (true
-                // receiver-window semantics).
-                self.pending_credit_return += 1;
-            }
-            Some(TAG_CREDIT) => {
-                let n = u32::from_le_bytes(
-                    frame[1..5]
-                        .try_into()
-                        .map_err(|_| Error::parse("short credit frame"))?,
-                );
-                // Cap at the window size: a credit frame retransmitted
-                // after its ack was lost would otherwise inflate the
-                // window beyond the peer's receive slots.
-                self.credits = (self.credits + n as usize).min(NSLOTS);
-                // A credit frame consumed one of *our* receive slots; that
-                // credit goes straight back (it carries no app data).
-                self.pending_credit_return += 1;
-            }
-            Some(TAG_FIN) => {
-                self.peer_closed = true;
-            }
-            other => return Err(Error::parse(format!("bad stream tag {other:?}"))),
-        }
-        Ok(true)
-    }
-
-    /// Return accumulated credits to the peer when worthwhile.
-    fn maybe_return_credits(&mut self) -> Result<()> {
-        // Batch: return when half the window is pending (cuts credit
-        // traffic 8×) or when the peer might be stalled.
-        if self.pending_credit_return as usize >= NSLOTS / 2 {
-            let n = self.pending_credit_return;
-            self.pending_credit_return = 0;
-            self.send_control(TAG_CREDIT, n)?;
-        }
-        Ok(())
-    }
-
-    fn send_control(&mut self, tag: u8, arg: u32) -> Result<()> {
-        // Control frames use inline data: no slot, no credit needed. They
-        // are tracked (not fire-and-forget) so a rebind can resend them —
-        // a credit update lost in a transport failure would stall the
-        // peer's send window for good.
-        let wr_id = CTRL_BIT | self.next_ctrl;
-        self.next_ctrl += 1;
-        self.inflight_ctrl.insert(wr_id, (tag, arg));
-        let mut frame = vec![tag];
-        frame.extend_from_slice(&arg.to_le_bytes());
-        loop {
-            match self.qp.post_send(SendWr::send_inline(wr_id, frame.clone())) {
-                Ok(()) => return Ok(()),
-                Err(VerbsError::QueueFull { .. }) => {
-                    self.reap_send_completions()?;
-                    std::thread::yield_now();
-                }
-                Err(e) => return Err(Error::disconnected(e.to_string())),
-            }
-        }
-    }
-
-    /// Write the whole buffer (blocking). Returns the number of bytes
-    /// written (always `buf.len()` on success).
+    /// Write the whole buffer, blocking for credits and send slots as
+    /// needed. Returns `buf.len()`.
     pub fn write_all(&mut self, buf: &[u8]) -> Result<usize> {
-        if self.closed {
-            return Err(Error::invalid_state("stream closed"));
-        }
-        let mut off = 0;
-        while off < buf.len() {
-            self.reap_send_completions()?;
-            // Opportunistically process inbound (credits!) so a
-            // bidirectional stream can't deadlock.
-            while self.credits == 0 || self.send_slots_free.is_empty() {
-                self.reap_send_completions()?;
-                if self.credits > 0 && !self.send_slots_free.is_empty() {
-                    break;
-                }
-                self.process_one_recv(true)?;
-                self.maybe_return_credits()?;
-            }
-            let slot = self.send_slots_free.pop_front().expect("checked");
-            let chunk = (buf.len() - off).min(SLOT_SIZE - DATA_HDR);
-            let base = slot * SLOT_SIZE as u64;
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            let mut hdr = [0u8; DATA_HDR];
-            hdr[0] = TAG_DATA;
-            hdr[1..].copy_from_slice(&seq.to_le_bytes());
-            self.send_mr
-                .write(base, &hdr)
-                .map_err(|e| Error::config(e.to_string()))?;
-            self.send_mr
-                .write(base + DATA_HDR as u64, &buf[off..off + chunk])
-                .map_err(|e| Error::config(e.to_string()))?;
-            self.credits -= 1;
-            let frame_len = (chunk + DATA_HDR) as u32;
-            self.inflight_data.insert(slot, (seq, frame_len));
-            loop {
-                match self
-                    .qp
-                    .post_send(SendWr::send(slot, self.send_mr.sge(base, frame_len)))
-                {
-                    Ok(()) => break,
-                    Err(VerbsError::QueueFull { .. }) => {
-                        self.reap_send_completions()?;
-                        std::thread::yield_now();
-                    }
-                    Err(e) => return Err(Error::disconnected(e.to_string())),
-                }
-            }
-            off += chunk;
-        }
-        Ok(buf.len())
+        self.channel.write_stream(self.id, buf)
     }
 
-    /// Read up to `buf.len()` bytes, blocking for at least one unless the
-    /// peer closed. Returns 0 at EOF.
+    /// Read up to `buf.len()` bytes, blocking until at least one byte is
+    /// available. Returns 0 at EOF (peer shut down and buffer drained).
     pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
-        if buf.is_empty() {
-            return Ok(0);
-        }
-        while self.rx_buffer.is_empty() {
-            if self.peer_closed {
-                return Ok(0); // EOF
-            }
-            // Keep the send side honest while blocked on reads: reap
-            // completions so failed frames retransmit promptly.
-            self.reap_send_completions()?;
-            self.process_one_recv(true)?;
-            self.maybe_return_credits()?;
-        }
-        let n = buf.len().min(self.rx_buffer.len());
-        for b in buf.iter_mut().take(n) {
-            *b = self.rx_buffer.pop_front().expect("non-empty");
-        }
-        // Bytes consumed → credits can flow back.
-        self.maybe_return_credits()?;
-        Ok(n)
+        self.channel.read_stream(self.id, buf, true)
     }
 
-    /// Read exactly `buf.len()` bytes or fail at EOF.
+    /// Non-blocking [`FfStream::read`]: returns [`Error::WouldBlock`]
+    /// when nothing is buffered (poll-style servers multiplexing many
+    /// streams on one thread).
+    pub fn try_read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.channel.read_stream(self.id, buf, false)
+    }
+
+    /// Whether a `read` would return immediately (bytes buffered, or a
+    /// pending EOF).
+    pub fn readable(&self) -> bool {
+        self.channel.stream_readable(self.id)
+    }
+
+    /// Read exactly `buf.len()` bytes.
     pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
         let mut off = 0;
         while off < buf.len() {
             let n = self.read(&mut buf[off..])?;
             if n == 0 {
-                return Err(Error::disconnected(format!(
-                    "EOF after {off} of {} bytes",
-                    buf.len()
-                )));
+                return Err(Error::disconnected("eof mid-read_exact"));
             }
             off += n;
         }
         Ok(())
     }
 
-    /// Half-close: signal EOF to the peer. Reads continue to drain.
+    /// Half-close: the peer reads EOF after draining. Reads on this side
+    /// still work.
     pub fn shutdown(&mut self) -> Result<()> {
-        if !self.closed {
-            self.closed = true;
-            // Return any withheld credits first so the peer can finish
-            // in-flight writes cleanly.
-            if self.pending_credit_return > 0 {
-                let n = self.pending_credit_return;
-                self.pending_credit_return = 0;
-                self.send_control(TAG_CREDIT, n)?;
-            }
-            self.send_control(TAG_FIN, 0)?;
-        }
-        Ok(())
+        self.channel.shutdown_stream(self.id)
     }
 }
 
 impl Drop for FfStream {
     fn drop(&mut self) {
-        let _ = self.shutdown();
+        self.channel.detach_stream(self.id);
     }
 }
 
 impl std::fmt::Debug for FfStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FfStream")
-            .field("qpn", &self.qp.qp_num())
-            .field("credits", &self.credits)
-            .field("rx_buffered", &self.rx_buffer.len())
-            .field("retransmits", &self.retransmits)
-            .field("peer_closed", &self.peer_closed)
+            .field("stream", &self.id)
+            .field("qpn", &self.channel.qp().qp_num())
+            .field("retransmits", &self.retransmit_count())
             .finish()
     }
 }

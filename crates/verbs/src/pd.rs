@@ -15,6 +15,11 @@ use freeflow_shmem::{ArenaHandle, SharedArena};
 use std::sync::Arc;
 
 /// A protection domain on one device.
+///
+/// Cloning a `ProtectionDomain` clones the *handle*, not the domain:
+/// both clones name the same PD id on the same device, exactly like two
+/// copies of an `ibv_pd*`.
+#[derive(Clone)]
 pub struct ProtectionDomain {
     device: Arc<Device>,
     id: u32,

@@ -49,7 +49,7 @@ fn main() {
     let server_thread = std::thread::spawn(move || {
         let mut handles = Vec::new();
         for _ in 0..2 {
-            let mut stream = listener.accept(&server, Duration::from_secs(10)).unwrap();
+            let mut stream = listener.accept(Duration::from_secs(10)).unwrap();
             let values = values.clone();
             handles.push(std::thread::spawn(move || {
                 let mut hdr = [0u8; 9];

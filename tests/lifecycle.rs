@@ -50,7 +50,7 @@ fn streaming_pair() -> (
     let listener = stack.bind(&b, 7000).unwrap();
     let server_ip = b.ip();
     let accept = std::thread::spawn(move || {
-        let s = listener.accept(&b, Duration::from_secs(10)).unwrap();
+        let s = listener.accept(Duration::from_secs(10)).unwrap();
         (s, b)
     });
     let client = stack.connect(&a, server_ip, 7000).unwrap();

@@ -83,7 +83,7 @@ fn tenant_isolation_degrades_transport_not_functionality() {
         let listener = stack.bind(&server, port).unwrap();
         let ip = server.ip();
         let th = std::thread::spawn(move || {
-            let mut s = listener.accept(&server, T).unwrap();
+            let mut s = listener.accept(T).unwrap();
             let mut buf = [0u8; 5];
             s.read_exact(&mut buf).unwrap();
             s.write_all(&buf).unwrap();
@@ -292,7 +292,7 @@ fn no_bypass_cluster_full_socket_workload() {
     let listener = stack.bind(&b, 80).unwrap();
     let ip = b.ip();
     let th = std::thread::spawn(move || {
-        let mut s = listener.accept(&b, T).unwrap();
+        let mut s = listener.accept(T).unwrap();
         let mut total = 0usize;
         let mut buf = [0u8; 4096];
         loop {
