@@ -13,8 +13,14 @@
 //! speedup is not. The gate fails when a ratio regresses more than 10%,
 //! or when the 64 B micro workload loses its required 2x at 32-deep
 //! batches.
+//!
+//! The migration suite (`BENCH_migration.json`) follows the same scheme:
+//! blackout p50/p99 and rolling-migration rate, each measured idle and
+//! loaded, gated on the loaded/idle ratio plus one absolute guard — the
+//! loaded blackout p99 must stay inside the blackout budget.
 
 use freeflow_bench::batch::{run_suite, BenchReport, BATCH_DEPTH};
+use freeflow_bench::migration::{run_migration_suite, BLACKOUT_BUDGET_NS, MIGRATION_WORKLOADS};
 use freeflow_bench::socket::{run_socket_suite, SOCKET_WORKLOADS};
 use std::process::ExitCode;
 
@@ -26,6 +32,11 @@ const CONNECT_FLOOR: f64 = 1.1; // pooled connects must stay ahead of per-QP set
 // Socket workloads cross thread-scheduling hops per op, so their run-to-run
 // ratio noise is wider than the in-process verbs suite's.
 const SOCKET_SLACK: f64 = 0.75;
+
+// Migration blackouts are dominated by drain/settle scheduling, the
+// noisiest timing in the tree — only a 2x collapse of the loaded/idle
+// ratio fails the gate. The blackout *budget* is absolute and tight.
+const MIGRATION_SLACK: f64 = 0.5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,11 +86,54 @@ fn main() -> ExitCode {
         );
     }
 
+    eprintln!("measuring migration suite (idle floor vs loaded stream pool) ...");
+    let migration = run_migration_suite(quick);
+    // Loaded/idle on throughput-style numbers: for the blackout
+    // percentiles this is idle_ns / loaded_ns, for the rate it is
+    // moves-per-second loaded / idle. Higher is better in both.
+    let migration_ratio = |report: &BenchReport, stem: &str| -> Option<f64> {
+        let loaded = report.mops_of(&format!("{stem}_loaded"))?;
+        let idle = report.mops_of(&format!("{stem}_idle"))?;
+        (idle > 0.0).then_some(loaded / idle)
+    };
+    let elapsed_of = |report: &BenchReport, name: &str| -> Option<u128> {
+        report
+            .runs
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.elapsed_ns)
+    };
+    println!();
+    println!(
+        "{:<24} {:>14} {:>14} {:>8}",
+        "workload", "idle", "loaded", "ratio"
+    );
+    for stem in MIGRATION_WORKLOADS {
+        let fmt = |suffix: &str| -> String {
+            let name = format!("{stem}_{suffix}");
+            match elapsed_of(&migration, &name) {
+                Some(ns) if stem.contains("blackout") => format!("{:.3} ms", ns as f64 / 1e6),
+                _ => format!("{:.1} mv/s", migration.mops_of(&name).unwrap_or(0.0) * 1e6),
+            }
+        };
+        println!(
+            "{:<24} {:>14} {:>14} {:>7.2}x",
+            stem,
+            fmt("idle"),
+            fmt("loaded"),
+            migration_ratio(&migration, stem).unwrap_or(0.0)
+        );
+    }
+
     if !check {
         std::fs::write("BENCH_baseline.json", baseline.to_json()).expect("write baseline");
         std::fs::write("BENCH_batched.json", batched.to_json()).expect("write batched");
         std::fs::write("BENCH_socket.json", socket.to_json()).expect("write socket");
-        eprintln!("wrote BENCH_baseline.json, BENCH_batched.json and BENCH_socket.json");
+        std::fs::write("BENCH_migration.json", migration.to_json()).expect("write migration");
+        eprintln!(
+            "wrote BENCH_baseline.json, BENCH_batched.json, BENCH_socket.json \
+             and BENCH_migration.json"
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -177,11 +231,63 @@ fn main() -> ExitCode {
         }
     }
 
+    let committed_migration = match std::fs::read_to_string("BENCH_migration.json") {
+        Ok(t) => BenchReport::from_json(&t).expect("parse committed migration"),
+        Err(e) => {
+            eprintln!("cannot read BENCH_migration.json: {e} (run without --check to record)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Migration gate: the loaded/idle ratio per workload may not collapse
+    // below half the committed one, and the loaded blackout p99 must stay
+    // inside the absolute blackout budget.
+    for stem in MIGRATION_WORKLOADS {
+        let fresh_ratio = match migration_ratio(&migration, stem) {
+            Some(r) => r,
+            None => {
+                eprintln!("FAIL {stem}: missing from fresh migration run");
+                failed = true;
+                continue;
+            }
+        };
+        let committed_ratio = match migration_ratio(&committed_migration, stem) {
+            Some(r) => r,
+            None => {
+                eprintln!("FAIL {stem}: missing from committed BENCH_migration.json");
+                failed = true;
+                continue;
+            }
+        };
+        if fresh_ratio < committed_ratio * MIGRATION_SLACK {
+            eprintln!(
+                "FAIL {stem}: loaded/idle ratio regressed: fresh {fresh_ratio:.2}x vs \
+                 committed {committed_ratio:.2}x (>50% drop)"
+            );
+            failed = true;
+        }
+    }
+    match elapsed_of(&migration, "migration/blackout_p99_loaded") {
+        Some(ns) if ns <= BLACKOUT_BUDGET_NS => {}
+        Some(ns) => {
+            eprintln!(
+                "FAIL migration/blackout_p99_loaded: {:.1} ms exceeds the {:.0} ms budget",
+                ns as f64 / 1e6,
+                BLACKOUT_BUDGET_NS as f64 / 1e6
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!("FAIL migration/blackout_p99_loaded: missing from fresh migration run");
+            failed = true;
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
         eprintln!(
-            "bench smoke OK: batched hot path and socket pool within 10% of recorded speedups"
+            "bench smoke OK: batched hot path, socket pool and migration blackout \
+             within recorded envelopes"
         );
         ExitCode::SUCCESS
     }

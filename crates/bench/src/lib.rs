@@ -25,6 +25,7 @@
 
 pub mod batch;
 pub mod figures;
+pub mod migration;
 pub mod realpath;
 pub mod socket;
 pub mod table;

@@ -1,0 +1,222 @@
+//! Live-migration benchmarks: blackout percentiles and sustained
+//! rolling-migration rate, measured in two modes.
+//!
+//! * `_idle` — the migrating container holds one connected RC QP pair
+//!   and nothing else. This is the protocol floor: freeze one binding,
+//!   checkpoint a near-empty ledger, restore, thaw.
+//! * `_loaded` — the container serves a pooled stream mux
+//!   ([`freeflow_socket::SocketStack`]) and every stream exchanges a
+//!   message between moves, so each checkpoint carries live socket
+//!   ledgers and each thaw replays real traffic.
+//!
+//! Absolute blackout is machine-dependent; the committed artifact
+//! (`BENCH_migration.json`) exists so `bench_smoke --check` can track
+//! the loaded/idle *ratio* per workload — how much carrying real state
+//! costs over the protocol floor — plus one absolute guard: the loaded
+//! blackout p99 must stay under [`BLACKOUT_BUDGET_NS`], the same
+//! "bounded blackout" contract the chaos drills enforce.
+
+use crate::batch::{BenchReport, BenchRun};
+use freeflow::binding::BindingPhase;
+use freeflow::{Container, FreeFlowCluster};
+use freeflow_socket::{FfStream, SocketStack};
+use freeflow_types::{HostCaps, HostId, TenantId};
+use freeflow_verbs::wr::{AccessFlags, RecvWr};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(30);
+/// Streams multiplexed over the migrating container in `_loaded` mode.
+const STREAMS: usize = 8;
+/// Ceiling on the fresh loaded blackout p99 enforced by
+/// `bench_smoke --check` — a migration that goes dark for longer than
+/// this has lost the paper's "live" in live migration.
+pub const BLACKOUT_BUDGET_NS: u128 = 500_000_000;
+
+/// Workload stems; each is emitted twice, with `_idle` / `_loaded`
+/// suffixes, and `--check` gates the loaded/idle ratio per stem.
+pub const MIGRATION_WORKLOADS: [&str; 3] = [
+    "migration/blackout_p50",
+    "migration/blackout_p99",
+    "migration/rate",
+];
+
+fn run(name: &str, ops: u64, bytes_per_op: u64, elapsed_ns: u128) -> BenchRun {
+    BenchRun {
+        name: name.to_string(),
+        ops,
+        bytes_per_op,
+        elapsed_ns,
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample, `p` in `[0, 100]`.
+fn percentile(sample: &mut [u64], p: f64) -> u64 {
+    assert!(!sample.is_empty());
+    sample.sort_unstable();
+    let rank = ((p / 100.0) * (sample.len() - 1) as f64).round() as usize;
+    sample[rank.min(sample.len() - 1)]
+}
+
+/// Three hosts: the peer stays on `h0`, the migrating container starts
+/// on `h1` and ping-pongs between `h1` and `h2`.
+fn migration_fleet() -> (Arc<FreeFlowCluster>, Container, Container, [HostId; 2]) {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let h2 = cluster.add_host(HostCaps::paper_testbed());
+    let a = cluster.launch(TenantId::new(1), h0).unwrap();
+    let b = cluster.launch(TenantId::new(1), h1).unwrap();
+    (cluster, a, b, [h1, h2])
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Package one mode's measurements as the three suffixed workloads.
+fn emit(suffix: &str, blackouts: &mut [u64], rounds: usize, wall_ns: u128) -> Vec<BenchRun> {
+    vec![
+        run(
+            &format!("migration/blackout_p50_{suffix}"),
+            1,
+            0,
+            u128::from(percentile(blackouts, 50.0)),
+        ),
+        run(
+            &format!("migration/blackout_p99_{suffix}"),
+            1,
+            0,
+            u128::from(percentile(blackouts, 99.0)),
+        ),
+        run(
+            &format!("migration/rate_{suffix}"),
+            rounds as u64,
+            0,
+            wall_ns,
+        ),
+    ]
+}
+
+/// Protocol floor: migrate a container whose only state is one
+/// connected QP pair, back and forth, collecting the per-move blackout
+/// the cluster itself reports.
+fn migrate_idle(rounds: usize) -> Vec<BenchRun> {
+    let (cluster, a, mut b, hosts) = migration_fleet();
+    let cq_a = a.create_cq(64);
+    let qp_a = a.create_qp(&cq_a, &cq_a, 64, 64).unwrap();
+    let mr_a = a.register(64 << 10, AccessFlags::all()).unwrap();
+    let cq_b = b.create_cq(64);
+    let qp_b = b.create_qp(&cq_b, &cq_b, 64, 64).unwrap();
+    let mr_b = b.register(64 << 10, AccessFlags::all()).unwrap();
+    qp_a.connect(qp_b.endpoint()).unwrap();
+    qp_b.connect(qp_a.endpoint()).unwrap();
+    qp_a.set_relay_timeout(WAIT);
+    qp_b.set_relay_timeout(WAIT);
+    for i in 0..4u64 {
+        qp_a.post_recv(RecvWr::new(i, mr_a.sge(i * 4096, 4096)))
+            .unwrap();
+        qp_b.post_recv(RecvWr::new(100 + i, mr_b.sge(i * 4096, 4096)))
+            .unwrap();
+    }
+    let mut blackouts = Vec::with_capacity(rounds);
+    let start = Instant::now();
+    for round in 0..rounds {
+        let target = hosts[(round + 1) % 2];
+        let (moved, report) = cluster.migrate_with(b, target, None).unwrap();
+        b = moved;
+        assert!(report.moved, "idle bench rounds are real cross-host moves");
+        blackouts.push(report.blackout_ns);
+        wait_until("idle pair rebound after the move", || {
+            qp_a.binding_phase() == BindingPhase::Bound
+                && qp_b.binding_phase() == BindingPhase::Bound
+        });
+    }
+    let wall = start.elapsed().as_nanos();
+    drop((qp_a, qp_b, cq_a, cq_b, mr_a, mr_b));
+    drop(b);
+    drop(a);
+    drop(cluster);
+    emit("idle", &mut blackouts, rounds, wall)
+}
+
+/// Loaded mode: the migrating container serves [`STREAMS`] pooled
+/// streams; every stream echoes a message between moves so each
+/// checkpoint carries advancing socket ledgers.
+fn migrate_loaded(rounds: usize) -> Vec<BenchRun> {
+    let (cluster, a, mut b, hosts) = migration_fleet();
+    let stack = SocketStack::new();
+    let listener = stack.bind(&b, 4791).unwrap();
+    let server_ip = b.ip();
+    let accept = std::thread::spawn(move || {
+        (0..STREAMS)
+            .map(|_| listener.accept(WAIT).unwrap())
+            .collect::<Vec<FfStream>>()
+    });
+    let mut clients: Vec<FfStream> = (0..STREAMS)
+        .map(|_| stack.connect(&a, server_ip, 4791).unwrap())
+        .collect();
+    let mut servers = accept.join().unwrap();
+    for s in clients.iter().chain(servers.iter()) {
+        s.qp().set_relay_timeout(WAIT);
+    }
+    let exchange = |clients: &mut [FfStream], servers: &mut [FfStream], round: usize| {
+        for (i, (c, s)) in clients.iter_mut().zip(servers.iter_mut()).enumerate() {
+            let msg = format!("round {round:03} stream {i:02}");
+            c.write_all(msg.as_bytes()).unwrap();
+            let mut got = vec![0u8; msg.len()];
+            s.read_exact(&mut got).unwrap();
+            assert_eq!(got, msg.as_bytes());
+        }
+    };
+    exchange(&mut clients, &mut servers, 0);
+    let mut blackouts = Vec::with_capacity(rounds);
+    let start = Instant::now();
+    for round in 0..rounds {
+        let target = hosts[(round + 1) % 2];
+        let (moved, report) = cluster.migrate_with(b, target, None).unwrap();
+        b = moved;
+        assert!(
+            report.moved,
+            "loaded bench rounds are real cross-host moves"
+        );
+        blackouts.push(report.blackout_ns);
+        wait_until("stream pool rebound after the move", || {
+            clients
+                .iter()
+                .chain(servers.iter())
+                .all(|s| s.qp().binding_phase() == BindingPhase::Bound)
+        });
+        exchange(&mut clients, &mut servers, round + 1);
+    }
+    let wall = start.elapsed().as_nanos();
+    for c in clients.iter_mut() {
+        c.shutdown().unwrap();
+    }
+    // Streams and the stack must go before the migrated container —
+    // tearing the container down first strands FIN handshakes on a dead
+    // library.
+    drop(servers);
+    drop(clients);
+    drop(stack);
+    drop(b);
+    drop(a);
+    drop(cluster);
+    emit("loaded", &mut blackouts, rounds, wall)
+}
+
+/// Run both modes and fold them into one report
+/// (`BENCH_migration.json`).
+pub fn run_migration_suite(quick: bool) -> BenchReport {
+    let rounds = if quick { 4 } else { 16 };
+    let mut runs = migrate_idle(rounds);
+    runs.extend(migrate_loaded(rounds));
+    BenchReport {
+        mode: "migration".to_string(),
+        runs,
+    }
+}

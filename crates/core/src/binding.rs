@@ -29,9 +29,9 @@
 //!   (success, `RETRY_EXC_ERR`, or flush) before the path may change.
 //!   This is the completion-conservation invariant.
 //! * **Reasons.** Every drain carries a [`RebindReason`]. A `Failover`
-//!   that can't find a new path must error the QP; an `Upgrade` or
-//!   `Collapse` that can't complete aborts back to the old (still
-//!   working) path.
+//!   that can't find a new path must error the QP; an `Upgrade`,
+//!   `Collapse` or `Migrate` that can't complete aborts back to the old
+//!   (still working) path.
 
 use crate::qp::FfPath;
 use freeflow_types::TransportKind;
@@ -50,6 +50,11 @@ pub enum RebindReason {
     /// The peer migrated onto this host: collapse the relay path onto
     /// host shared memory without reconnecting.
     Collapse,
+    /// This container is being live-migrated to another host: a planned
+    /// quiesce that parks the binding in `Draining` until the migration
+    /// commits (thaw resolves the new path from the target host) or
+    /// aborts (thaw falls back onto the old, still-working path).
+    Migrate,
 }
 
 /// The lifecycle phase of a binding (the path itself is carried
@@ -497,6 +502,7 @@ mod tests {
                 RebindReason::Failover,
                 RebindReason::Upgrade,
                 RebindReason::Collapse,
+                RebindReason::Migrate,
             ])
         }
 

@@ -9,11 +9,14 @@
 
 use crate::container::Container;
 use crate::library::NetLibrary;
+use crate::migrate::{
+    MigrationCheckpoint, MigrationCrashPoint, MigrationOutcome, MigrationPhase, MigrationReport,
+};
 use crate::orch_client::OrchClient;
 use freeflow_agent::{connect_agents, Agent};
 use freeflow_orchestrator::registry::ContainerLocation;
 use freeflow_orchestrator::{IpAssign, Orchestrator, PolicyConfig};
-use freeflow_telemetry::{Telemetry, TelemetrySnapshot};
+use freeflow_telemetry::{Event, LabelSet, Telemetry, TelemetrySnapshot};
 use freeflow_types::{ContainerId, Error, HostCaps, HostId, Result, TenantId, TransportKind, VmId};
 use freeflow_verbs::VerbsNetwork;
 use parking_lot::Mutex;
@@ -328,52 +331,288 @@ impl FreeFlowCluster {
     }
 
     /// Live migration: move `container` to `to_host`, keeping its
-    /// identity (id, IP, tenant) *and its open connections*. The
-    /// container's virtual NIC — and with it every QP, CQ and MR the
-    /// application holds — is adopted wholesale by the target host's
-    /// verbs fabric, and the library is rehomed onto the new agent.
-    /// Peers observe `ContainerMoved`, drain their bound QPs and rebind;
-    /// a peer that is now co-located collapses its relay path onto
-    /// shared memory without reconnecting (see [`crate::migrate`]).
+    /// identity (id, IP, tenant) *and its open connections*. Drives the
+    /// full two-phase protocol of [`FreeFlowCluster::migrate_with`] and
+    /// returns the container wherever it ended up — on `to_host` after a
+    /// commit, or resumed in place after a clean abort (e.g. the
+    /// un-collapse boundary, see [`crate::migrate`]).
     pub fn migrate(&self, container: Container, to_host: HostId) -> Result<Container> {
+        self.migrate_with(container, to_host, None).map(|(c, _)| c)
+    }
+
+    /// Quiesce, detach from the agent and leave the verbs fabric of
+    /// `host` — the host-side half of moving a container off a machine.
+    /// The device keeps its QPs, MRs and keys.
+    fn detach_from_host(&self, host: HostId, ip: freeflow_types::OverlayIp) {
+        let inner = self.inner.lock();
+        for node in &inner.hosts {
+            if node.id == host {
+                node.agent.quiesce_container(ip);
+                node.agent.detach_container(ip);
+                node.verbs.remove_device(ip);
+            }
+        }
+    }
+
+    /// Resolve an in-flight migration as an abort: thaw every frozen
+    /// binding (the pump re-settles each one onto whichever path is
+    /// correct for wherever the container now runs), record the abort in
+    /// counters and the flight recorder, and hand the container back.
+    fn abort_migration(
+        &self,
+        container: Container,
+        from_host: HostId,
+        to_host: HostId,
+        started: std::time::Instant,
+        phase_reached: MigrationPhase,
+    ) -> (Container, MigrationReport) {
+        for qp in container.lib().live_qps() {
+            qp.thaw_migration();
+            qp.poll_binding();
+        }
+        let blackout_ns = started.elapsed().as_nanos() as u64;
+        let reg = self.telemetry.registry();
+        reg.counter(
+            "ff_migrations_aborted_total",
+            "cross-host migrations that aborted (container resumed on a legal placement)",
+            LabelSet::none(),
+        )
+        .inc();
+        reg.histogram(
+            "ff_migration_blackout_ns",
+            "freeze-to-thaw blackout of a cross-host migration, nanoseconds",
+            LabelSet::none(),
+        )
+        .record(blackout_ns);
+        self.telemetry.record(Event::Migration {
+            container: container.id().raw(),
+            from_host: from_host.raw(),
+            to_host: to_host.raw(),
+            kind: "abort",
+            blackout_ns,
+        });
+        (
+            container,
+            MigrationReport {
+                outcome: MigrationOutcome::Aborted,
+                phase_reached,
+                moved: false,
+                blackout_ns,
+                checkpoint_bytes: 0,
+                qps: 0,
+                mrs: 0,
+            },
+        )
+    }
+
+    /// The full cross-host migration protocol, with optional crash
+    /// injection (DESIGN.md §14). A two-phase commit between the source
+    /// host, the orchestrator and the target host:
+    ///
+    /// 1. **Prepare** — every binding freezes through `Draining`
+    ///    (`RebindReason::Migrate`); in-flight work settles under the
+    ///    freeze. A binding that cannot freeze (collapsed shared-memory
+    ///    path) or a settle timeout aborts here: thaw in place, nothing
+    ///    moved.
+    /// 2. **Checkpoint** — QP/MR/ledger state is captured and serialized
+    ///    with a checksum. A source crash mid-checkpoint
+    ///    ([`MigrationCrashPoint::SourceCheckpoint`]) leaves a torn
+    ///    checkpoint; decode fails and the migration aborts in place.
+    /// 3. **Transfer + restore** — the device is adopted by the target
+    ///    fabric, the library re-homed (MRs re-registered into the target
+    ///    arena), and the orchestrator's `move_container` — the commit
+    ///    point — publishes `ContainerMoved` to every peer. The restored
+    ///    state is verified against the checkpoint; a target crash
+    ///    ([`MigrationCrashPoint::TargetRestore`]) fails verification and
+    ///    rolls the container back onto the source host.
+    /// 4. **Commit** — bindings thaw on the target; parked chains and
+    ///    unconfirmed socket frames replay exactly once. The blackout is
+    ///    recorded in `ff_migration_blackout_ns`.
+    ///
+    /// Migrating onto the container's current placement is a guarded
+    /// no-op: no drain, no `ContainerMoved`, no generation bump — peers
+    /// never notice.
+    pub fn migrate_with(
+        &self,
+        container: Container,
+        to_host: HostId,
+        crash: Option<MigrationCrashPoint>,
+    ) -> Result<(Container, MigrationReport)> {
         let id = container.id();
         let ip = container.ip();
         let tenant = container.tenant();
-        let from_host = container.host();
+        // The orchestrator's placement is the authority; the library's
+        // own view is what peers already rebound to and can be stale.
+        let from_host = self
+            .orchestrator
+            .locate(id)
+            .unwrap_or_else(|_| container.host());
         if from_host == to_host {
-            return Ok(container);
+            return Ok((
+                container,
+                MigrationReport {
+                    outcome: MigrationOutcome::Committed,
+                    phase_reached: MigrationPhase::Prepare,
+                    moved: false,
+                    blackout_ns: 0,
+                    checkpoint_bytes: 0,
+                    qps: 0,
+                    mrs: 0,
+                },
+            ));
         }
         // Verify the target exists before tearing anything down.
         self.with_host(to_host, |_| ())?;
-        let mut lib = container.into_lib();
-        // Quiesce and detach from the old host. Only the host-side
-        // plumbing (agent channel, relay bookkeeping, fabric membership)
-        // is torn down; the device keeps its QPs, MRs and keys.
-        {
-            let inner = self.inner.lock();
-            for node in &inner.hosts {
-                if node.id == from_host {
-                    node.agent.quiesce_container(ip);
-                    node.agent.detach_container(ip);
-                    node.verbs.remove_device(ip);
-                }
-            }
+
+        // --- phase 1: prepare -------------------------------------------
+        self.telemetry.record(Event::Migration {
+            container: id.raw(),
+            from_host: from_host.raw(),
+            to_host: to_host.raw(),
+            kind: "begin",
+            blackout_ns: 0,
+        });
+        let started = std::time::Instant::now();
+        let qps = container.lib().live_qps();
+        for qp in &qps {
+            // A collapsed (shared-memory) binding refuses the freeze —
+            // the un-collapse boundary. It rides the move untouched and
+            // observes staleness afterwards (see [`crate::migrate`]);
+            // everything else drains through `Draining` and holds.
+            let _ = qp.freeze_for_migration();
         }
-        // Move in the control plane (publishes ContainerMoved → peers'
-        // caches invalidate and their bound QPs plan rebinds; a collapse
-        // onto shared memory retries in the peer's pump until the device
-        // lands on the target fabric below).
+        // In-flight work settles under the freeze (acks still arrive
+        // through the pump); bounded, so a dead peer path cannot wedge
+        // the migration.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !qps.iter().all(|qp| qp.migration_settled()) {
+            if std::time::Instant::now() > deadline {
+                return Ok(self.abort_migration(
+                    container,
+                    from_host,
+                    to_host,
+                    started,
+                    MigrationPhase::Prepare,
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+
+        // --- phase 2: checkpoint ----------------------------------------
+        let checkpoint = MigrationCheckpoint::capture(&container, to_host);
+        let mut bytes = checkpoint.encode();
+        if crash == Some(MigrationCrashPoint::SourceCheckpoint) {
+            // The source agent dies mid-write: the checkpoint is torn.
+            bytes.truncate(bytes.len() / 2);
+        }
+        let checkpoint = match MigrationCheckpoint::decode(&bytes) {
+            Ok(cp) => cp,
+            Err(_) => {
+                // Torn or corrupt checkpoint: nothing left the source
+                // host, so the abort resumes the container in place.
+                return Ok(self.abort_migration(
+                    container,
+                    from_host,
+                    to_host,
+                    started,
+                    MigrationPhase::Checkpoint,
+                ));
+            }
+        };
+        let checkpoint_bytes = bytes.len() as u64;
+
+        // --- phase 3: transfer + restore --------------------------------
+        let mut lib = container.into_lib();
+        self.detach_from_host(from_host, ip);
+        // The commit point in the control plane: publishes
+        // `ContainerMoved` → peers' caches invalidate and their bound
+        // QPs plan rebinds; a peer that is now co-located collapses onto
+        // shared memory once the device lands on the target fabric.
         self.orchestrator
             .move_container(id, ContainerLocation::BareMetal(to_host))?;
-        // Attach on the new host: the existing device migrates onto the
-        // target fabric, then the library is rehomed onto the new agent.
+        // The existing device (QPs, MRs, keys) migrates onto the target
+        // fabric wholesale; the library is re-homed onto the new agent,
+        // re-registering arena-backed MRs into the target arena.
         let handle = self.with_host(to_host, |node| {
             node.verbs.adopt_device(lib.device());
             node.agent.attach_container(ip)
         })??;
         lib.rehome(to_host, handle);
+        let restored = Container::new(id, tenant, lib);
+        let verified = if crash == Some(MigrationCrashPoint::TargetRestore) {
+            // The target agent dies mid-restore.
+            Err(crate::migrate::MigrateError::RestoreMismatch(
+                "target crashed mid-restore",
+            ))
+        } else {
+            checkpoint.verify_restore(&restored)
+        };
+        if verified.is_err() {
+            // Roll back: undo the placement, re-adopt the device on the
+            // source fabric and re-home the library where it came from.
+            // Peers see a second `ContainerMoved` and re-path again;
+            // every binding transition stays legal.
+            let mut lib = restored.into_lib();
+            self.detach_from_host(to_host, ip);
+            self.orchestrator
+                .move_container(id, ContainerLocation::BareMetal(from_host))?;
+            let handle = self.with_host(from_host, |node| {
+                node.verbs.adopt_device(lib.device());
+                node.agent.attach_container(ip)
+            })??;
+            lib.rehome(from_host, handle);
+            self.refresh_routes();
+            return Ok(self.abort_migration(
+                Container::new(id, tenant, lib),
+                from_host,
+                to_host,
+                started,
+                MigrationPhase::Restore,
+            ));
+        }
+
+        // --- phase 4: commit --------------------------------------------
+        for qp in restored.lib().live_qps() {
+            qp.thaw_migration();
+            // Resolve each binding from the new host immediately (the
+            // pump would too; doing it here bounds the blackout we
+            // report by actual work, not pump latency).
+            qp.poll_binding();
+        }
+        let blackout_ns = started.elapsed().as_nanos() as u64;
+        let reg = self.telemetry.registry();
+        reg.counter(
+            "ff_migrations_committed_total",
+            "cross-host migrations that committed on the target host",
+            LabelSet::none(),
+        )
+        .inc();
+        reg.histogram(
+            "ff_migration_blackout_ns",
+            "freeze-to-thaw blackout of a cross-host migration, nanoseconds",
+            LabelSet::none(),
+        )
+        .record(blackout_ns);
+        self.telemetry.record(Event::Migration {
+            container: id.raw(),
+            from_host: from_host.raw(),
+            to_host: to_host.raw(),
+            kind: "commit",
+            blackout_ns,
+        });
         self.refresh_routes();
-        Ok(Container::new(id, tenant, lib))
+        Ok((
+            restored,
+            MigrationReport {
+                outcome: MigrationOutcome::Committed,
+                phase_reached: MigrationPhase::Commit,
+                moved: true,
+                blackout_ns,
+                checkpoint_bytes,
+                qps: checkpoint.qps.len() as u32,
+                mrs: checkpoint.mrs.len() as u32,
+            },
+        ))
     }
 
     /// Number of hosts.

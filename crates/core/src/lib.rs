@@ -81,5 +81,9 @@ pub use cluster::FreeFlowCluster;
 pub use container::Container;
 pub use endpoint::FfEndpoint;
 pub use library::{LibHandle, NetLibrary};
+pub use migrate::{
+    LedgerRecord, MigrateError, MigrationCheckpoint, MigrationCrashPoint, MigrationOutcome,
+    MigrationPhase, MigrationReport,
+};
 pub use orch_client::{OrchClient, OrchClientConfig};
 pub use qp::FfQp;

@@ -605,6 +605,25 @@ impl NetLibrary {
             fabric,
         } = handle;
         *self.shared.agent_tx.lock() = channel.tx;
+        // Arena-backed MRs still alias the *source* host's shared segment;
+        // copy each registration's bytes into the new host's arena before
+        // any data-plane traffic resumes (real hardware cannot DMA into
+        // another machine's memory). Registrations the new arena cannot
+        // fit degrade to private storage — counted, not fatal.
+        for mr in self.shared.device.mrs() {
+            let was_arena = mr.is_arena_backed();
+            if was_arena && !mr.rehome(fabric.arena()) {
+                self.shared
+                    .telemetry
+                    .registry()
+                    .counter(
+                        "ff_mr_rehome_degraded_total",
+                        "migrated MRs that lost arena backing (target arena full)",
+                        LabelSet::none(),
+                    )
+                    .inc();
+            }
+        }
         *self.shared.fabric.write() = fabric;
         *self.shared.host.write() = host;
         // The control-plane client now calls from the new host (per-host
@@ -623,13 +642,18 @@ impl NetLibrary {
         // Live QPs re-evaluate their paths relative to the new host —
         // a remote path to a now-co-located peer collapses onto shared
         // memory from here (the pump completes it).
-        let qps: Vec<Arc<FfQp>> = {
-            let map = self.shared.qps.lock();
-            map.values().filter_map(Weak::upgrade).collect()
-        };
-        for qp in qps {
+        for qp in self.live_qps() {
             qp.consider_rebind();
         }
+    }
+
+    /// Every live QP of this library, in QPN order (migration freezing
+    /// and checkpoint capture iterate these).
+    pub(crate) fn live_qps(&self) -> Vec<Arc<FfQp>> {
+        let map = self.shared.qps.lock();
+        let mut qps: Vec<Arc<FfQp>> = map.values().filter_map(Weak::upgrade).collect();
+        qps.sort_by_key(|qp| qp.qp_num());
+        qps
     }
 
     /// The virtual NIC device.

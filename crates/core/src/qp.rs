@@ -39,7 +39,7 @@ use freeflow_verbs::wr::{RecvWr, SendWr, Sge, WcOpcode, WorkCompletion, WrOpcode
 use freeflow_verbs::{CompletionQueue, QpState, QueuePair, VerbsError, VerbsResult, WcStatus};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,7 @@ fn reason_label(reason: Option<RebindReason>) -> Option<&'static str> {
         RebindReason::Failover => "failover",
         RebindReason::Upgrade => "upgrade",
         RebindReason::Collapse => "collapse",
+        RebindReason::Migrate => "migrate",
     })
 }
 
@@ -169,6 +170,10 @@ pub struct FfQp {
     signal: Arc<PathSignal>,
     /// Per-op answer timeout in nanoseconds.
     op_timeout_ns: AtomicU64,
+    /// Set while the cluster's live-migration driver holds this QP's
+    /// binding frozen in `Draining`: the pump must not advance the
+    /// lifecycle until the migration commits or aborts (the thaw).
+    migration_hold: AtomicBool,
     /// How many times this QP re-established its path after a transport
     /// failure (tests/diagnostics).
     failovers: AtomicU64,
@@ -232,6 +237,7 @@ impl FfQp {
             }),
             signal: Arc::new(PathSignal::new()),
             op_timeout_ns: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_nanos() as u64),
+            migration_hold: AtomicBool::new(false),
             failovers: AtomicU64::new(0),
             tm_failovers,
             tm_rebinds,
@@ -708,6 +714,13 @@ impl FfQp {
     /// drain/rebind. All planned lifecycle work runs here, serialized
     /// with inbound processing on the pump thread.
     pub(crate) fn poll_binding(&self) {
+        if self.migration_hold.load(Ordering::Acquire) {
+            // Frozen for a live migration: the binding parks where it is
+            // (normally `Draining`) until the 2PC driver thaws it. Acks
+            // for in-flight work still arrive through `handle_inbound`,
+            // so the drain settles under the hold.
+            return;
+        }
         {
             let mut inner = self.inner.lock();
             if inner.binding.phase() == BindingPhase::Draining {
@@ -730,6 +743,119 @@ impl FfQp {
             }
         }
         self.finish_rebind();
+    }
+
+    // --- live migration (driven by the cluster's 2PC coordinator) -----------
+
+    /// Quiesce this QP for a live migration: a planned
+    /// `begin_drain(Migrate)` that parks the binding in `Draining` and
+    /// holds it there (the pump skips lifecycle advancement while the
+    /// hold is set) until [`FfQp::thaw_migration`]. In-flight acks still
+    /// settle under the hold; new application posts park.
+    ///
+    /// Returns `false` when the QP was *not* frozen — today only the
+    /// collapsed (shared-memory) binding. That is the un-collapse
+    /// boundary: a `Local` path's receive queue lives inside the
+    /// host-verbs QP and cannot be torn back out into a relay path, so
+    /// the binding rides through the migration untouched and simply goes
+    /// stale if the pair is torn apart ([`FfQp::path_is_current`] turns
+    /// false; the application re-establishes explicitly, exactly as
+    /// before cross-host migration existed). The migration itself still
+    /// proceeds.
+    pub fn freeze_for_migration(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.binding.phase() {
+            // Nothing on a data plane yet / already terminal: hold so the
+            // pump stays out of the way, nothing to drain.
+            BindingPhase::Unbound | BindingPhase::Error => {
+                self.migration_hold.store(true, Ordering::Release);
+                return true;
+            }
+            // A drain/rebind already in progress (e.g. a planned upgrade
+            // the event feed raced): freeze it where it stands; the thaw
+            // re-resolves from the final placement.
+            BindingPhase::Draining | BindingPhase::Rebinding => {
+                self.migration_hold.store(true, Ordering::Release);
+                return true;
+            }
+            BindingPhase::Bound => {}
+        }
+        if matches!(inner.binding.path(), FfPath::Local { .. }) {
+            // The un-collapse boundary: a shared-memory binding cannot be
+            // torn back out into a relay path. Leave it bound — it rides
+            // the move untouched and observes staleness afterwards.
+            return false;
+        }
+        let label = inner.binding.path().label();
+        if inner.binding.begin_drain(RebindReason::Migrate).is_err() {
+            return false;
+        }
+        self.migration_hold.store(true, Ordering::Release);
+        self.signal.publish(&inner.binding);
+        self.record_transition(
+            TransitionKind::DrainStarted,
+            Some(RebindReason::Migrate),
+            inner.binding.epoch(),
+            label,
+            label,
+            false,
+        );
+        true
+    }
+
+    /// Whether a frozen QP has fully quiesced: no send/write/read is
+    /// still awaiting its answer on the old path. Parked sends don't
+    /// count — they replay after the thaw, on whichever path wins.
+    pub fn migration_settled(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.pending_sends.is_empty() && inner.pending_reads.is_empty()
+    }
+
+    /// Release a migration freeze. The next pump tick advances the held
+    /// drain through the ordinary lifecycle: after a *commit* the
+    /// library has been rehomed, so the rebind resolves from the target
+    /// host (same transport → abort back onto the identical path, new
+    /// transport → `Rebound`, peer now co-located → collapse); after an
+    /// *abort* it resolves from the unchanged source host and falls back
+    /// onto the old, still-working path. Every outcome is a legal
+    /// `PathBinding` transition.
+    pub fn thaw_migration(&self) {
+        self.migration_hold.store(false, Ordering::Release);
+    }
+
+    /// Whether this QP is currently frozen for a migration.
+    pub fn migration_held(&self) -> bool {
+        self.migration_hold.load(Ordering::Acquire)
+    }
+
+    /// Snapshot this QP's migrable state into a checkpoint record. Call
+    /// only after the freeze settled: `in_flight` is carried so the
+    /// restore side can verify the quiesce invariant held.
+    pub(crate) fn capture_record(&self) -> crate::migrate::QpRecord {
+        let inner = self.inner.lock();
+        let (peer_octets, peer_qpn) = match inner.binding.path() {
+            FfPath::Local { peer } | FfPath::Remote { peer, .. } => (peer.ip.octets(), peer.qpn),
+            FfPath::Unbound => ([0; 4], 0),
+        };
+        crate::migrate::QpRecord {
+            qpn: self.qp_num(),
+            peer_octets,
+            peer_qpn,
+            phase: inner.binding.phase().name(),
+            epoch: inner.binding.epoch(),
+            generation: inner.binding.generation(),
+            transport_rank: inner
+                .binding
+                .path()
+                .transport()
+                .map(|t| t.rank())
+                .unwrap_or(u8::MAX),
+            parked_sends: inner.parked_sends.len() as u32,
+            posted_recvs: inner.rq.len() as u32,
+            inbound_pending: inner.inbound_pending.len() as u32,
+            in_flight: (inner.pending_sends.len() + inner.pending_reads.len()) as u32,
+            next_op_id: inner.next_op_id,
+        }
     }
 
     /// The drain settled; establish the new path. May run repeatedly —

@@ -583,3 +583,291 @@ fn arena_exhaustion_falls_back_to_private_mrs() {
 fn cluster_arena_size() -> usize {
     crate::cluster::DEFAULT_ARENA_SIZE
 }
+
+// --- live migration: guards, checkpoints, crash injection ------------------
+
+/// Satellite regression: migrating onto the host a container already
+/// occupies is a guarded no-op — no blackout, no drain on the container's
+/// own QPs or its peers', no placement-generation bump, no
+/// `ContainerMoved` on the event feed.
+#[test]
+fn migrate_onto_current_host_is_a_guarded_noop() {
+    use crate::migrate::{MigrationOutcome, MigrationPhase};
+    use freeflow_telemetry::Event;
+
+    let cluster = FreeFlowCluster::with_defaults();
+    let p = connected_pair(&cluster, false);
+    roundtrip_send(&p, b"before the no-op");
+
+    let home = p.b.host();
+    let id_b = p.b.id();
+    let gen_before = cluster.orchestrator().container(id_b).unwrap().generation;
+    let epoch_a = p.qp_a.epoch();
+    let epoch_b = p.qp_b.epoch();
+
+    // `migrate_with` consumes the container handle and returns it.
+    let Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    } = p;
+    let (b, report) = cluster.migrate_with(b, home, None).unwrap();
+    assert_eq!(report.outcome, MigrationOutcome::Committed);
+    assert_eq!(report.phase_reached, MigrationPhase::Prepare);
+    assert!(!report.moved, "nothing moved");
+    assert_eq!(report.checkpoint_bytes, 0, "nothing was checkpointed");
+    assert_eq!(b.host(), home);
+    let p = Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    };
+
+    // No drain or rebind happened anywhere: epochs and generation are
+    // untouched and the feed carries no Migration or ContainerMoved
+    // events for this container.
+    assert_eq!(p.qp_a.epoch(), epoch_a, "peer QP must not rebind");
+    assert_eq!(p.qp_b.epoch(), epoch_b, "own QP must not rebind");
+    assert_eq!(
+        cluster.orchestrator().container(id_b).unwrap().generation,
+        gen_before,
+        "placement generation must not bump"
+    );
+    let snap = cluster.telemetry();
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|te| matches!(te.event, Event::Migration { .. }))
+            .count(),
+        0,
+        "a guarded no-op records no migration events"
+    );
+    assert_eq!(snap.counter_total("ff_migrations_committed_total"), 0);
+
+    // Traffic flows exactly as before.
+    roundtrip_send(&p, b"after the no-op");
+}
+
+/// A crash injected mid-checkpoint (source side) aborts the 2PC in
+/// place: the container never moves, the torn checkpoint is detected by
+/// its checksum, the QPs thaw back to Bound, and counters agree with the
+/// flight-recorder timeline.
+#[test]
+fn crash_during_source_checkpoint_aborts_in_place() {
+    use crate::migrate::{MigrationCrashPoint, MigrationOutcome, MigrationPhase};
+
+    let cluster = FreeFlowCluster::with_defaults();
+    let p = connected_pair(&cluster, false);
+    roundtrip_send(&p, b"pre-crash traffic");
+    let home = p.b.host();
+    let other = p.a.host();
+    let id_b = p.b.id();
+    assert_ne!(home, other);
+
+    let Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    } = p;
+    let (b, report) = cluster
+        .migrate_with(b, other, Some(MigrationCrashPoint::SourceCheckpoint))
+        .unwrap();
+    assert_eq!(report.outcome, MigrationOutcome::Aborted);
+    assert_eq!(report.phase_reached, MigrationPhase::Checkpoint);
+    assert!(!report.moved);
+    assert_eq!(b.host(), home, "abort leaves the container home");
+    assert_eq!(
+        cluster.orchestrator().locate(id_b).unwrap(),
+        home,
+        "the orchestrator still places it on the source"
+    );
+    let p = Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    };
+
+    let snap = cluster.telemetry();
+    assert_eq!(snap.counter_total("ff_migrations_aborted_total"), 1);
+    assert_eq!(snap.counter_total("ff_migrations_committed_total"), 0);
+
+    // Never wedged: the same pair keeps exchanging immediately.
+    roundtrip_send(&p, b"post-abort traffic");
+}
+
+/// A crash injected mid-restore (target side) rolls the move back: the
+/// device re-attaches to the source host, the orchestrator's answer
+/// reverts, and traffic continues — every outcome is a legal PathBinding
+/// transition, never a wedged QP.
+#[test]
+fn crash_during_target_restore_rolls_back_to_source() {
+    use crate::migrate::{MigrationCrashPoint, MigrationOutcome, MigrationPhase};
+
+    let cluster = FreeFlowCluster::with_defaults();
+    let p = connected_pair(&cluster, false);
+    roundtrip_send(&p, b"pre-crash traffic");
+    let home = p.b.host();
+    let other = p.a.host();
+    let id_b = p.b.id();
+
+    let Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    } = p;
+    let (b, report) = cluster
+        .migrate_with(b, other, Some(MigrationCrashPoint::TargetRestore))
+        .unwrap();
+    assert_eq!(report.outcome, MigrationOutcome::Aborted);
+    assert_eq!(report.phase_reached, MigrationPhase::Restore);
+    assert!(!report.moved);
+    assert_eq!(b.host(), home, "rollback re-homes to the source");
+    assert_eq!(cluster.orchestrator().locate(id_b).unwrap(), home);
+    let p = Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    };
+
+    let snap = cluster.telemetry();
+    assert_eq!(snap.counter_total("ff_migrations_aborted_total"), 1);
+    assert!(
+        snap.histogram(
+            "ff_migration_blackout_ns",
+            freeflow_telemetry::LabelSet::none()
+        )
+        .map(|h| h.count())
+        .unwrap_or(0)
+            == 1,
+        "the aborted freeze window is still a recorded blackout"
+    );
+
+    roundtrip_send(&p, b"post-rollback traffic");
+}
+
+/// The committed path end to end: checkpoint captured, bytes conserved,
+/// MR contents byte-identical on the target, blackout recorded, parked
+/// work conserved across the move.
+#[test]
+fn committed_migration_checkpoints_and_restores_state() {
+    use crate::migrate::{MigrationOutcome, MigrationPhase};
+
+    let cluster = FreeFlowCluster::with_defaults();
+    let p = connected_pair(&cluster, false);
+    roundtrip_send(&p, b"warm the path");
+    // Put recognizable bytes in the migrating side's MR (after the warm-up
+    // roundtrip, which lands its payload at offset 0 of the same MR).
+    p.mr_b.write(0, b"survives the move").unwrap();
+
+    let h2 = cluster.add_host(HostCaps::paper_testbed());
+    let Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    } = p;
+    let (b, report) = cluster.migrate_with(b, h2, None).unwrap();
+    assert_eq!(report.outcome, MigrationOutcome::Committed);
+    assert_eq!(report.phase_reached, MigrationPhase::Commit);
+    assert!(report.moved);
+    assert_eq!(b.host(), h2);
+    assert!(report.qps >= 1, "the live QP rode the checkpoint");
+    assert!(report.mrs >= 1, "the MR rode the checkpoint");
+    assert!(report.checkpoint_bytes > 0);
+    assert!(report.blackout_ns > 0, "a real freeze window was measured");
+    let p = Pair {
+        a,
+        b,
+        mr_a,
+        mr_b,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+    };
+
+    // The MR's bytes made it, byte for byte.
+    let mut got = [0u8; 17];
+    p.mr_b.read(0, &mut got).unwrap();
+    assert_eq!(&got, b"survives the move");
+
+    let snap = cluster.telemetry();
+    assert_eq!(snap.counter_total("ff_migrations_committed_total"), 1);
+    assert_eq!(snap.counter_total("ff_migrations_aborted_total"), 0);
+
+    // The moved side thaws back to Bound; traffic keeps flowing over the
+    // relayed path, while the peer *observes* staleness — the signal that
+    // tells an app to re-establish (the un-collapse boundary contract).
+    wait_for(T, || {
+        p.qp_a.binding_phase() == crate::binding::BindingPhase::Bound
+            && p.qp_b.binding_phase() == crate::binding::BindingPhase::Bound
+    });
+    roundtrip_send(&p, b"post-move traffic");
+    assert!(
+        !p.qp_a.path_is_current(),
+        "the peer must see the move as a stale path"
+    );
+}
+
+/// Exercise one send/recv round trip over an established pair.
+fn roundtrip_send(p: &Pair, msg: &[u8]) {
+    static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(7000);
+    let id = NEXT_ID.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+    p.qp_b
+        .post_recv(RecvWr::new(id, p.mr_b.sge(0, 1 << 16)))
+        .unwrap();
+    p.mr_a.write(0, msg).unwrap();
+    p.qp_a
+        .post_send(SendWr::send(id + 1, p.mr_a.sge(0, msg.len() as u32)))
+        .unwrap();
+    let rwc = p.cq_b.wait_one(T).expect("recv completion");
+    assert!(rwc.status.is_ok(), "recv errored: {rwc:?}");
+    let swc = p.cq_a.wait_one(T).expect("send completion");
+    assert!(swc.status.is_ok(), "send errored: {swc:?}");
+    let mut got = vec![0u8; msg.len()];
+    p.mr_b.read(0, &mut got).unwrap();
+    assert_eq!(got, msg);
+}
+
+/// Spin until `cond` holds or the deadline passes.
+fn wait_for(timeout: Duration, cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + timeout;
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

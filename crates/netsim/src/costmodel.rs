@@ -105,6 +105,10 @@ pub struct CostParams {
     /// library burns its per-op deadline (with retries) before deciding
     /// locally from the cache and falling back to universal TCP.
     pub degraded_repath_extra: Nanos,
+    /// Live-migration blackout: freeze → drain → checkpoint → restore →
+    /// thaw. Flows touching the migrating container emit nothing inside
+    /// this window and lose whatever was in flight when it opened.
+    pub migration_blackout: Nanos,
 }
 
 impl Default for CostParams {
@@ -164,6 +168,10 @@ impl CostParams {
             // OrchClient default: 2 ms op deadline exhausted by bounded
             // retries before the degraded local decision is taken.
             degraded_repath_extra: Nanos::from_millis(2),
+            // Quiesce + checkpoint + transfer + restore for a container
+            // with a handful of QPs and small MRs; matches the live
+            // stack's sub-millisecond `ff_migration_blackout_ns` p99.
+            migration_blackout: Nanos::from_micros(250),
         }
     }
 

@@ -43,6 +43,18 @@ pub enum Event {
         /// Index into the simulator's flow table.
         flow: usize,
     },
+    /// A scheduled live migration freezes its container (blackout start).
+    MigrationBegin {
+        /// Index into the simulator's migration table.
+        migration: usize,
+    },
+    /// A live migration's blackout ends: commit (container moves, flows
+    /// re-path) or abort (container stays) depending on what faults fired
+    /// inside the window.
+    MigrationCommit {
+        /// Index into the simulator's migration table.
+        migration: usize,
+    },
 }
 
 #[derive(Debug)]

@@ -1,6 +1,6 @@
 //! Seeded, reproducible fault plans injected into the event queue.
 //!
-//! Five fault classes cover the failure modes FreeFlow's control plane
+//! Six fault classes cover the failure modes FreeFlow's control plane
 //! must survive:
 //!
 //! * [`FaultKind::NicDown`] — the kernel-bypass NIC dies permanently;
@@ -18,6 +18,13 @@
 //!   an extra decision delay).
 //! * [`FaultKind::ControlPartition`] — like an outage, but only one host
 //!   loses its control channel; only re-paths involving that host degrade.
+//! * [`FaultKind::MigrationCrash`] — the migration daemon on a host dies
+//!   mid-2PC. Any live migration whose source ([`MigrationCrashPhase::Source`],
+//!   checkpoint torn) or target ([`MigrationCrashPhase::Target`], restore
+//!   torn) runs on that host aborts in place: the container stays put,
+//!   frozen flows thaw after the blackout, nothing is lost twice. With no
+//!   migration in flight the crash is a no-op — the 2PC has nothing to
+//!   tear.
 //!
 //! A [`FaultPlan`] is either built explicitly or generated from a seed via
 //! [`FaultPlan::randomized`]; either way the simulation consumes no other
@@ -27,6 +34,28 @@
 use crate::rng::SimRng;
 use freeflow_types::Nanos;
 use serde::{Deserialize, Serialize};
+
+/// Which side of a live migration's two-phase commit a
+/// [`FaultKind::MigrationCrash`] tears down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationCrashPhase {
+    /// The source host's daemon dies mid-checkpoint: the checkpoint is
+    /// torn, the migration aborts before anything moved.
+    Source,
+    /// The target host's daemon dies mid-restore: the restore is torn,
+    /// the migration rolls back to the source.
+    Target,
+}
+
+impl MigrationCrashPhase {
+    /// Stable lowercase label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationCrashPhase::Source => "source",
+            MigrationCrashPhase::Target => "target",
+        }
+    }
+}
 
 /// One class of injected failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,6 +92,17 @@ pub enum FaultKind {
         /// How long the partition lasts.
         duration: Nanos,
     },
+    /// The migration daemon on `host` dies mid-2PC: any migration in
+    /// flight with that host on the `phase` side aborts cleanly (the
+    /// container stays on its source host). A no-op when no migration is
+    /// in progress there.
+    MigrationCrash {
+        /// Sim host index whose migration daemon dies.
+        host: usize,
+        /// Which 2PC side the crash tears (source checkpoint or target
+        /// restore).
+        phase: MigrationCrashPhase,
+    },
 }
 
 impl FaultKind {
@@ -73,7 +113,8 @@ impl FaultKind {
             FaultKind::NicDown { host }
             | FaultKind::LinkFlap { host, .. }
             | FaultKind::HostCrash { host }
-            | FaultKind::ControlPartition { host, .. } => Some(*host),
+            | FaultKind::ControlPartition { host, .. }
+            | FaultKind::MigrationCrash { host, .. } => Some(*host),
             FaultKind::OrchestratorOutage { .. } => None,
         }
     }
@@ -86,6 +127,7 @@ impl FaultKind {
             FaultKind::HostCrash { .. } => "host-crash",
             FaultKind::OrchestratorOutage { .. } => "orch-outage",
             FaultKind::ControlPartition { .. } => "control-partition",
+            FaultKind::MigrationCrash { .. } => "migration-crash",
         }
     }
 }
@@ -185,6 +227,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a migration-daemon crash on `host` at `at`, tearing the
+    /// given 2PC `phase` of whatever migration is then in flight there.
+    pub fn migration_crash(mut self, at: Nanos, host: usize, phase: MigrationCrashPhase) -> Self {
+        self.faults.push(Fault {
+            at,
+            kind: FaultKind::MigrationCrash { host, phase },
+        });
+        self
+    }
+
     /// Draw `count` faults over `hosts` hosts, uniformly timed in
     /// `[horizon/10, horizon)`, entirely from `seed`.
     pub fn randomized(seed: u64, hosts: usize, count: usize, horizon: Nanos) -> Self {
@@ -196,7 +248,7 @@ impl FaultPlan {
         for _ in 0..count {
             let at = Nanos::from_nanos(rng.gen_range(lo, hi));
             let host = rng.index(hosts);
-            plan = match rng.index(5) {
+            plan = match rng.index(6) {
                 0 => plan.nic_down(at, host),
                 1 => {
                     let duration = Nanos::from_micros(rng.gen_range(50, 500));
@@ -207,9 +259,17 @@ impl FaultPlan {
                     let duration = Nanos::from_micros(rng.gen_range(50, 500));
                     plan.orchestrator_outage(at, duration)
                 }
-                _ => {
+                4 => {
                     let duration = Nanos::from_micros(rng.gen_range(50, 500));
                     plan.control_partition(at, host, duration)
+                }
+                _ => {
+                    let phase = if rng.index(2) == 0 {
+                        MigrationCrashPhase::Source
+                    } else {
+                        MigrationCrashPhase::Target
+                    };
+                    plan.migration_crash(at, host, phase)
                 }
             };
         }

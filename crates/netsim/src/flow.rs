@@ -110,6 +110,9 @@ pub struct Flow {
     pub killed: bool,
     /// Lost messages waiting for the scheduled `Resend` event.
     pub pending_resend: u32,
+    /// Virtual time until which the flow is frozen by a live migration of
+    /// one of its endpoints (no emissions inside the blackout).
+    pub paused_until: Nanos,
 }
 
 impl Flow {
@@ -137,6 +140,7 @@ impl Flow {
             lost_msgs: 0,
             killed: false,
             pending_resend: 0,
+            paused_until: Nanos::ZERO,
         }
     }
 

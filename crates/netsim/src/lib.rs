@@ -49,9 +49,9 @@ pub mod sim;
 pub mod workload;
 
 pub use costmodel::CostParams;
-pub use fault::{Fault, FaultKind, FaultPlan, FaultRecord};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultRecord, MigrationCrashPhase};
 pub use flow::{FlowSpec, Placement};
-pub use metrics::{FlowReport, HostCpuReport, SimReport};
+pub use metrics::{FlowReport, HostCpuReport, MigrationRecord, SimReport};
 pub use rng::SimRng;
 pub use sim::NetSim;
 pub use workload::Workload;

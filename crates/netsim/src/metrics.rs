@@ -6,8 +6,29 @@
 //! can print tables or dump them for offline plotting.
 
 use crate::fault::FaultRecord;
-use freeflow_types::{Bandwidth, ByteSize, Nanos, TransportKind};
+use freeflow_types::{Bandwidth, ByteSize, ContainerId, Nanos, TransportKind};
 use serde::{Deserialize, Serialize};
+
+/// One live migration's outcome, surfaced in [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The container that migrated (or tried to).
+    pub container: ContainerId,
+    /// Sim host index it left.
+    pub from: usize,
+    /// Sim host index it was headed to.
+    pub to: usize,
+    /// Virtual time the blackout opened (container frozen).
+    pub begin: Nanos,
+    /// How long its flows were frozen (freeze → thaw, commits and aborts
+    /// alike — the live stack's `ff_migration_blackout_ns`).
+    pub blackout: Nanos,
+    /// Whether the 2PC committed (`false` = aborted in place; the
+    /// container never moved).
+    pub committed: bool,
+    /// Flows with an endpoint on the migrating container.
+    pub flows_affected: u32,
+}
 
 /// Per-flow results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -93,6 +114,8 @@ pub struct SimReport {
     pub hosts: Vec<HostCpuReport>,
     /// Faults that fired during the run, in firing order.
     pub faults: Vec<FaultRecord>,
+    /// Live migrations that ran (committed or aborted), in schedule order.
+    pub migrations: Vec<MigrationRecord>,
 }
 
 impl SimReport {
@@ -105,6 +128,27 @@ impl SimReport {
     /// Total CPU percentage across hosts.
     pub fn total_cpu_percent(&self) -> f64 {
         self.hosts.iter().map(|h| h.cpu_percent).sum()
+    }
+
+    /// How many migrations committed.
+    pub fn migrations_committed(&self) -> usize {
+        self.migrations.iter().filter(|m| m.committed).count()
+    }
+
+    /// How many migrations aborted (crash-torn 2PC).
+    pub fn migrations_aborted(&self) -> usize {
+        self.migrations.iter().filter(|m| !m.committed).count()
+    }
+
+    /// Blackout percentile (0.0 ..= 1.0) over every migration that ran.
+    pub fn blackout_percentile(&self, p: f64) -> Option<Nanos> {
+        if self.migrations.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Nanos> = self.migrations.iter().map(|m| m.blackout).collect();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
     }
 }
 
@@ -167,9 +211,39 @@ mod tests {
                 kind: crate::fault::FaultKind::NicDown { host: 0 },
                 flows_affected: 1,
             }],
+            migrations: vec![
+                MigrationRecord {
+                    container: ContainerId::new(0),
+                    from: 0,
+                    to: 1,
+                    begin: Nanos::from_millis(1),
+                    blackout: Nanos::from_micros(200),
+                    committed: true,
+                    flows_affected: 1,
+                },
+                MigrationRecord {
+                    container: ContainerId::new(1),
+                    from: 1,
+                    to: 0,
+                    begin: Nanos::from_millis(2),
+                    blackout: Nanos::from_micros(400),
+                    committed: false,
+                    flows_affected: 1,
+                },
+            ],
         };
         assert_eq!(report.aggregate_throughput(), Bandwidth::from_gbps(40));
         assert_eq!(report.total_cpu_percent(), 150.0);
         assert_eq!(report.flows[0].breakdown_total(), Nanos::from_micros(5));
+        assert_eq!(report.migrations_committed(), 1);
+        assert_eq!(report.migrations_aborted(), 1);
+        assert_eq!(
+            report.blackout_percentile(0.0),
+            Some(Nanos::from_micros(200))
+        );
+        assert_eq!(
+            report.blackout_percentile(1.0),
+            Some(Nanos::from_micros(400))
+        );
     }
 }

@@ -6,9 +6,9 @@
 
 use crate::costmodel::{build_pipeline, CostParams, HostResources};
 use crate::engine::{Event, EventQueue};
-use crate::fault::{FaultKind, FaultPlan, FaultRecord};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, MigrationCrashPhase};
 use crate::flow::{Direction, Flow, FlowSpec, MessageState, Placement};
-use crate::metrics::{FlowReport, HostCpuReport, SimReport};
+use crate::metrics::{FlowReport, HostCpuReport, MigrationRecord, SimReport};
 use crate::pipeline::{Pipeline, StageCategory};
 use crate::server::{Server, ServerKind};
 use crate::workload::Workload;
@@ -31,6 +31,26 @@ struct Chunk {
     epoch: u32,
 }
 
+/// One scheduled live migration and its 2PC state.
+#[derive(Debug)]
+struct Migration {
+    container: ContainerId,
+    to_host: usize,
+    at: Nanos,
+    /// Resolved when the blackout opens.
+    from_host: usize,
+    begin: Nanos,
+    blackout: Nanos,
+    /// Blackout is open: a `MigrationCrash` fault can still tear it.
+    in_progress: bool,
+    /// A crash fired inside the window; the commit event will abort.
+    aborted: bool,
+    /// Ran to completion (committed or aborted) — gets a report record.
+    resolved: bool,
+    committed: bool,
+    flows_affected: u32,
+}
+
 /// The discrete-event cluster simulator.
 pub struct NetSim {
     params: CostParams,
@@ -50,6 +70,8 @@ pub struct NetSim {
     /// Per-host virtual time until which the host's control channel to the
     /// orchestrator is partitioned (indexed like `hosts`).
     control_partition_until: Vec<Nanos>,
+    /// Scheduled live migrations, in schedule order.
+    migrations: Vec<Migration>,
 }
 
 impl NetSim {
@@ -69,6 +91,7 @@ impl NetSim {
             fault_records: Vec::new(),
             control_down_until: Nanos::ZERO,
             control_partition_until: Vec::new(),
+            migrations: Vec::new(),
         }
     }
 
@@ -158,6 +181,39 @@ impl NetSim {
         self.flows.len() - 1
     }
 
+    /// Schedule a live migration of `container` to `to_host` at virtual
+    /// time `at`; must be called before the sim starts.
+    ///
+    /// When the blackout opens, flows touching the container freeze and
+    /// lose their in-flight chunks; when it closes they thaw, retransmit,
+    /// and — if the 2PC committed — run on pipelines rebuilt for the new
+    /// placement (re-pathing the transport only when the old one became
+    /// impossible). A [`FaultKind::MigrationCrash`] striking the source or
+    /// target host inside the window aborts the move in place. Migrating
+    /// onto the current host is a guarded no-op: zero blackout, no flow is
+    /// touched.
+    pub fn schedule_migration(&mut self, at: Nanos, container: ContainerId, to_host: usize) {
+        assert!(!self.started, "schedule migrations before starting");
+        assert!(to_host < self.hosts.len(), "unknown host {to_host}");
+        assert!(
+            (container.raw() as usize) < self.container_hosts.len(),
+            "unknown container {container:?}"
+        );
+        self.migrations.push(Migration {
+            container,
+            to_host,
+            at,
+            from_host: usize::MAX,
+            begin: Nanos::ZERO,
+            blackout: Nanos::ZERO,
+            in_progress: false,
+            aborted: false,
+            resolved: false,
+            committed: false,
+            flows_affected: 0,
+        });
+    }
+
     /// Install a fault plan; must be called before the sim starts.
     /// Faults are scheduled on the same event queue as traffic, so the
     /// run (and its report) stays fully deterministic.
@@ -181,6 +237,10 @@ impl NetSim {
             for (i, f) in plan.faults().iter().enumerate() {
                 self.queue.schedule_at(f.at, Event::Fault { fault: i });
             }
+        }
+        for (i, m) in self.migrations.iter().enumerate() {
+            self.queue
+                .schedule_at(m.at, Event::MigrationBegin { migration: i });
         }
         for f in 0..self.flows.len() {
             let n = match self.flows[f].spec.workload {
@@ -249,6 +309,8 @@ impl NetSim {
             Event::ChunkDelivered { chunk } => self.on_chunk_delivered(now, chunk),
             Event::Fault { fault } => self.on_fault(now, fault),
             Event::Resend { flow } => self.on_resend(now, flow),
+            Event::MigrationBegin { migration } => self.on_migration_begin(now, migration),
+            Event::MigrationCommit { migration } => self.on_migration_commit(now, migration),
         }
     }
 
@@ -400,6 +462,36 @@ impl NetSim {
                 self.control_partition_until[host] =
                     self.control_partition_until[host].max(now + duration);
             }
+            FaultKind::MigrationCrash { host, phase } => {
+                // Tear any 2PC whose named side runs on `host`: the
+                // pending commit event will observe the abort and leave
+                // the container where it is. With no migration in flight
+                // there is nothing to tear.
+                for m in 0..self.migrations.len() {
+                    let mig = &self.migrations[m];
+                    if !mig.in_progress || mig.aborted {
+                        continue;
+                    }
+                    let hit = match phase {
+                        MigrationCrashPhase::Source => mig.from_host == host,
+                        MigrationCrashPhase::Target => mig.to_host == host,
+                    };
+                    if !hit {
+                        continue;
+                    }
+                    let container = mig.container;
+                    self.migrations[m].aborted = true;
+                    affected += self
+                        .flows
+                        .iter()
+                        .filter(|f| {
+                            !f.killed
+                                && (f.spec.placement.src == container
+                                    || f.spec.placement.dst == container)
+                        })
+                        .count() as u32;
+                }
+            }
         }
         self.fault_records.push(FaultRecord {
             at: now,
@@ -417,10 +509,153 @@ impl NetSim {
             self.flows[flow].pending_resend = 0;
             return;
         }
+        let paused_until = self.flows[flow].paused_until;
+        if now < paused_until {
+            // A fault's retransmission landed inside a migration blackout:
+            // park it with the emissions so nothing enters the pipelines
+            // until the commit/abort decision has rebuilt them.
+            self.queue.schedule_at(paused_until, Event::Resend { flow });
+            return;
+        }
         let n = std::mem::take(&mut self.flows[flow].pending_resend);
         for _ in 0..n {
             self.emit_message(now, flow, Direction::Forward);
         }
+    }
+
+    // --- live migration --------------------------------------------------
+
+    /// The blackout opens: freeze every flow touching the container, lose
+    /// what was in flight, and schedule the commit decision at the far
+    /// edge of the window.
+    fn on_migration_begin(&mut self, now: Nanos, migration: usize) {
+        let container = self.migrations[migration].container;
+        let to = self.migrations[migration].to_host;
+        let from = self.host_of(container);
+        let m = &mut self.migrations[migration];
+        m.from_host = from;
+        m.begin = now;
+        if from == to {
+            // Guarded no-op: already home. Nothing drains, nothing moves.
+            m.resolved = true;
+            m.committed = true;
+            return;
+        }
+        m.in_progress = true;
+        m.blackout = self.params.migration_blackout;
+        let blackout = m.blackout;
+        for i in 0..self.flows.len() {
+            let spec = self.flows[i].spec;
+            let touches = spec.placement.src == container || spec.placement.dst == container;
+            if !touches || self.flows[i].killed {
+                continue;
+            }
+            self.migrations[migration].flows_affected += 1;
+            let lost = self.invalidate_in_flight(i);
+            let f = &mut self.flows[i];
+            f.lost_msgs += lost as u64;
+            f.pending_resend += lost;
+            f.paused_until = f.paused_until.max(now + blackout);
+        }
+        self.queue
+            .schedule(blackout, Event::MigrationCommit { migration });
+    }
+
+    /// The blackout closes: commit (move the container, rebuild touched
+    /// flows for the new placement) unless a crash tore the 2PC, then thaw
+    /// and retransmit either way.
+    fn on_migration_commit(&mut self, now: Nanos, migration: usize) {
+        let m = &mut self.migrations[migration];
+        debug_assert!(m.in_progress, "commit without an open blackout");
+        m.in_progress = false;
+        m.resolved = true;
+        m.committed = !m.aborted;
+        let container = m.container;
+        let committed = m.committed;
+        if committed {
+            self.container_hosts[container.raw() as usize] = self.migrations[migration].to_host;
+        }
+        for i in 0..self.flows.len() {
+            let spec = self.flows[i].spec;
+            let touches = spec.placement.src == container || spec.placement.dst == container;
+            if !touches || self.flows[i].killed {
+                continue;
+            }
+            let degraded = committed && self.retarget_flow(now, i);
+            if self.flows[i].pending_resend > 0 {
+                let delay = if degraded {
+                    self.params.degraded_repath_extra
+                } else {
+                    Nanos::ZERO
+                };
+                self.queue.schedule(delay, Event::Resend { flow: i });
+            }
+        }
+    }
+
+    /// Rebuild a flow's pipelines after its endpoints' placement changed.
+    ///
+    /// Keeps the current transport whenever the new placement still
+    /// supports it; re-paths only when it became impossible (shared memory
+    /// across hosts, DPDK within one, kernel-bypass without NICs). Returns
+    /// whether a forced re-path was decided while the orchestrator was
+    /// unreachable from an endpoint (degraded, like a failover).
+    fn retarget_flow(&mut self, now: Nanos, flow: usize) -> bool {
+        let mut spec = self.flows[flow].spec;
+        spec.placement.src_host = self.host_of(spec.placement.src);
+        spec.placement.dst_host = self.host_of(spec.placement.dst);
+        let sh = self.hosts[spec.placement.src_host].clone();
+        let dh = self.hosts[spec.placement.dst_host].clone();
+        let old = spec.transport;
+        let new = if spec.placement.intra_host() {
+            match old {
+                // DPDK is inter-host only; collapse to the local fast path.
+                TransportKind::Dpdk => TransportKind::SharedMemory,
+                t => t,
+            }
+        } else {
+            match old {
+                TransportKind::SharedMemory | TransportKind::Rdma if sh.nic_rdma && dh.nic_rdma => {
+                    TransportKind::Rdma
+                }
+                TransportKind::Dpdk if sh.nic_dpdk && dh.nic_dpdk => TransportKind::Dpdk,
+                TransportKind::SharedMemory | TransportKind::Rdma | TransportKind::Dpdk => {
+                    TransportKind::TcpHost
+                }
+                t => t,
+            }
+        };
+        spec.transport = new;
+        let fwd = build_pipeline(
+            &self.params,
+            new,
+            &sh,
+            &dh,
+            spec.placement.src.raw(),
+            spec.placement.dst.raw(),
+        );
+        let rev = build_pipeline(
+            &self.params,
+            new,
+            &dh,
+            &sh,
+            spec.placement.dst.raw(),
+            spec.placement.src.raw(),
+        );
+        let degraded = new != old
+            && (!self.control_reachable(now, spec.placement.src_host)
+                || !self.control_reachable(now, spec.placement.dst_host));
+        let f = &mut self.flows[flow];
+        if new != old {
+            f.failovers += 1;
+            if degraded {
+                f.degraded_repaths += 1;
+            }
+        }
+        f.spec = spec;
+        f.forward = fwd;
+        f.reverse = rev;
+        degraded
     }
 
     /// Emit one message on a flow in the given direction.
@@ -463,6 +698,15 @@ impl NetSim {
 
     fn on_flow_send(&mut self, now: Nanos, flow: usize) {
         if self.flows[flow].killed || self.flows[flow].emission_done() {
+            return;
+        }
+        let paused_until = self.flows[flow].paused_until;
+        if now < paused_until {
+            // Frozen by a live migration: the emission parks until the
+            // blackout closes (after the commit/abort decision, which is
+            // scheduled earlier at the same timestamp).
+            self.queue
+                .schedule_at(paused_until, Event::FlowSend { flow });
             return;
         }
         {
@@ -741,11 +985,26 @@ impl NetSim {
                 }
             })
             .collect();
+        let migrations = self
+            .migrations
+            .iter()
+            .filter(|m| m.resolved)
+            .map(|m| MigrationRecord {
+                container: m.container,
+                from: m.from_host,
+                to: m.to_host,
+                begin: m.begin,
+                blackout: m.blackout,
+                committed: m.committed,
+                flows_affected: m.flows_affected,
+            })
+            .collect();
         SimReport {
             elapsed,
             flows,
             hosts,
             faults: self.fault_records.clone(),
+            migrations,
         }
     }
 }
@@ -1162,6 +1421,162 @@ mod tests {
             let b = sim.add_container(h1);
             sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 40));
             sim.set_fault_plan(FaultPlan::randomized(77, 2, 2, Nanos::from_millis(1)));
+            sim.run_to_completion(Nanos::from_secs(10))
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+
+    #[test]
+    fn migration_moves_flow_and_conserves_every_message() {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let h2 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 100));
+        sim.schedule_migration(Nanos::from_micros(200), b, h2);
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert!(sim.all_finished(), "flow must converge across the move");
+        assert_eq!(sim.host_of(b), h2, "commit moved the container");
+        assert_eq!(r.flows[0].delivered_msgs, 100, "zero lost completions");
+        assert_eq!(
+            r.flows[0].transport,
+            TransportKind::Rdma,
+            "RDMA stays legal on the new placement"
+        );
+        assert_eq!(r.flows[0].failovers, 0, "no forced re-path");
+        assert!(r.flows[0].lost_msgs > 0, "blackout lost in-flight chunks");
+        assert_eq!(r.migrations.len(), 1);
+        assert!(r.migrations[0].committed);
+        assert_eq!(r.migrations[0].from, h1);
+        assert_eq!(r.migrations[0].to, h2);
+        assert_eq!(r.migrations[0].flows_affected, 1);
+        assert_eq!(
+            r.migrations[0].blackout,
+            sim.params().migration_blackout,
+            "blackout is the calibrated freeze window"
+        );
+        assert_eq!(r.migrations_committed(), 1);
+        assert_eq!(r.migrations_aborted(), 0);
+    }
+
+    #[test]
+    fn shm_pair_separated_by_migration_repaths_to_rdma() {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h0);
+        sim.add_flow(a, b, TransportKind::SharedMemory, Workload::bulk(1, 80));
+        sim.schedule_migration(Nanos::from_micros(150), b, h1);
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert!(sim.all_finished());
+        assert_eq!(r.flows[0].delivered_msgs, 80);
+        assert_eq!(
+            r.flows[0].transport,
+            TransportKind::Rdma,
+            "shared memory is impossible across hosts; policy picks RDMA"
+        );
+        assert_eq!(r.flows[0].failovers, 1, "the forced re-path is counted");
+        assert_eq!(r.flows[0].degraded_repaths, 0);
+    }
+
+    #[test]
+    fn migration_crash_aborts_in_place() {
+        // One migration per crash phase: both end aborted with the
+        // container still home and every message delivered.
+        for phase in [
+            crate::fault::MigrationCrashPhase::Source,
+            crate::fault::MigrationCrashPhase::Target,
+        ] {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let h2 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 60));
+            sim.schedule_migration(Nanos::from_micros(200), b, h2);
+            let crash_host = match phase {
+                crate::fault::MigrationCrashPhase::Source => h1,
+                crate::fault::MigrationCrashPhase::Target => h2,
+            };
+            // 300 µs lands inside the 200–450 µs blackout window.
+            sim.set_fault_plan(FaultPlan::new(5).migration_crash(
+                Nanos::from_micros(300),
+                crash_host,
+                phase,
+            ));
+            let r = sim.run_to_completion(Nanos::from_secs(10));
+            assert!(sim.all_finished(), "{phase:?}: must converge after abort");
+            assert_eq!(sim.host_of(b), h1, "{phase:?}: abort leaves it home");
+            assert_eq!(r.flows[0].delivered_msgs, 60, "{phase:?}: nothing lost");
+            assert_eq!(r.flows[0].transport, TransportKind::Rdma);
+            assert_eq!(r.flows[0].failovers, 0);
+            assert_eq!(r.migrations.len(), 1);
+            assert!(!r.migrations[0].committed, "{phase:?}: 2PC torn");
+            assert_eq!(r.migrations_aborted(), 1);
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].kind.name(), "migration-crash");
+            assert_eq!(r.faults[0].flows_affected, 1);
+        }
+    }
+
+    #[test]
+    fn migration_crash_without_migration_is_a_noop() {
+        use crate::fault::MigrationCrashPhase;
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 40));
+        sim.set_fault_plan(FaultPlan::new(6).migration_crash(
+            Nanos::from_micros(100),
+            h0,
+            MigrationCrashPhase::Source,
+        ));
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert_eq!(r.flows[0].delivered_msgs, 40);
+        assert_eq!(r.flows[0].lost_msgs, 0, "no 2PC in flight, nothing torn");
+        assert_eq!(r.faults[0].flows_affected, 0);
+        assert!(r.migrations.is_empty());
+    }
+
+    #[test]
+    fn same_host_migration_is_a_guarded_noop() {
+        let mut sim = NetSim::testbed();
+        let h0 = sim.add_host(HostCaps::paper_testbed());
+        let h1 = sim.add_host(HostCaps::paper_testbed());
+        let a = sim.add_container(h0);
+        let b = sim.add_container(h1);
+        sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 50));
+        sim.schedule_migration(Nanos::from_micros(100), b, h1);
+        let r = sim.run_to_completion(Nanos::from_secs(10));
+        assert_eq!(r.flows[0].delivered_msgs, 50);
+        assert_eq!(r.flows[0].lost_msgs, 0, "no blackout, nothing invalidated");
+        assert_eq!(r.migrations.len(), 1);
+        assert!(r.migrations[0].committed, "a no-op reports success");
+        assert_eq!(r.migrations[0].blackout, Nanos::ZERO);
+        assert_eq!(r.migrations[0].flows_affected, 0);
+    }
+
+    #[test]
+    fn migrations_reproduce_byte_identical_reports() {
+        let run = || {
+            let mut sim = NetSim::testbed();
+            let h0 = sim.add_host(HostCaps::paper_testbed());
+            let h1 = sim.add_host(HostCaps::paper_testbed());
+            let h2 = sim.add_host(HostCaps::paper_testbed());
+            let a = sim.add_container(h0);
+            let b = sim.add_container(h1);
+            let c = sim.add_container(h0);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, 40));
+            sim.add_flow(a, c, TransportKind::SharedMemory, Workload::bulk(1, 40));
+            sim.schedule_migration(Nanos::from_micros(150), b, h2);
+            sim.schedule_migration(Nanos::from_micros(400), c, h1);
+            sim.set_fault_plan(FaultPlan::randomized(91, 3, 2, Nanos::from_millis(1)));
             sim.run_to_completion(Nanos::from_secs(10))
         };
         assert_eq!(format!("{:?}", run()), format!("{:?}", run()));

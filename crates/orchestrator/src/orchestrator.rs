@@ -326,9 +326,17 @@ impl Orchestrator {
     }
 
     /// Move a container (reschedule / live migration). Its IP is kept.
+    ///
+    /// Moving a container onto the location it already occupies is a
+    /// guarded no-op: no generation bump, no `ContainerMoved` — otherwise
+    /// every peer would spuriously invalidate its cache and drain its
+    /// bound QPs for a placement that never changed.
     pub fn move_container(&self, id: ContainerId, to: ContainerLocation) -> Result<()> {
         let (ip, generation, physical_host) = {
             let mut st = self.state.write();
+            if st.registry.container(id)?.location == to {
+                return Ok(());
+            }
             st.registry.move_container(id, to)?;
             let rec = st.registry.container(id)?;
             let (ip, generation) = (rec.ip, rec.generation);

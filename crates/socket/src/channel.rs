@@ -221,6 +221,20 @@ impl Channel {
         self.core.lock().dead.is_some()
     }
 
+    /// Snapshot this channel's reliability-ledger watermarks as a
+    /// migration record: the sequence-space state a checkpoint must
+    /// conserve for streams to continue after a cross-host move.
+    pub fn ledger_record(&self) -> freeflow::migrate::LedgerRecord {
+        let core = self.core.lock();
+        freeflow::migrate::LedgerRecord {
+            qpn: self.qp.qp_num(),
+            tx_next_seq: core.tx.next_seq(),
+            tx_in_flight: core.tx.in_flight() as u32,
+            rx_received: core.rx.received(),
+            rx_parked: core.rx.parked() as u32,
+        }
+    }
+
     /// Allocate a locally initiated stream id.
     pub fn open_local_stream(&self) -> Result<u32> {
         let mut core = self.core.lock();
@@ -972,5 +986,22 @@ impl ChannelPool {
             .values()
             .filter(|ch| !ch.is_dead())
             .count()
+    }
+
+    /// Ledger records for every live channel, sorted by QPN — the
+    /// socket-layer slice of a migration checkpoint.
+    pub fn export_ledgers(&self) -> Vec<freeflow::migrate::LedgerRecord> {
+        let channels: Vec<Arc<Channel>> = {
+            let inner = self.inner.lock();
+            inner
+                .by_qpn
+                .values()
+                .filter(|ch| !ch.is_dead())
+                .cloned()
+                .collect()
+        };
+        let mut records: Vec<_> = channels.iter().map(|ch| ch.ledger_record()).collect();
+        records.sort_by_key(|r| r.qpn);
+        records
     }
 }

@@ -114,6 +114,22 @@ impl SocketStack {
         )
     }
 
+    /// Reliability-ledger records for every live channel `container`
+    /// holds, sorted by QPN.
+    ///
+    /// This is the socket layer's contribution to a
+    /// [`freeflow::migrate::MigrationCheckpoint`]: feed it to
+    /// [`freeflow::migrate::MigrationCheckpoint::with_ledgers`] before a
+    /// move and re-export afterwards to prove the sequence spaces
+    /// survived the migration unchanged.
+    pub fn export_ledgers(&self, container: &Container) -> Vec<freeflow::migrate::LedgerRecord> {
+        self.pools
+            .lock()
+            .get(&container.id())
+            .map(|p| p.export_ledgers())
+            .unwrap_or_default()
+    }
+
     /// Live shared channels `container` currently holds (diagnostics:
     /// the examples assert this stays ≪ the stream count).
     pub fn channel_count(&self, container: &Container) -> usize {

@@ -129,6 +129,23 @@ pub enum Event {
         /// `resync`/`restore`, zero otherwise.
         detail: u64,
     },
+    /// A live-migration protocol milestone: the 2PC coordinator began,
+    /// committed or aborted a cross-host container move. `begin` brackets
+    /// the freeze; `commit`/`abort` carry the measured blackout, so the
+    /// flight recorder alone reconstructs every migration's timeline and
+    /// outcome.
+    Migration {
+        /// The migrating container.
+        container: u64,
+        /// Host the container was leaving.
+        from_host: u64,
+        /// Host the container was moving to.
+        to_host: u64,
+        /// Interned milestone kind (`begin`, `commit`, `abort`).
+        kind: &'static str,
+        /// Freeze-to-thaw blackout in nanoseconds (zero for `begin`).
+        blackout_ns: u64,
+    },
     /// A waiter actually blocked on a doorbell.
     DoorbellWait {
         /// Host of the waiting side.

@@ -272,6 +272,19 @@ fn event_json(out: &mut String, event: &Event) {
                 "\"type\":\"control_plane\",\"kind\":\"{kind}\",\"host\":{host},\"detail\":{detail}"
             );
         }
+        Event::Migration {
+            container,
+            from_host,
+            to_host,
+            kind,
+            blackout_ns,
+        } => {
+            let _ = write!(
+                out,
+                "\"type\":\"migration\",\"container\":{container},\"from_host\":{from_host},\
+                 \"to_host\":{to_host},\"kind\":\"{kind}\",\"blackout_ns\":{blackout_ns}"
+            );
+        }
         Event::DoorbellWait { host, bell } => {
             let _ = write!(
                 out,

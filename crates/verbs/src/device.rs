@@ -238,6 +238,20 @@ impl Device {
         self.inner.lock().qps.get(&qpn).and_then(Weak::upgrade)
     }
 
+    /// Every registered memory region, in lkey order. Used by migration
+    /// checkpointing (snapshot each MR) and restore verification.
+    pub fn mrs(&self) -> Vec<Arc<MemoryRegion>> {
+        let inner = self.inner.lock();
+        let mut mrs: Vec<_> = inner.mrs_by_lkey.values().cloned().collect();
+        mrs.sort_by_key(|mr| mr.lkey());
+        mrs
+    }
+
+    /// Number of registered memory regions.
+    pub fn mr_count(&self) -> usize {
+        self.inner.lock().mrs_by_lkey.len()
+    }
+
     /// Number of live QPs.
     pub fn qp_count(&self) -> usize {
         let mut inner = self.inner.lock();

@@ -14,7 +14,7 @@
 use crate::error::{VerbsError, VerbsResult};
 use crate::wr::{AccessFlags, Sge};
 use freeflow_shmem::{ArenaHandle, SharedArena};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 enum Storage {
@@ -26,13 +26,19 @@ enum Storage {
 }
 
 /// A registered memory region.
+///
+/// The backing storage sits behind a lock so a live migration can swap
+/// it wholesale — copying the bytes into the target host's arena — while
+/// the region's identity (VA, keys, length) stays fixed. Data-plane
+/// accesses take the lock shared; only [`MemoryRegion::rehome`] takes it
+/// exclusively.
 pub struct MemoryRegion {
     base_va: u64,
     len: u64,
     lkey: u32,
     rkey: u32,
     access: AccessFlags,
-    storage: Storage,
+    storage: RwLock<Storage>,
 }
 
 impl MemoryRegion {
@@ -49,7 +55,7 @@ impl MemoryRegion {
             lkey,
             rkey,
             access,
-            storage: Storage::Private(Mutex::new(vec![0u8; len as usize])),
+            storage: RwLock::new(Storage::Private(Mutex::new(vec![0u8; len as usize]))),
         }
     }
 
@@ -67,7 +73,7 @@ impl MemoryRegion {
             lkey,
             rkey,
             access,
-            storage: Storage::Arena { arena, handle },
+            storage: RwLock::new(Storage::Arena { arena, handle }),
         }
     }
 
@@ -103,7 +109,7 @@ impl MemoryRegion {
 
     /// Whether the region aliases a shared arena block (zero-copy capable).
     pub fn is_arena_backed(&self) -> bool {
-        matches!(self.storage, Storage::Arena { .. })
+        matches!(&*self.storage.read(), Storage::Arena { .. })
     }
 
     /// Build an SGE covering `[offset, offset + len)` of this region.
@@ -129,7 +135,7 @@ impl MemoryRegion {
     /// Application write into the region at `offset`.
     pub fn write(&self, offset: u64, data: &[u8]) -> VerbsResult<()> {
         self.check_range(offset, data.len() as u64)?;
-        match &self.storage {
+        match &*self.storage.read() {
             Storage::Private(buf) => {
                 buf.lock()[offset as usize..offset as usize + data.len()].copy_from_slice(data);
                 Ok(())
@@ -147,7 +153,7 @@ impl MemoryRegion {
     /// Application read from the region at `offset`.
     pub fn read(&self, offset: u64, out: &mut [u8]) -> VerbsResult<()> {
         self.check_range(offset, out.len() as u64)?;
-        match &self.storage {
+        match &*self.storage.read() {
             Storage::Private(buf) => {
                 out.copy_from_slice(&buf.lock()[offset as usize..offset as usize + out.len()]);
                 Ok(())
@@ -217,6 +223,56 @@ impl MemoryRegion {
         out.resize(tail + len as usize, 0);
         self.read(off, &mut out[tail..])
     }
+
+    /// Snapshot the region's full contents (migration checkpointing).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len as usize];
+        // Range [0, len) is in bounds by construction.
+        let _ = self.read(0, &mut out);
+        out
+    }
+
+    /// Move the region's backing storage onto `target` — the shared arena
+    /// of the host the owning container just migrated to. Without this, an
+    /// arena-backed MR would keep aliasing the *source* host's segment
+    /// after a cross-host migration, silently breaking the zero-copy
+    /// contract (and sharing memory across hosts, which real hardware
+    /// cannot do).
+    ///
+    /// The bytes are copied into a freshly allocated block of `target`
+    /// under the exclusive storage lock, so no DMA interleaves with the
+    /// swap; the old block is freed. If `target` has no room the region
+    /// degrades to private storage — correctness over zero-copy. Identity
+    /// (VA, keys, length) is unchanged. Returns whether the region is
+    /// still arena-backed afterwards.
+    pub fn rehome(&self, target: &Arc<SharedArena>) -> bool {
+        let mut storage = self.storage.write();
+        let mut bytes = vec![0u8; self.len as usize];
+        match &*storage {
+            // Private storage has no host affinity: nothing to move.
+            Storage::Private(_) => return false,
+            Storage::Arena { arena, handle } => {
+                if Arc::ptr_eq(arena, target) {
+                    return true;
+                }
+                let _ = arena.read(*handle, 0, &mut bytes);
+            }
+        }
+        let fresh = match target.alloc(self.len) {
+            Ok(handle) => {
+                let _ = target.write(handle, 0, &bytes);
+                Storage::Arena {
+                    arena: Arc::clone(target),
+                    handle,
+                }
+            }
+            Err(_) => Storage::Private(Mutex::new(bytes)),
+        };
+        if let Storage::Arena { arena, handle } = std::mem::replace(&mut *storage, fresh) {
+            let _ = arena.free(handle);
+        }
+        matches!(&*storage, Storage::Arena { .. })
+    }
 }
 
 impl std::fmt::Debug for MemoryRegion {
@@ -283,6 +339,54 @@ mod tests {
         let mr = private_mr();
         mr.dma_write(0x10_0000 + 4, b"dma!").unwrap();
         assert_eq!(mr.dma_read(0x10_0000 + 4, 4).unwrap(), b"dma!");
+    }
+
+    #[test]
+    fn rehome_moves_bytes_to_the_target_arena() {
+        let src = SharedArena::new(4096);
+        let dst = SharedArena::new(4096);
+        let handle = src.alloc(128).unwrap();
+        let mr = MemoryRegion::new_arena(0x20_0000, 3, 4, AccessFlags::all(), src.clone(), handle);
+        mr.write(0, b"migrated").unwrap();
+        let before = src.allocated();
+        assert!(mr.rehome(&dst));
+        assert!(mr.is_arena_backed());
+        // Bytes survived the move and the source block was released.
+        assert_eq!(mr.dma_read(0x20_0000, 8).unwrap(), b"migrated");
+        assert!(src.allocated() < before);
+        assert!(dst.allocated() > 0);
+        // Rehoming onto the arena we already live in is a no-op.
+        assert!(mr.rehome(&dst));
+    }
+
+    #[test]
+    fn rehome_degrades_to_private_when_target_is_full() {
+        let src = SharedArena::new(4096);
+        let dst = SharedArena::new(64);
+        let handle = src.alloc(256).unwrap();
+        let mr = MemoryRegion::new_arena(0x20_0000, 3, 4, AccessFlags::all(), src.clone(), handle);
+        mr.write(0, b"fallback").unwrap();
+        assert!(!mr.rehome(&dst));
+        assert!(!mr.is_arena_backed());
+        assert_eq!(mr.dma_read(0x20_0000, 8).unwrap(), b"fallback");
+    }
+
+    #[test]
+    fn private_regions_have_no_host_affinity() {
+        let mr = private_mr();
+        mr.write(0, b"stay").unwrap();
+        let dst = SharedArena::new(4096);
+        assert!(!mr.rehome(&dst));
+        assert_eq!(mr.dma_read(0x10_0000, 4).unwrap(), b"stay");
+    }
+
+    #[test]
+    fn snapshot_captures_full_contents() {
+        let mr = private_mr();
+        mr.write(3, b"snap").unwrap();
+        let bytes = mr.snapshot();
+        assert_eq!(bytes.len(), 256);
+        assert_eq!(&bytes[3..7], b"snap");
     }
 
     #[test]

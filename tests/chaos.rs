@@ -18,8 +18,8 @@
 
 use freeflow::binding::BindingPhase;
 use freeflow::qp::FfPath;
-use freeflow::{Container, FreeFlowCluster};
-use freeflow_netsim::{FaultPlan, NetSim, SimRng, Workload};
+use freeflow::{Container, FreeFlowCluster, MigrationCrashPoint, MigrationOutcome};
+use freeflow_netsim::{FaultPlan, MigrationCrashPhase, NetSim, SimRng, Workload};
 use freeflow_socket::{FfStream, SocketStack};
 use freeflow_telemetry::{Event, TelemetrySnapshot, TransitionKind};
 use freeflow_types::{HostCaps, Nanos, TenantId, TransportKind};
@@ -760,4 +760,191 @@ fn chaos_control_partition_degrades_only_the_partitioned_host() {
     assert_eq!(control_events(&snap, "partition"), 1);
     assert_eq!(control_events(&snap, "heal"), 1);
     assert!(snap.counter_total("ff_orch_degraded_decisions_total") >= 1);
+}
+
+// --- rolling-migration drills ----------------------------------------------
+
+/// The tentpole fleet drill: 240 containers in 120 cross-host pairs under
+/// load while a rolling wave live-migrates every receiver, with link
+/// flaps, an orchestrator outage, a NIC death and two mid-window
+/// migration-daemon crashes layered on top. Every flow must converge with
+/// zero lost completions, every blackout stays inside the calibrated
+/// window, the torn 2PCs abort in place — and the whole drill replays
+/// byte-identically from the same schedule.
+#[test]
+fn chaos_rolling_migration_drill_at_fleet_scale() {
+    const PAIRS: usize = 120;
+    const MSGS: u64 = 12;
+    let run = || {
+        let mut sim = NetSim::testbed();
+        let hosts: Vec<usize> = (0..8)
+            .map(|_| sim.add_host(HostCaps::paper_testbed()))
+            .collect();
+        let mut receivers = Vec::new();
+        for i in 0..PAIRS {
+            let a = sim.add_container(hosts[i % 8]);
+            let b = sim.add_container(hosts[(i + 3) % 8]);
+            sim.add_flow(a, b, TransportKind::Rdma, Workload::bulk(1, MSGS));
+            receivers.push(b);
+        }
+        // The rolling wave: one migration every 40 µs against a 250 µs
+        // blackout, so half a dozen windows are always open at once.
+        for (i, b) in receivers.iter().enumerate() {
+            let to = hosts[(i + 4) % 8];
+            sim.schedule_migration(Nanos::from_micros(100 + 40 * i as u64), *b, to);
+        }
+        // Plus guarded no-ops: four receivers "migrate" onto the host the
+        // wave already put them on.
+        for (i, b) in receivers.iter().enumerate().take(4) {
+            let to = hosts[(i + 4) % 8];
+            sim.schedule_migration(Nanos::from_millis(20), *b, to);
+        }
+        // Faults tuned to land inside specific windows (deterministic):
+        // migration 30 begins at 1300 µs targeting hosts[2]; migration 46
+        // begins at 1940 µs from hosts[1].
+        sim.set_fault_plan(
+            FaultPlan::new(77)
+                .link_flap(Nanos::from_micros(500), hosts[2], Nanos::from_micros(300))
+                .orchestrator_outage(Nanos::from_micros(800), Nanos::from_millis(2))
+                .migration_crash(
+                    Nanos::from_micros(1400),
+                    hosts[2],
+                    MigrationCrashPhase::Target,
+                )
+                .migration_crash(
+                    Nanos::from_micros(2000),
+                    hosts[1],
+                    MigrationCrashPhase::Source,
+                )
+                .nic_down(Nanos::from_millis(3), hosts[5]),
+        );
+        let r = sim.run_to_completion(Nanos::from_secs(120));
+        assert!(sim.all_finished(), "every flow must converge");
+        r
+    };
+    let r = run();
+
+    // Zero lost completions: nothing was killed, everything arrived.
+    for f in &r.flows {
+        assert!(!f.killed, "flow {} was killed", f.flow);
+        assert_eq!(f.delivered_msgs, MSGS, "flow {} lost completions", f.flow);
+    }
+
+    // Every scheduled migration resolved: the wave plus the four no-ops.
+    assert_eq!(r.migrations.len(), PAIRS + 4);
+    assert_eq!(
+        r.migrations_aborted(),
+        2,
+        "exactly the two crash-torn 2PCs abort"
+    );
+    assert_eq!(r.migrations_committed(), PAIRS + 4 - 2);
+
+    // Blackouts are bounded by the calibrated freeze window; the no-ops
+    // never opened one.
+    let cap = NetSim::testbed().params().migration_blackout;
+    for m in &r.migrations {
+        assert!(m.blackout <= cap, "unbounded blackout: {:?}", m.blackout);
+    }
+    assert!(r.blackout_percentile(0.99).unwrap() <= cap);
+    let noops: Vec<_> = r.migrations.iter().filter(|m| m.from == m.to).collect();
+    assert_eq!(noops.len(), 4);
+    for m in noops {
+        assert!(m.committed && m.blackout == Nanos::ZERO && m.flows_affected == 0);
+    }
+
+    // The drill is a deterministic program: same schedule, same bytes.
+    assert_eq!(format!("{:?}", run()), format!("{:?}", r));
+}
+
+/// Live-stack rolling drill with crash injection: a wave of cross-host
+/// migrations where every third 2PC is torn at the source checkpoint and
+/// every fourth at the target restore. Torn migrations must abort in
+/// place (container still home, traffic flowing immediately); the rest
+/// commit and rebind. Counters must agree with the flight-recorder
+/// timeline and every freeze window must land in
+/// `ff_migration_blackout_ns`.
+#[test]
+fn chaos_rolling_migration_crash_injection_never_wedges() {
+    let cluster = FreeFlowCluster::with_defaults();
+    let h0 = cluster.add_host(HostCaps::paper_testbed());
+    let h1 = cluster.add_host(HostCaps::paper_testbed());
+    let h2 = cluster.add_host(HostCaps::paper_testbed());
+    let tenant = TenantId::new(1);
+
+    let n = 6;
+    let mut pairs = Vec::new();
+    for _ in 0..n {
+        let a = cluster.launch(tenant, h0).unwrap();
+        let b = cluster.launch(tenant, h1).unwrap();
+        let qps = connect_pair(&a, &b);
+        exchange(&qps, 2);
+        pairs.push((a, b, qps));
+    }
+
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut settled = Vec::new();
+    for (i, (a, b, qps)) in pairs.into_iter().enumerate() {
+        let crash = match i % 3 {
+            1 => Some(MigrationCrashPoint::SourceCheckpoint),
+            2 => Some(MigrationCrashPoint::TargetRestore),
+            _ => None,
+        };
+        let (moved, report) = cluster.migrate_with(b, h2, crash).unwrap();
+        match report.outcome {
+            MigrationOutcome::Committed => {
+                committed += 1;
+                assert_eq!(moved.host(), h2, "committed 2PC must move");
+                assert!(report.moved);
+                assert!(report.qps >= 1 && report.mrs >= 1);
+                assert!(report.checkpoint_bytes > 0);
+            }
+            MigrationOutcome::Aborted => {
+                aborted += 1;
+                assert_eq!(moved.host(), h1, "aborted 2PC must stay home");
+                assert!(!report.moved);
+            }
+        }
+        // Never wedged: whatever the outcome, both ends settle Bound and
+        // the pair keeps exchanging.
+        wait_until("pair settles after 2PC", Duration::from_secs(10), || {
+            qps.4.binding_phase() == BindingPhase::Bound
+                && qps.5.binding_phase() == BindingPhase::Bound
+        });
+        exchange(&qps, 2);
+        settled.push((a, moved, qps));
+    }
+    drop(settled);
+    assert_eq!(committed, 2, "i % 3 == 0 of six migrations commit");
+    assert_eq!(aborted, 4);
+
+    // Counters agree with the flight-recorder timeline, and every freeze
+    // window (commit or abort) was recorded in the blackout histogram.
+    let snap = cluster.telemetry();
+    assert_eq!(
+        snap.counter_total("ff_migrations_committed_total"),
+        committed
+    );
+    assert_eq!(snap.counter_total("ff_migrations_aborted_total"), aborted);
+    let migration_events = |kind: &str| {
+        snap.events
+            .iter()
+            .filter(|te| matches!(te.event, Event::Migration { kind: k, .. } if k == kind))
+            .count() as u64
+    };
+    assert_eq!(migration_events("commit"), committed);
+    assert_eq!(migration_events("abort"), aborted);
+    assert_eq!(migration_events("begin"), committed + aborted);
+    let blackout = snap
+        .histogram(
+            "ff_migration_blackout_ns",
+            freeflow_telemetry::LabelSet::none(),
+        )
+        .expect("blackout histogram must exist");
+    assert_eq!(blackout.count(), committed + aborted);
+    assert!(
+        blackout.max < 5_000_000_000,
+        "blackout must stay inside the settle budget: {} ns",
+        blackout.max
+    );
 }
